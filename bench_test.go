@@ -1,0 +1,402 @@
+package ipv4market_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"ipv4market/internal/bgp"
+	"ipv4market/internal/core"
+	"ipv4market/internal/delegation"
+	"ipv4market/internal/market"
+	"ipv4market/internal/netblock"
+	"ipv4market/internal/registry"
+	"ipv4market/internal/simulation"
+)
+
+// The benchmarks below regenerate every table and figure of the paper
+// (one benchmark per artifact), plus ablations of the design choices
+// DESIGN.md calls out. They share one moderately sized world, built once.
+
+var (
+	studyOnce sync.Once
+	study     *core.Study
+	studyErr  error
+)
+
+func benchStudy(b *testing.B) *core.Study {
+	b.Helper()
+	studyOnce.Do(func() {
+		cfg := simulation.DefaultConfig()
+		cfg.NumLIRs = 24
+		cfg.RoutingDays = 180
+		cfg.AdministrativeLeases = 400
+		cfg.RoutedLeases = 150
+		study, studyErr = core.NewStudy(cfg)
+	})
+	if studyErr != nil {
+		b.Fatal(studyErr)
+	}
+	return study
+}
+
+func BenchmarkTable1ExhaustionTimeline(b *testing.B) {
+	s := benchStudy(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if rows := s.Table1(); len(rows) != 5 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFigure1PriceEvolution(b *testing.B) {
+	s := benchStudy(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if cells := s.Figure1(); len(cells) == 0 {
+			b.Fatal("no cells")
+		}
+	}
+}
+
+func BenchmarkFigure2TransferCounts(b *testing.B) {
+	s := benchStudy(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if counts := s.Figure2(); len(counts) == 0 {
+			b.Fatal("no counts")
+		}
+	}
+}
+
+func BenchmarkFigure3InterRIR(b *testing.B) {
+	s := benchStudy(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if flows := s.Figure3(); len(flows) == 0 {
+			b.Fatal("no flows")
+		}
+	}
+}
+
+func BenchmarkFigure4LeasingPrices(b *testing.B) {
+	s := benchStudy(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if points := s.Figure4(); len(points) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+func BenchmarkFigure5ConsistencyRule(b *testing.B) {
+	s := benchStudy(b)
+	ms := []int{2, 5, 10, 20, 40, 60, 80, 100}
+	ns := []int{0, 1, 2, 3, 5, 10}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		grid, err := s.Figure5(ms, ns)
+		if err != nil || len(grid) != len(ms)*len(ns) {
+			b.Fatalf("grid: %v", err)
+		}
+	}
+}
+
+func BenchmarkFigure6Delegations(b *testing.B) {
+	s := benchStudy(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Figure6(15)
+		if err != nil || len(res.Points) == 0 {
+			b.Fatalf("figure6: %v", err)
+		}
+	}
+}
+
+func BenchmarkStatBGPvsRDAP(b *testing.B) {
+	s := benchStudy(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Coverage()
+		if err != nil || res.RDAPDelegations == 0 {
+			b.Fatalf("coverage: %v", err)
+		}
+	}
+}
+
+func BenchmarkStatHeadlinePricing(b *testing.B) {
+	s := benchStudy(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Headline(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAmortization(b *testing.B) {
+	s := benchStudy(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if rows := s.AmortizationTable(); len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// ---- ablations ----
+
+// BenchmarkAblationVisibilityThreshold sweeps extension (ii)'s monitor
+// threshold. The paper's footnote: anywhere in 10-90% the inferred
+// delegations barely change. The per-threshold delegation count is
+// reported as a metric.
+func BenchmarkAblationVisibilityThreshold(b *testing.B) {
+	s := benchStudy(b)
+	survey := s.Routing.SurveyAt(90)
+	date := s.Cfg.RoutingStart.AddDate(0, 0, 90)
+	for _, threshold := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		b.Run(thresholdName(threshold), func(b *testing.B) {
+			inf := delegation.Inference{MinVisibility: threshold, Orgs: s.World.OrgSeries}
+			var n int
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n = len(inf.FromSurvey(date, survey))
+			}
+			b.ReportMetric(float64(n), "delegations")
+		})
+	}
+}
+
+func thresholdName(t float64) string {
+	switch t {
+	case 0.1:
+		return "vis=10%"
+	case 0.3:
+		return "vis=30%"
+	case 0.5:
+		return "vis=50%"
+	case 0.7:
+		return "vis=70%"
+	case 0.9:
+		return "vis=90%"
+	}
+	return "vis=?"
+}
+
+// BenchmarkAblationRuleWindow sweeps extension (v)'s gap-filling window
+// around the paper's 10 days.
+func BenchmarkAblationRuleWindow(b *testing.B) {
+	s := benchStudy(b)
+	h := s.World.BuildRPKIHistory(0.8, simulation.DefaultROADropProb)
+	for _, m := range []int{5, 10, 20, 50} {
+		name := map[int]string{5: "M=5", 10: "M=10", 20: "M=20", 50: "M=50"}[m]
+		b.Run(name, func(b *testing.B) {
+			var fail float64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := h.EvaluateRule(m, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fail = r.FailRate()
+			}
+			b.ReportMetric(fail, "failrate")
+		})
+	}
+}
+
+// BenchmarkTrieVsScan compares the radix trie against a linear scan for
+// the covering-prefix lookups the inference pipeline performs.
+func BenchmarkTrieVsScan(b *testing.B) {
+	s := benchStudy(b)
+	clean := s.Routing.SurveyAt(90).CleanPairs(0.5)
+	prefixes := make([]netblock.Prefix, 0, len(clean))
+	trie := netblock.NewTrie[bool]()
+	for p := range clean {
+		prefixes = append(prefixes, p)
+		trie.Insert(p, true)
+	}
+	queries := prefixes
+	if len(queries) > 256 {
+		queries = queries[:256]
+	}
+
+	b.Run("trie", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				trie.Covering(q)
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				for _, p := range prefixes {
+					if p.Covers(q) {
+						_ = p
+					}
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkMRTDecode measures MRT snapshot decode throughput.
+func BenchmarkMRTDecode(b *testing.B) {
+	s := benchStudy(b)
+	c := s.Routing.CollectorAt(90, 0)
+	var buf bytes.Buffer
+	if err := c.WriteSnapshot(&buf, time.Date(2018, 4, 1, 0, 0, 0, 0, time.UTC)); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bgp.ReadRIBSnapshot(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMRTEncode measures MRT snapshot encode throughput.
+func BenchmarkMRTEncode(b *testing.B) {
+	s := benchStudy(b)
+	c := s.Routing.CollectorAt(90, 0)
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := c.WriteSnapshot(&buf, time.Date(2018, 4, 1, 0, 0, 0, 0, time.UTC)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+// BenchmarkTransferLogRoundTrip measures the transfer-statistics JSON
+// encode/decode cycle over the full simulated history.
+func BenchmarkTransferLogRoundTrip(b *testing.B) {
+	s := benchStudy(b)
+	transfers := s.World.Registry.Transfers()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := registry.ExportTransferLog(&buf, registry.ARIN, transfers); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := registry.ParseTransferLog(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSurveyBuild measures one day of multi-collector survey
+// construction — the inner loop of the Figure 6 pipeline.
+func BenchmarkSurveyBuild(b *testing.B) {
+	s := benchStudy(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if s.Routing.SurveyAt(i%s.Cfg.RoutingDays).NumMonitors() == 0 {
+			b.Fatal("empty survey")
+		}
+	}
+}
+
+// BenchmarkLeasingSnapshot measures the Figure 4 price-book summary.
+func BenchmarkLeasingSnapshot(b *testing.B) {
+	providers := market.PaperProviders()
+	when := time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := market.SnapshotAt(providers, when); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStatWaitingLists(b *testing.B) {
+	s := benchStudy(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if outs := s.WaitingLists(); len(outs) != 2 {
+			b.Fatal("bad outcome")
+		}
+	}
+}
+
+func BenchmarkStatReputation(b *testing.B) {
+	s := benchStudy(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if r := s.Reputation(); r.Listings == 0 {
+			b.Fatal("no listings")
+		}
+	}
+}
+
+func BenchmarkStatMergerHeuristic(b *testing.B) {
+	s := benchStudy(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if ev := s.Mergers(); ev.Transfers == 0 {
+			b.Fatal("no transfers")
+		}
+	}
+}
+
+func BenchmarkStatCombinedEstimate(b *testing.B) {
+	s := benchStudy(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		est, err := s.Combined()
+		if err != nil || est.TruthIPs == 0 {
+			b.Fatalf("combined: %v", err)
+		}
+	}
+}
+
+// BenchmarkWorldBuild measures full world generation at harness scale.
+func BenchmarkWorldBuild(b *testing.B) {
+	cfg := simulation.DefaultConfig()
+	cfg.NumLIRs = 24
+	cfg.RoutingDays = 120
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := simulation.Build(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSampleStride sweeps Figure 6's temporal sampling: the
+// paper processes every day; coarser strides trade temporal resolution
+// (and the fidelity of the 10-day rule) for compute. The reported metric
+// is the final extended-delegation count.
+func BenchmarkAblationSampleStride(b *testing.B) {
+	s := benchStudy(b)
+	for _, stride := range []int{1, 5, 15, 30} {
+		name := map[int]string{1: "daily", 5: "5d", 15: "15d", 30: "30d"}[stride]
+		b.Run(name, func(b *testing.B) {
+			var last int
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := s.Figure6(stride)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.Points[len(res.Points)-1].ExtendedCount
+			}
+			b.ReportMetric(float64(last), "delegations")
+		})
+	}
+}

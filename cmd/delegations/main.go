@@ -1,0 +1,153 @@
+// Command delegations infers IPv4 address-space delegations from MRT RIB
+// snapshots: the paper's extended algorithm by default, or the
+// Krenc-Feldmann baseline with -baseline.
+//
+// Usage:
+//
+//	delegations [-baseline] [-visibility 0.5] [-as2org file -date 2020-06-01] rib1.mrt [rib2.mrt ...]
+//	delegations -updates upd1.mrt,upd2.mrt rib.mrt
+//
+// Each input file must be a TABLE_DUMP_V2 snapshot (as produced by real
+// collectors or by cmd/simgen). All files contribute monitors to one
+// survey, so passing several collectors' snapshots reproduces the paper's
+// multi-collector setup. With -updates, exactly one snapshot is expected;
+// the BGP4MP update files are applied to it first (the paper's daily
+// RIB-plus-updates workflow).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"ipv4market/internal/asorg"
+	"ipv4market/internal/bgp"
+	"ipv4market/internal/delegation"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "delegations:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("delegations", flag.ContinueOnError)
+	var (
+		baseline   = fs.Bool("baseline", false, "use the Krenc-Feldmann baseline instead of the extended algorithm")
+		visibility = fs.Float64("visibility", 0.5, "minimum monitor-visibility fraction (extension ii)")
+		orgFile    = fs.String("as2org", "", "CAIDA as2org snapshot for same-organization filtering (extension iv)")
+		dateStr    = fs.String("date", "", "observation date (YYYY-MM-DD) for the as2org lookup; default today")
+		updates    = fs.String("updates", "", "comma-separated BGP4MP update files applied to the snapshot before inference")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		return fmt.Errorf("no MRT files given")
+	}
+
+	date := time.Now().UTC()
+	if *dateStr != "" {
+		var err error
+		date, err = time.Parse("2006-01-02", *dateStr)
+		if err != nil {
+			return fmt.Errorf("bad -date: %w", err)
+		}
+	}
+
+	var orgs *asorg.Series
+	if *orgFile != "" {
+		f, err := os.Open(*orgFile)
+		if err != nil {
+			return err
+		}
+		snap, err := asorg.Parse(f, date)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		orgs = asorg.NewSeries(snap)
+	}
+
+	survey := bgp.NewOriginSurvey()
+	var totalReport bgp.SanitizeReport
+	addReport := func(rep bgp.SanitizeReport) {
+		totalReport.Input += rep.Input
+		totalReport.Kept += rep.Kept
+		totalReport.SpecialSpace += rep.SpecialSpace
+		totalReport.ReservedASN += rep.ReservedASN
+		totalReport.PathLoop += rep.PathLoop
+	}
+	if *updates != "" {
+		if len(files) != 1 {
+			return fmt.Errorf("-updates requires exactly one snapshot, got %d", len(files))
+		}
+		f, err := os.Open(files[0])
+		if err != nil {
+			return err
+		}
+		peers, entries, err := bgp.ReadRIBSnapshot(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", files[0], err)
+		}
+		st := bgp.NewSnapshotState(peers, entries)
+		applied := 0
+		for _, upath := range strings.Split(*updates, ",") {
+			uf, err := os.Open(upath)
+			if err != nil {
+				return err
+			}
+			n, err := st.ApplyStream(uf)
+			uf.Close()
+			if err != nil {
+				return fmt.Errorf("%s: %w", upath, err)
+			}
+			applied += n
+		}
+		name := filepath.Base(files[0])
+		addReport(st.AddViewsTo(name, survey))
+		fmt.Fprintf(w, "# %s: %d peers, %d updates applied\n", name, len(st.Peers), applied)
+	} else {
+		for _, path := range files {
+			f, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			peers, entries, err := bgp.ReadRIBSnapshot(f)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			name := filepath.Base(path)
+			addReport(bgp.SurveyFromSnapshot(name, peers, entries, survey))
+			fmt.Fprintf(w, "# %s: %d peers, %d prefixes\n", name, len(peers), len(entries))
+		}
+	}
+	fmt.Fprintf(w, "# monitors: %d; routes: %d kept / %d input (removed: %d special, %d reserved-ASN, %d loops)\n",
+		survey.NumMonitors(), totalReport.Kept, totalReport.Input,
+		totalReport.SpecialSpace, totalReport.ReservedASN, totalReport.PathLoop)
+
+	var ds []delegation.Delegation
+	if *baseline {
+		ds = delegation.Baseline(survey)
+		fmt.Fprintln(w, "# algorithm: Krenc-Feldmann baseline")
+	} else {
+		inf := delegation.Inference{MinVisibility: *visibility, Orgs: orgs}
+		ds = inf.FromSurvey(date, survey)
+		fmt.Fprintf(w, "# algorithm: extended (visibility >= %.0f%%, as2org: %v)\n", *visibility*100, orgs != nil)
+	}
+	fmt.Fprintf(w, "# delegations: %d, delegated addresses: %d\n", len(ds), delegation.DelegatedAddrs(ds))
+	fmt.Fprintln(w, "# child_prefix parent_prefix delegator_as delegatee_as")
+	for _, d := range ds {
+		fmt.Fprintf(w, "%s %s %d %d\n", d.Child, d.Parent, uint32(d.From), uint32(d.To))
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ipv4market/internal/asorg"
+	"ipv4market/internal/bgp"
+	"ipv4market/internal/netblock"
+)
+
+// writeTestSnapshot creates an MRT snapshot with a clear delegation:
+// AS 5000 announces 185.0.0.0/16 and AS 6000 a /24 inside it, both seen
+// by every monitor; a second /24 is visible at only one monitor.
+func writeTestSnapshot(t *testing.T, dir string) string {
+	t.Helper()
+	peers := []bgp.PeerEntry{
+		{BGPID: 1, IP: netblock.MustParseAddr("198.51.100.1"), AS: 21000},
+		{BGPID: 2, IP: netblock.MustParseAddr("198.51.100.2"), AS: 21001},
+	}
+	mk := func(peer uint16, origin asorg.ASN) bgp.PeerRoute {
+		return bgp.PeerRoute{
+			PeerIndex:  peer,
+			Originated: time.Now(),
+			Path:       bgp.NewPath(21000+asorg.ASN(peer), 1299, origin),
+			Origin:     bgp.OriginIGP,
+		}
+	}
+	entries := []bgp.RIBEntry{
+		{Prefix: netblock.MustParsePrefix("185.0.0.0/16"), Routes: []bgp.PeerRoute{mk(0, 5000), mk(1, 5000)}},
+		{Prefix: netblock.MustParsePrefix("185.0.1.0/24"), Routes: []bgp.PeerRoute{mk(0, 6000), mk(1, 6000)}},
+		{Prefix: netblock.MustParsePrefix("185.0.2.0/24"), Routes: []bgp.PeerRoute{mk(0, 7000)}}, // 50% visibility
+	}
+	path := filepath.Join(dir, "rib.test.mrt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := bgp.WriteRIBSnapshot(f, time.Now(), 1, "test", peers, entries); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDelegationsExtended(t *testing.T) {
+	path := writeTestSnapshot(t, t.TempDir())
+	var buf bytes.Buffer
+	if err := run(&buf, []string{path}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "185.0.1.0/24 185.0.0.0/16 5000 6000") {
+		t.Errorf("missing delegation in output:\n%s", out)
+	}
+	if !strings.Contains(out, "delegations: 2") {
+		// 185.0.2.0/24 is seen by exactly 1 of 2 monitors = 50%, which
+		// meets the ≥ 0.5 default threshold, so it also yields one.
+		t.Errorf("unexpected delegation count:\n%s", out)
+	}
+}
+
+func TestDelegationsBaselineAndVisibility(t *testing.T) {
+	path := writeTestSnapshot(t, t.TempDir())
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-baseline", path}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Krenc-Feldmann baseline") {
+		t.Error("baseline banner missing")
+	}
+
+	// Raising the visibility threshold drops the half-seen /24.
+	buf.Reset()
+	if err := run(&buf, []string{"-visibility", "0.9", path}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "delegations: 1,") {
+		t.Errorf("high-visibility run:\n%s", buf.String())
+	}
+}
+
+func TestDelegationsWithAS2Org(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestSnapshot(t, dir)
+	// as2org mapping 5000 and 6000 into the same organization removes the
+	// main delegation.
+	snap := asorg.NewSnapshot(time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC))
+	snap.AddOrg(asorg.Org{ID: "ORG-X", Name: "X"})
+	snap.AddAS(5000, "ORG-X")
+	snap.AddAS(6000, "ORG-X")
+	orgPath := filepath.Join(dir, "as2org.txt")
+	f, err := os.Create(orgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snap.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-as2org", orgPath, "-date", "2020-06-01", path}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "185.0.1.0/24 185.0.0.0/16") {
+		t.Errorf("same-org delegation should be removed:\n%s", buf.String())
+	}
+}
+
+func TestDelegationsErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{}); err == nil {
+		t.Error("no files should fail")
+	}
+	if err := run(&buf, []string{"/nonexistent.mrt"}); err == nil {
+		t.Error("missing file should fail")
+	}
+	if err := run(&buf, []string{"-date", "bogus", "x.mrt"}); err == nil {
+		t.Error("bad date should fail")
+	}
+	// Corrupt MRT.
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.mrt")
+	if err := os.WriteFile(bad, []byte("this is not MRT"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&buf, []string{bad}); err == nil {
+		t.Error("corrupt MRT should fail")
+	}
+}
+
+func TestDelegationsWithUpdates(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestSnapshot(t, dir)
+
+	// An update stream that withdraws the half-seen /24 from peer 0 and
+	// announces a new delegation child at both peers.
+	upath := filepath.Join(dir, "updates.mrt")
+	f, err := os.Create(upath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bgp.NewWriter(f)
+	for _, u := range []bgp.UpdateRecord{
+		{
+			Timestamp: time.Now(), PeerAS: 21000, PeerIP: netblock.MustParseAddr("198.51.100.1"),
+			Withdrawn: []netblock.Prefix{netblock.MustParsePrefix("185.0.2.0/24")},
+		},
+		{
+			Timestamp: time.Now(), PeerAS: 21000, PeerIP: netblock.MustParseAddr("198.51.100.1"),
+			Announced: []netblock.Prefix{netblock.MustParsePrefix("185.0.3.0/24")},
+			Path:      bgp.NewPath(21000, 1299, 8000), Origin: bgp.OriginIGP,
+		},
+		{
+			Timestamp: time.Now(), PeerAS: 21001, PeerIP: netblock.MustParseAddr("198.51.100.2"),
+			Announced: []netblock.Prefix{netblock.MustParsePrefix("185.0.3.0/24")},
+			Path:      bgp.NewPath(21001, 1299, 8000), Origin: bgp.OriginIGP,
+		},
+	} {
+		if err := w.WriteUpdate(u, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-updates", upath, path}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "3 updates applied") {
+		t.Errorf("update banner missing:\n%s", out)
+	}
+	if !strings.Contains(out, "185.0.3.0/24 185.0.0.0/16 5000 8000") {
+		t.Errorf("new delegation missing:\n%s", out)
+	}
+	if strings.Contains(out, "185.0.2.0/24") {
+		t.Errorf("withdrawn prefix should yield no delegation:\n%s", out)
+	}
+
+	// -updates with multiple snapshots is rejected.
+	if err := run(&buf, []string{"-updates", upath, path, path}); err == nil {
+		t.Error("-updates with two snapshots should fail")
+	}
+	// Corrupt update file.
+	bad := filepath.Join(dir, "bad.mrt")
+	if err := os.WriteFile(bad, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&buf, []string{"-updates", bad, path}); err == nil {
+		t.Error("corrupt updates should fail")
+	}
+}

@@ -1,0 +1,113 @@
+// Command ipv4market is the end-to-end harness: it generates the
+// synthetic IPv4-market world and regenerates every table and figure of
+// "When Wells Run Dry: The 2020 IPv4 Address Market" (CoNEXT 2020).
+//
+// Usage:
+//
+//	ipv4market -figure all
+//	ipv4market -figure fig6 -sample 7 -days 882
+//	ipv4market -figure coverage -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ipv4market/internal/core"
+	"ipv4market/internal/simulation"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ipv4market:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("ipv4market", flag.ContinueOnError)
+	var (
+		figure = fs.String("figure", "all", "which artifact to print: table1, fig1..fig6, coverage, census, headline, amortization, waitinglist, reputation, mergers, combined, or all")
+		seed   = fs.Int64("seed", 1, "world seed")
+		lirs   = fs.Int("lirs", 40, "LIRs per major region")
+		days   = fs.Int("days", 882, "routing window length in days (paper: 882)")
+		sample = fs.Int("sample", 7, "sampling stride in days for the BGP time series")
+		csvDir = fs.String("csv", "", "also export every figure's data series as CSV files into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := simulation.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.NumLIRs = *lirs
+	cfg.RoutingDays = *days
+
+	fmt.Fprintf(w, "building world (seed=%d, %d LIRs/region, %d routing days)...\n", cfg.Seed, cfg.NumLIRs, cfg.RoutingDays)
+	study, err := core.NewStudy(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "world: %d orgs, %d leases, %d transfers, %d priced deals\n\n",
+		len(study.World.Orgs), len(study.World.Leases),
+		len(study.World.Registry.Transfers()), len(study.World.Prices))
+
+	sections := []struct {
+		key    string
+		title  string
+		render func() error
+	}{
+		{"table1", "Table 1: IPv4 exhaustion timeline", func() error { return study.RenderTable1(w) }},
+		{"fig1", "Figure 1: price per IP by prefix size, region and quarter", func() error { return study.RenderFigure1(w) }},
+		{"fig2", "Figure 2: market transfers per region and quarter", func() error { return study.RenderFigure2(w) }},
+		{"fig3", "Figure 3: inter-RIR transfers", func() error { return study.RenderFigure3(w) }},
+		{"fig4", "Figure 4: advertised /24 leasing prices", func() error { return study.RenderFigure4(w) }},
+		{"fig5", "Figure 5: consistency-rule fail rates on RPKI delegations", func() error {
+			return study.RenderFigure5(w, []int{2, 5, 10, 20, 40, 60, 80, 100}, []int{0, 1, 2, 3, 5, 10})
+		}},
+		{"fig6", "Figure 6: BGP delegations, baseline vs extended", func() error { return study.RenderFigure6(w, *sample) }},
+		{"coverage", "S1: BGP-delegations vs RDAP-delegations", func() error { return study.RenderCoverage(w) }},
+		{"census", "S2: WHOIS input space", func() error { return study.RenderCensus(w) }},
+		{"headline", "S3: pricing headline statistics", func() error { return study.RenderHeadline(w) }},
+		{"amortization", "S4: buy-vs-lease amortization", func() error { return study.RenderAmortization(w) }},
+		{"waitinglist", "S6: waiting-list dynamics", func() error { return study.RenderWaitingLists(w) }},
+		{"reputation", "S7: blacklists, clean IPs and the SWIP shield", func() error { return study.RenderReputation(w) }},
+		{"mergers", "S8: merger-inference heuristic evaluated against ground truth", func() error { return study.RenderMergers(w) }},
+		{"combined", "S9: combined BGP+RDAP+RPKI market estimate vs ground truth", func() error { return study.RenderCombined(w) }},
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		names, err := study.ExportCSV(*sample, func(name string) (io.WriteCloser, error) {
+			return os.Create(filepath.Join(*csvDir, name))
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "exported %d CSV series to %s: %s\n\n", len(names), *csvDir, strings.Join(names, ", "))
+	}
+
+	want := strings.ToLower(*figure)
+	found := false
+	for _, sec := range sections {
+		if want != "all" && want != sec.key {
+			continue
+		}
+		found = true
+		fmt.Fprintf(w, "== %s ==\n", sec.title)
+		if err := sec.render(); err != nil {
+			return fmt.Errorf("%s: %w", sec.key, err)
+		}
+		fmt.Fprintln(w)
+	}
+	if !found {
+		return fmt.Errorf("unknown figure %q", *figure)
+	}
+	return nil
+}

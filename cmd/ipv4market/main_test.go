@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunAllFiguresSmall(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, []string{"-figure", "all", "-lirs", "12", "-days", "40", "-sample", "10"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Table 1", "Figure 1", "Figure 2", "Figure 3", "Figure 4",
+		"Figure 5", "Figure 6", "S1:", "S2:", "S3:", "S4:",
+		"RIPE NCC", "consistency-rule", "amortization",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-figure", "table1", "-lirs", "12", "-days", "30"}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "Figure 1") {
+		t.Error("single-figure run should not print other sections")
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-figure", "nope", "-lirs", "12", "-days", "30"}); err == nil {
+		t.Error("unknown figure should fail")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-bogus"}); err == nil {
+		t.Error("bad flag should fail")
+	}
+}

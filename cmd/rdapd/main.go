@@ -1,0 +1,91 @@
+// Command rdapd serves RFC 7483 RDAP ip-network lookups from a WHOIS
+// split snapshot, or acts as a query client.
+//
+// Server:
+//
+//	rdapd -snapshot ripe.db.inetnum -listen 127.0.0.1:8080
+//
+// Client:
+//
+//	rdapd -query http://127.0.0.1:8080 -prefix 185.0.0.0/24
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+
+	"ipv4market/internal/netblock"
+	"ipv4market/internal/rdap"
+	"ipv4market/internal/whois"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rdapd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("rdapd", flag.ContinueOnError)
+	var (
+		snapshot = fs.String("snapshot", "", "WHOIS split snapshot (RPSL inetnum objects)")
+		listen   = fs.String("listen", "127.0.0.1:8080", "server listen address")
+		query    = fs.String("query", "", "client mode: RDAP base URL to query")
+		prefix   = fs.String("prefix", "", "client mode: prefix to look up (e.g. 185.0.0.0/24)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *query != "" {
+		if *prefix == "" {
+			return fmt.Errorf("client mode needs -prefix")
+		}
+		p, err := netblock.ParsePrefix(*prefix)
+		if err != nil {
+			return err
+		}
+		client := rdap.NewClient(*query, nil)
+		obj, err := client.LookupPrefix(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "handle:       %s\n", obj.Handle)
+		fmt.Fprintf(w, "range:        %s - %s\n", obj.StartAddress, obj.EndAddress)
+		fmt.Fprintf(w, "name:         %s\n", obj.Name)
+		fmt.Fprintf(w, "type:         %s\n", obj.Type)
+		fmt.Fprintf(w, "country:      %s\n", obj.Country)
+		fmt.Fprintf(w, "parentHandle: %s\n", obj.ParentHandle)
+		if org, ok := obj.Registrant(); ok {
+			fmt.Fprintf(w, "registrant:   %s\n", org)
+		}
+		if adm, ok := obj.Administrative(); ok {
+			fmt.Fprintf(w, "admin-c:      %s\n", adm)
+		}
+		return nil
+	}
+
+	if *snapshot == "" {
+		return fmt.Errorf("server mode needs -snapshot (or use -query for client mode)")
+	}
+	f, err := os.Open(*snapshot)
+	if err != nil {
+		return err
+	}
+	db, err := whois.ParseSnapshot(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "rdapd: serving %d inetnum objects on http://%s (GET /ip/<addr>[/<len>])\n", db.Len(), ln.Addr())
+	return http.Serve(ln, rdap.NewServer(db))
+}

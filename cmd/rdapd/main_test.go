@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ipv4market/internal/rdap"
+	"ipv4market/internal/whois"
+)
+
+func writeSnapshot(t *testing.T) string {
+	t.Helper()
+	db := whois.NewDB()
+	db.Add(&whois.Inetnum{
+		First: 0xB9000000, Last: 0xB900FFFF, // 185.0.0.0 - 185.0.255.255
+		Netname: "TEST-LIR", Country: "DE", Org: "ORG-LIR",
+		Status: whois.StatusAllocatedPA,
+	})
+	db.Add(&whois.Inetnum{
+		First: 0xB9000000, Last: 0xB90000FF,
+		Netname: "TEST-CUST", Country: "DE", Org: "ORG-CUST", AdminC: "AC1",
+		Status: whois.StatusAssignedPA,
+	})
+	path := filepath.Join(t.TempDir(), "ripe.db.inetnum")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := db.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestClientMode(t *testing.T) {
+	path := writeSnapshot(t)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := whois.ParseSnapshot(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(rdap.NewServer(db))
+	defer srv.Close()
+
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-query", srv.URL, "-prefix", "185.0.0.0/24"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"TEST-CUST", "ASSIGNED PA", "parentHandle: 185.0.0.0 - 185.0.255.255", "registrant:   ORG-CUST", "admin-c:      AC1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("client output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestClientModeErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-query", "http://127.0.0.1:0"}); err == nil {
+		t.Error("missing -prefix should fail")
+	}
+	if err := run(&buf, []string{"-query", "http://127.0.0.1:0", "-prefix", "banana"}); err == nil {
+		t.Error("bad prefix should fail")
+	}
+	if err := run(&buf, []string{"-query", "http://127.0.0.1:1", "-prefix", "185.0.0.0/24"}); err == nil {
+		t.Error("unreachable server should fail")
+	}
+}
+
+func TestServerModeErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{}); err == nil {
+		t.Error("no snapshot should fail")
+	}
+	if err := run(&buf, []string{"-snapshot", "/nonexistent"}); err == nil {
+		t.Error("missing snapshot should fail")
+	}
+	// Corrupt snapshot.
+	bad := filepath.Join(t.TempDir(), "bad")
+	if err := os.WriteFile(bad, []byte("inetnum: x - y\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&buf, []string{"-snapshot", bad}); err == nil {
+		t.Error("corrupt snapshot should fail")
+	}
+	// Bad listen address.
+	good := writeSnapshot(t)
+	if err := run(&buf, []string{"-snapshot", good, "-listen", "256.0.0.1:99999"}); err == nil {
+		t.Error("bad listen address should fail")
+	}
+}

@@ -1,0 +1,147 @@
+// Command simgen materializes the synthetic world as the public data
+// formats the paper consumes, so the other tools (and any external MRT /
+// WHOIS / transfer-log tooling) can be exercised offline:
+//
+//	out/
+//	  rib.<collector>.<date>.mrt      TABLE_DUMP_V2 snapshots
+//	  updates.<collector>.<date>.mrt  BGP4MP update streams (day -> day+1)
+//	  transfers.<rir>.json            RIR transfer logs
+//	  delegated-<rir>-extended.txt    NRO delegated-extended statistics
+//	  ripe.db.inetnum                 WHOIS split snapshot
+//	  as2org.txt                      CAIDA-style AS-to-organization map
+//
+// Usage:
+//
+//	simgen -out ./data -seed 1 -day 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"ipv4market/internal/bgp"
+	"ipv4market/internal/registry"
+	"ipv4market/internal/simulation"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "simgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("simgen", flag.ContinueOnError)
+	var (
+		out  = fs.String("out", "data", "output directory")
+		seed = fs.Int64("seed", 1, "world seed")
+		lirs = fs.Int("lirs", 40, "LIRs per major region")
+		day  = fs.Int("day", 100, "routing-window day to snapshot")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := simulation.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.NumLIRs = *lirs
+	if *day >= cfg.RoutingDays {
+		return fmt.Errorf("-day %d outside routing window (%d days)", *day, cfg.RoutingDays)
+	}
+
+	world, err := simulation.Build(cfg)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	date := cfg.RoutingStart.AddDate(0, 0, *day)
+
+	// MRT snapshots, one per collector, plus the next day's update stream.
+	rs := simulation.NewRoutingSim(world)
+	for i := 0; i < rs.NumCollectors(); i++ {
+		c := rs.CollectorAt(*day, i)
+		path := filepath.Join(*out, fmt.Sprintf("rib.%s.%s.mrt", c.Name, date.Format("20060102")))
+		if err := writeFile(path, func(f io.Writer) error {
+			return c.WriteSnapshot(f, date)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s (%d peers)\n", path, c.NumPeers())
+
+		if *day+1 >= cfg.RoutingDays {
+			continue
+		}
+		ups := rs.UpdateStream(*day, *day+1, i)
+		upath := filepath.Join(*out, fmt.Sprintf("updates.%s.%s.mrt", c.Name, date.AddDate(0, 0, 1).Format("20060102")))
+		if err := writeFile(upath, func(f io.Writer) error {
+			mw := bgp.NewWriter(f)
+			for j := range ups {
+				if err := mw.WriteUpdate(ups[j], 0, 0); err != nil {
+					return err
+				}
+			}
+			return mw.Flush()
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s (%d updates)\n", upath, len(ups))
+	}
+
+	// Transfer logs and delegated-extended statistics per RIR.
+	transfers := world.Registry.Transfers()
+	for _, rir := range registry.AllRIRs() {
+		tpath := filepath.Join(*out, fmt.Sprintf("transfers.%s.json", rir.StatsName()))
+		if err := writeFile(tpath, func(f io.Writer) error {
+			return registry.ExportTransferLog(f, rir, transfers)
+		}); err != nil {
+			return err
+		}
+		epath := filepath.Join(*out, fmt.Sprintf("delegated-%s-extended.txt", rir.StatsName()))
+		if err := writeFile(epath, func(f io.Writer) error {
+			return registry.ExportExtended(f, world.Registry, rir, date)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s, %s\n", tpath, epath)
+	}
+
+	// WHOIS snapshot.
+	db := world.BuildWhoisDB()
+	wpath := filepath.Join(*out, "ripe.db.inetnum")
+	if err := writeFile(wpath, func(f io.Writer) error {
+		_, err := db.WriteTo(f)
+		return err
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s (%d objects)\n", wpath, db.Len())
+
+	// as2org snapshot.
+	apath := filepath.Join(*out, "as2org.txt")
+	if err := writeFile(apath, func(f io.Writer) error {
+		snap := world.OrgSeries.NextAfter(date)
+		_, err := snap.WriteTo(f)
+		return err
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s\n", apath)
+	return nil
+}
+
+func writeFile(path string, fill func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fill(f); err != nil {
+		f.Close()
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return f.Close()
+}

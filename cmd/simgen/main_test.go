@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ipv4market/internal/bgp"
+	"ipv4market/internal/registry"
+	"ipv4market/internal/whois"
+)
+
+func TestSimgenEmitsParseableArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-out", dir, "-lirs", "12", "-day", "10"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// MRT snapshots decode and contain peers + prefixes.
+	mrts, err := filepath.Glob(filepath.Join(dir, "rib.*.mrt"))
+	if err != nil || len(mrts) == 0 {
+		t.Fatalf("no MRT files: %v", err)
+	}
+	for _, path := range mrts {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers, entries, err := bgp.ReadRIBSnapshot(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if len(peers) == 0 || len(entries) == 0 {
+			t.Errorf("%s: empty snapshot", path)
+		}
+	}
+
+	// Transfer logs parse.
+	for _, rir := range registry.AllRIRs() {
+		f, err := os.Open(filepath.Join(dir, "transfers."+rir.StatsName()+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := registry.ParseTransferLog(f); err != nil {
+			t.Errorf("%s transfers: %v", rir, err)
+		}
+		f.Close()
+
+		ef, err := os.Open(filepath.Join(dir, "delegated-"+rir.StatsName()+"-extended.txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := registry.ParseExtended(ef)
+		ef.Close()
+		if err != nil {
+			t.Errorf("%s extended: %v", rir, err)
+		}
+		if rir == registry.RIPENCC && len(recs) == 0 {
+			t.Error("RIPE extended stats empty")
+		}
+	}
+
+	// WHOIS snapshot parses.
+	wf, err := os.Open(filepath.Join(dir, "ripe.db.inetnum"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := whois.ParseSnapshot(wf)
+	wf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() == 0 {
+		t.Error("empty WHOIS snapshot")
+	}
+}
+
+func TestSimgenBadDay(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-out", t.TempDir(), "-day", "99999"}); err == nil {
+		t.Error("out-of-window day should fail")
+	}
+}

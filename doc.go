@@ -1,0 +1,18 @@
+// Package ipv4market reproduces the measurement study "When Wells Run
+// Dry: The 2020 IPv4 Address Market" (Prehn, Lichtblau, Feldmann; CoNEXT
+// 2020) as a self-contained Go system.
+//
+// The library lives under internal/: netblock (prefix arithmetic), stats,
+// asorg (CAIDA AS-to-organization), registry (the five RIRs, policies,
+// transfer logs, delegated-extended statistics), whois (RPSL inetnum
+// database), rdap (RFC 7483 server and client), bgp (MRT, collectors,
+// sanitization, origin surveys), rpki (ROAs, validation, consistency
+// rules), delegation (the paper's inference algorithms), market (pricing,
+// transfers, leasing, amortization), simulation (the calibrated synthetic
+// world) and core (the per-figure study orchestration).
+//
+// See README.md for the architecture, DESIGN.md for the system inventory
+// and per-experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. The root-level benchmarks in bench_test.go regenerate every
+// table and figure of the paper.
+package ipv4market

@@ -1,0 +1,104 @@
+// Ground-truth example: because the synthetic world knows every real
+// leasing agreement, we can score the paper's delegation-inference
+// algorithms — something the paper itself could not do. This example
+// measures precision and recall of the baseline and extended algorithms
+// on one day, and attributes the extended algorithm's false positives to
+// their causes (scrubbing services, per §4's limitations). Run with:
+//
+//	go run ./examples/groundtruth
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ipv4market/internal/delegation"
+	"ipv4market/internal/netblock"
+	"ipv4market/internal/simulation"
+)
+
+func main() {
+	cfg := simulation.DefaultConfig()
+	cfg.Seed = 11
+	cfg.NumLIRs = 24
+	cfg.RoutingDays = 240
+
+	world, err := simulation.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rs := simulation.NewRoutingSim(world)
+
+	// Score day by day over a window so transient noise (hijacks appear
+	// on single days at a couple of monitors) is represented. The window
+	// is placed over a scrubbing episode when one exists.
+	fromDay, toDay := 100, 130
+	for d := 0; d < cfg.RoutingDays; d++ {
+		if len(rs.ScrubbedPrefixesOn(d)) > 0 {
+			fromDay = d - 5
+			if fromDay < 0 {
+				fromDay = 0
+			}
+			toDay = fromDay + 30
+			if toDay > cfg.RoutingDays {
+				toDay = cfg.RoutingDays
+			}
+			break
+		}
+	}
+	inf := delegation.DefaultInference(world.OrgSeries)
+	type tally struct{ tp, fp, fpScrub, fn, inferred int }
+	var baseT, extT tally
+
+	addDay := func(t *tally, ds []delegation.Delegation, truth map[netblock.Prefix]simulation.ASN, scrubbed map[netblock.Prefix]bool) {
+		inferred := map[netblock.Prefix]bool{}
+		for _, d := range ds {
+			inferred[d.Child] = true
+		}
+		t.inferred += len(inferred)
+		for p := range inferred {
+			if _, ok := truth[p]; ok {
+				t.tp++
+			} else {
+				t.fp++
+				if scrubbed[p] {
+					t.fpScrub++
+				}
+			}
+		}
+		for p := range truth {
+			if !inferred[p] {
+				t.fn++
+			}
+		}
+	}
+
+	var truthDays int
+	for day := fromDay; day < toDay; day++ {
+		survey := rs.SurveyAt(day)
+		truth := rs.TrueDelegationsOn(day)
+		truthDays += len(truth)
+		scrubbed := map[netblock.Prefix]bool{}
+		for _, p := range rs.ScrubbedPrefixesOn(day) {
+			scrubbed[p] = true
+		}
+		addDay(&baseT, delegation.Baseline(survey), truth, scrubbed)
+		addDay(&extT, inf.FromSurvey(cfg.RoutingStart.AddDate(0, 0, day), survey), truth, scrubbed)
+	}
+
+	report := func(name string, t tally) {
+		precision := float64(t.tp) / float64(t.tp+t.fp)
+		recall := float64(t.tp) / float64(t.tp+t.fn)
+		fmt.Printf("%-9s %5d delegation-days  precision %.3f  recall %.3f  (FP: %d, of which scrubbing: %d; FN: %d)\n",
+			name, t.inferred, precision, recall, t.fp, t.fpScrub, t.fn)
+	}
+
+	fmt.Printf("days %d-%d: %d true announced lease-days, %d monitors\n\n",
+		fromDay, toDay-1, truthDays, rs.NumMonitors())
+	report("baseline", baseT)
+	report("extended", extT)
+
+	fmt.Println("\nThe extended algorithm trades a little recall (MOAS-tainted leases")
+	fmt.Println("are discarded) for far fewer false positives; the residual false")
+	fmt.Println("positives are scrubbing services — the limitation §4 concedes.")
+}

@@ -1,0 +1,71 @@
+// Leasing-market example (§4 of the paper): estimate the size of the IPv4
+// leasing market from two complementary vantage points — BGP delegations
+// (actual usage) and RDAP delegations (administrative registrations) —
+// and show why neither alone captures the market. Run with:
+//
+//	go run ./examples/leasingmarket
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"ipv4market/internal/core"
+	"ipv4market/internal/market"
+	"ipv4market/internal/simulation"
+)
+
+func main() {
+	cfg := simulation.DefaultConfig()
+	cfg.Seed = 7
+	cfg.NumLIRs = 24
+	cfg.RoutingDays = 150
+
+	study, err := core.NewStudy(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== WHOIS input space (paper §4) ==")
+	if err := study.RenderCensus(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n== BGP-delegations vs RDAP-delegations ==")
+	// This spins up a real RDAP server over the synthetic WHOIS database
+	// and walks it with the RDAP client, exactly like the paper's
+	// methodology (blocks < /24 skipped, intra-org delegations removed).
+	if err := study.RenderCoverage(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n== Delegation time series (Figure 6, weekly sampling) ==")
+	res, err := study.Figure6(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	fmt.Printf("extended:  %d -> %d delegations (%.2fx growth; paper: ~1.07x)\n",
+		first.ExtendedCount, last.ExtendedCount, res.GrowthExtended)
+	fmt.Printf("baseline:  %d -> %d delegations (noisy; the extensions remove the variance)\n",
+		first.BaselineCount, last.BaselineCount)
+	fmt.Printf("/24 share: %.1f%% -> %.1f%%;  /20 share: %.1f%% -> %.1f%%\n",
+		100*res.Share24First, 100*res.Share24Last, 100*res.Share20First, 100*res.Share20Last)
+
+	fmt.Println("\n== Advertised leasing prices (Figure 4) ==")
+	providers := market.PaperProviders()
+	final, err := market.SnapshotAt(providers, time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d providers advertise $%.2f-$%.2f per IP per month (mean $%.2f)\n",
+		final.Providers, final.Min, final.Max, final.Mean)
+	fmt.Printf("pure leasing mean $%.2f vs bundled-hosting mean $%.2f — no structural difference\n",
+		final.PureMean, final.BundledMean)
+	for _, c := range market.PriceChanges(providers) {
+		fmt.Printf("price change: %-10s %s  $%.2f -> $%.2f\n",
+			c.Provider, c.Date.Format("2006-01"), c.From, c.To)
+	}
+}

@@ -1,0 +1,3 @@
+module ipv4market
+
+go 1.22

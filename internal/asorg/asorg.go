@@ -1,0 +1,219 @@
+// Package asorg models the CAIDA AS-to-Organization dataset used by
+// extension (iv) of the paper's delegation-inference algorithm: delegations
+// between ASes belonging to the same organization are not leasing and are
+// removed.
+//
+// The dataset's text format (jsonl was introduced later; we implement the
+// classic pipe-delimited format) interleaves two record types:
+//
+//	# format: org_id|changed|org_name|country|source
+//	# format: aut|changed|aut_name|org_id|opaque_id|source
+//
+// Snapshots are dated; the paper removes same-org delegations "within the
+// next available snapshot", which Dataset.Series models.
+package asorg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ASN is an autonomous system number.
+type ASN uint32
+
+// String renders the ASN in the canonical "AS64500" form.
+func (a ASN) String() string { return fmt.Sprintf("AS%d", uint32(a)) }
+
+// Org is an organization record.
+type Org struct {
+	ID      string // e.g. "LPL-141-ARIN"
+	Name    string
+	Country string
+	Source  string // registry the record came from
+}
+
+// Snapshot is one dated AS→Org mapping.
+type Snapshot struct {
+	Date  time.Time // snapshot date (UTC midnight)
+	orgs  map[string]Org
+	asOrg map[ASN]string // ASN → org ID
+}
+
+// NewSnapshot returns an empty snapshot for the given date.
+func NewSnapshot(date time.Time) *Snapshot {
+	return &Snapshot{
+		Date:  date.UTC().Truncate(24 * time.Hour),
+		orgs:  make(map[string]Org),
+		asOrg: make(map[ASN]string),
+	}
+}
+
+// AddOrg registers an organization.
+func (s *Snapshot) AddOrg(o Org) { s.orgs[o.ID] = o }
+
+// AddAS maps an ASN to an organization ID.
+func (s *Snapshot) AddAS(asn ASN, orgID string) { s.asOrg[asn] = orgID }
+
+// OrgOf returns the organization ID for the ASN, if known.
+func (s *Snapshot) OrgOf(asn ASN) (string, bool) {
+	id, ok := s.asOrg[asn]
+	return id, ok
+}
+
+// Org returns the organization record for an org ID.
+func (s *Snapshot) Org(id string) (Org, bool) {
+	o, ok := s.orgs[id]
+	return o, ok
+}
+
+// SameOrg reports whether both ASNs map to the same known organization.
+// Unknown ASNs are never considered same-org: when in doubt the inference
+// keeps the delegation, mirroring the paper's conservative extension.
+func (s *Snapshot) SameOrg(a, b ASN) bool {
+	oa, oka := s.asOrg[a]
+	ob, okb := s.asOrg[b]
+	return oka && okb && oa == ob
+}
+
+// NumASes returns the number of mapped ASNs.
+func (s *Snapshot) NumASes() int { return len(s.asOrg) }
+
+// NumOrgs returns the number of organizations.
+func (s *Snapshot) NumOrgs() int { return len(s.orgs) }
+
+// WriteTo serializes the snapshot in the CAIDA pipe-delimited format.
+func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(c int, err error) error {
+		n += int64(c)
+		return err
+	}
+	date := s.Date.Format("20060102")
+	if err := count(fmt.Fprintf(bw, "# file generated %s\n# format: org_id|changed|org_name|country|source\n", date)); err != nil {
+		return n, err
+	}
+	ids := make([]string, 0, len(s.orgs))
+	for id := range s.orgs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		o := s.orgs[id]
+		if err := count(fmt.Fprintf(bw, "%s|%s|%s|%s|%s\n", o.ID, date, o.Name, o.Country, o.Source)); err != nil {
+			return n, err
+		}
+	}
+	if err := count(fmt.Fprintf(bw, "# format: aut|changed|aut_name|org_id|opaque_id|source\n")); err != nil {
+		return n, err
+	}
+	asns := make([]ASN, 0, len(s.asOrg))
+	for a := range s.asOrg {
+		asns = append(asns, a)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	for _, a := range asns {
+		if err := count(fmt.Fprintf(bw, "%d|%s|%s|%s||%s\n", uint32(a), date, a, s.asOrg[a], "ARIN")); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Parse reads a snapshot in the CAIDA pipe-delimited format. The snapshot
+// date must be supplied by the caller (CAIDA encodes it in the file name).
+func Parse(r io.Reader, date time.Time) (*Snapshot, error) {
+	s := NewSnapshot(date)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	mode := "" // "org" or "as"
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			switch {
+			case strings.Contains(line, "org_id|changed|org_name"):
+				mode = "org"
+			case strings.Contains(line, "aut|changed|aut_name"):
+				mode = "as"
+			}
+			continue
+		}
+		fields := strings.Split(line, "|")
+		switch mode {
+		case "org":
+			if len(fields) < 5 {
+				return nil, fmt.Errorf("asorg: line %d: org record has %d fields", lineNo, len(fields))
+			}
+			s.AddOrg(Org{ID: fields[0], Name: fields[2], Country: fields[3], Source: fields[4]})
+		case "as":
+			if len(fields) < 6 {
+				return nil, fmt.Errorf("asorg: line %d: as record has %d fields", lineNo, len(fields))
+			}
+			v, err := strconv.ParseUint(fields[0], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("asorg: line %d: bad ASN %q: %w", lineNo, fields[0], err)
+			}
+			s.AddAS(ASN(v), fields[3])
+		default:
+			return nil, fmt.Errorf("asorg: line %d: data before format header", lineNo)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("asorg: read: %w", err)
+	}
+	return s, nil
+}
+
+// Series is a chronologically sorted sequence of snapshots. The paper's
+// extension (iv) consults "the next available snapshot" after a delegation
+// observation.
+type Series struct {
+	snaps []*Snapshot // sorted by date ascending
+}
+
+// NewSeries builds a series; snapshots are sorted by date.
+func NewSeries(snaps ...*Snapshot) *Series {
+	s := &Series{snaps: append([]*Snapshot(nil), snaps...)}
+	sort.Slice(s.snaps, func(i, j int) bool { return s.snaps[i].Date.Before(s.snaps[j].Date) })
+	return s
+}
+
+// Add inserts a snapshot, keeping the series sorted.
+func (s *Series) Add(snap *Snapshot) {
+	s.snaps = append(s.snaps, snap)
+	sort.Slice(s.snaps, func(i, j int) bool { return s.snaps[i].Date.Before(s.snaps[j].Date) })
+}
+
+// Len returns the number of snapshots.
+func (s *Series) Len() int { return len(s.snaps) }
+
+// NextAfter returns the first snapshot dated on or after t; if none exists
+// it returns the latest snapshot (the paper's pipeline always has a usable
+// mapping). It returns nil only for an empty series.
+func (s *Series) NextAfter(t time.Time) *Snapshot {
+	if len(s.snaps) == 0 {
+		return nil
+	}
+	i := sort.Search(len(s.snaps), func(i int) bool { return !s.snaps[i].Date.Before(t) })
+	if i == len(s.snaps) {
+		return s.snaps[len(s.snaps)-1]
+	}
+	return s.snaps[i]
+}
+
+// SameOrgAt reports whether a and b belong to the same organization in the
+// next snapshot on or after t.
+func (s *Series) SameOrgAt(t time.Time, a, b ASN) bool {
+	snap := s.NextAfter(t)
+	return snap != nil && snap.SameOrg(a, b)
+}

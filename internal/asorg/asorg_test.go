@@ -1,0 +1,167 @@
+package asorg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func date(y, m, d int) time.Time {
+	return time.Date(y, time.Month(m), d, 0, 0, 0, 0, time.UTC)
+}
+
+func TestSnapshotBasics(t *testing.T) {
+	s := NewSnapshot(date(2020, 1, 1))
+	s.AddOrg(Org{ID: "ORG-A", Name: "Acme", Country: "DE", Source: "RIPE"})
+	s.AddAS(64500, "ORG-A")
+	s.AddAS(64501, "ORG-A")
+	s.AddAS(64502, "ORG-B")
+
+	if id, ok := s.OrgOf(64500); !ok || id != "ORG-A" {
+		t.Errorf("OrgOf = %q, %v", id, ok)
+	}
+	if _, ok := s.OrgOf(1); ok {
+		t.Error("unknown ASN should miss")
+	}
+	if o, ok := s.Org("ORG-A"); !ok || o.Name != "Acme" {
+		t.Errorf("Org = %+v, %v", o, ok)
+	}
+	if !s.SameOrg(64500, 64501) {
+		t.Error("64500 and 64501 share ORG-A")
+	}
+	if s.SameOrg(64500, 64502) {
+		t.Error("different orgs")
+	}
+	if s.SameOrg(64500, 99) || s.SameOrg(99, 98) {
+		t.Error("unknown ASNs must never be same-org")
+	}
+	if s.NumASes() != 3 || s.NumOrgs() != 1 {
+		t.Errorf("counts = %d ASes, %d orgs", s.NumASes(), s.NumOrgs())
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	s := NewSnapshot(date(2020, 4, 1))
+	s.AddOrg(Org{ID: "ORG-A", Name: "Acme Corp", Country: "DE", Source: "RIPE"})
+	s.AddOrg(Org{ID: "ORG-B", Name: "Bolt LLC", Country: "US", Source: "ARIN"})
+	s.AddAS(64500, "ORG-A")
+	s.AddAS(64501, "ORG-B")
+	s.AddAS(65000, "ORG-B")
+
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf, date(2020, 4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumASes() != 3 || got.NumOrgs() != 2 {
+		t.Fatalf("round trip counts: %d ASes, %d orgs", got.NumASes(), got.NumOrgs())
+	}
+	if !got.SameOrg(64501, 65000) || got.SameOrg(64500, 64501) {
+		t.Error("round trip lost org structure")
+	}
+	if o, _ := got.Org("ORG-A"); o.Name != "Acme Corp" || o.Country != "DE" {
+		t.Errorf("org record lost: %+v", o)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"data before header", "123|x|y|z||s\n"},
+		{"short org record", "# format: org_id|changed|org_name|country|source\nORG|x\n"},
+		{"short as record", "# format: aut|changed|aut_name|org_id|opaque_id|source\n1|x\n"},
+		{"bad asn", "# format: aut|changed|aut_name|org_id|opaque_id|source\nnope|d|n|O||s\n"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c.in), date(2020, 1, 1)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestParseSkipsBlanksAndComments(t *testing.T) {
+	in := `# file generated 20200101
+# format: org_id|changed|org_name|country|source
+
+ORG-A|20200101|Acme|DE|RIPE
+# format: aut|changed|aut_name|org_id|opaque_id|source
+
+64500|20200101|AS64500|ORG-A||ARIN
+`
+	s, err := Parse(strings.NewReader(in), date(2020, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumASes() != 1 || s.NumOrgs() != 1 {
+		t.Errorf("counts = %d, %d", s.NumASes(), s.NumOrgs())
+	}
+}
+
+func TestSeriesNextAfter(t *testing.T) {
+	s1 := NewSnapshot(date(2020, 1, 1))
+	s2 := NewSnapshot(date(2020, 4, 1))
+	s3 := NewSnapshot(date(2020, 7, 1))
+	ser := NewSeries(s3, s1, s2) // deliberately unsorted
+
+	if ser.Len() != 3 {
+		t.Fatalf("Len = %d", ser.Len())
+	}
+	if got := ser.NextAfter(date(2020, 2, 15)); got != s2 {
+		t.Errorf("NextAfter(feb) = %v", got.Date)
+	}
+	if got := ser.NextAfter(date(2020, 4, 1)); got != s2 {
+		t.Errorf("NextAfter(apr 1) = %v", got.Date)
+	}
+	if got := ser.NextAfter(date(2021, 1, 1)); got != s3 {
+		t.Errorf("NextAfter(past end) should fall back to latest, got %v", got.Date)
+	}
+	if got := ser.NextAfter(date(2019, 1, 1)); got != s1 {
+		t.Errorf("NextAfter(before start) = %v", got.Date)
+	}
+
+	empty := NewSeries()
+	if empty.NextAfter(date(2020, 1, 1)) != nil {
+		t.Error("empty series should return nil")
+	}
+	if empty.SameOrgAt(date(2020, 1, 1), 1, 2) {
+		t.Error("empty series SameOrgAt must be false")
+	}
+}
+
+func TestSeriesSameOrgAt(t *testing.T) {
+	s1 := NewSnapshot(date(2020, 1, 1))
+	s1.AddAS(64500, "ORG-A")
+	s1.AddAS(64501, "ORG-A")
+	s2 := NewSnapshot(date(2020, 4, 1))
+	s2.AddAS(64500, "ORG-A")
+	s2.AddAS(64501, "ORG-B") // org split between snapshots
+	ser := NewSeries(s1, s2)
+
+	if !ser.SameOrgAt(date(2019, 12, 1), 64500, 64501) {
+		t.Error("before split, next snapshot is s1 → same org")
+	}
+	if ser.SameOrgAt(date(2020, 2, 1), 64500, 64501) {
+		t.Error("after split, next snapshot is s2 → different org")
+	}
+}
+
+func TestSeriesAddKeepsSorted(t *testing.T) {
+	ser := NewSeries()
+	ser.Add(NewSnapshot(date(2020, 7, 1)))
+	ser.Add(NewSnapshot(date(2020, 1, 1)))
+	if got := ser.NextAfter(date(2019, 1, 1)); !got.Date.Equal(date(2020, 1, 1)) {
+		t.Errorf("series not sorted after Add: %v", got.Date)
+	}
+}
+
+func TestASNString(t *testing.T) {
+	if ASN(64500).String() != "AS64500" {
+		t.Errorf("ASN String = %s", ASN(64500).String())
+	}
+}

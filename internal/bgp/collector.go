@@ -1,0 +1,123 @@
+package bgp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ipv4market/internal/netblock"
+)
+
+// Collector models one route collector (à la RIPE RIS rrc00, Route Views
+// route-views2, or an Isolario feed): a set of peering monitors, each
+// holding its own RIB.
+type Collector struct {
+	Name  string
+	ID    netblock.Addr // collector BGP ID
+	peers []PeerEntry
+	ribs  []*RIB
+}
+
+// NewCollector returns a collector with no peers.
+func NewCollector(name string, id netblock.Addr) *Collector {
+	return &Collector{Name: name, ID: id}
+}
+
+// AddPeer registers a monitor and returns its index.
+func (c *Collector) AddPeer(p PeerEntry) int {
+	c.peers = append(c.peers, p)
+	c.ribs = append(c.ribs, NewRIB())
+	return len(c.peers) - 1
+}
+
+// NumPeers returns the number of monitors.
+func (c *Collector) NumPeers() int { return len(c.peers) }
+
+// Peer returns the peer entry at index i.
+func (c *Collector) Peer(i int) PeerEntry { return c.peers[i] }
+
+// PeerRIB returns monitor i's RIB (mutable: the simulation feeds routes
+// directly into it).
+func (c *Collector) PeerRIB(i int) *RIB { return c.ribs[i] }
+
+// MonitorID returns the globally unique monitor identifier used in origin
+// surveys.
+func (c *Collector) MonitorID(i int) string {
+	return fmt.Sprintf("%s:%s", c.Name, c.peers[i].IP)
+}
+
+// WriteSnapshot emits the collector's current state as a TABLE_DUMP_V2
+// MRT snapshot, grouping per-peer routes by prefix as real collectors do.
+func (c *Collector) WriteSnapshot(w io.Writer, ts time.Time) error {
+	// Group routes by prefix across peers.
+	byPrefix := make(map[netblock.Prefix][]PeerRoute)
+	for i, rib := range c.ribs {
+		for _, r := range rib.Routes() {
+			byPrefix[r.Prefix] = append(byPrefix[r.Prefix], PeerRoute{
+				PeerIndex:  uint16(i),
+				Originated: ts,
+				Path:       r.Path,
+				Origin:     r.Origin,
+				NextHop:    r.NextHop,
+			})
+		}
+	}
+	prefixes := make([]netblock.Prefix, 0, len(byPrefix))
+	for p := range byPrefix {
+		prefixes = append(prefixes, p)
+	}
+	netblock.SortPrefixes(prefixes)
+	entries := make([]RIBEntry, 0, len(prefixes))
+	for _, p := range prefixes {
+		entries = append(entries, RIBEntry{Prefix: p, Routes: byPrefix[p]})
+	}
+	return WriteRIBSnapshot(w, ts, c.ID, c.Name, c.peers, entries)
+}
+
+// AddViewsTo registers every monitor's sanitized routes with the survey.
+// It returns the aggregate sanitize report.
+func (c *Collector) AddViewsTo(s *OriginSurvey) SanitizeReport {
+	var total SanitizeReport
+	for i, rib := range c.ribs {
+		clean, rep := Sanitize(rib.Routes())
+		total.Input += rep.Input
+		total.Kept += rep.Kept
+		total.SpecialSpace += rep.SpecialSpace
+		total.ReservedASN += rep.ReservedASN
+		total.PathLoop += rep.PathLoop
+		s.AddView(c.MonitorID(i), clean)
+	}
+	return total
+}
+
+// SurveyFromSnapshot rebuilds an origin survey from a decoded MRT snapshot
+// (the offline path: analyze collector files rather than live state).
+// Routes are sanitized with the same rules as the live path.
+func SurveyFromSnapshot(collectorName string, peers []PeerEntry, entries []RIBEntry, s *OriginSurvey) SanitizeReport {
+	perPeer := make(map[uint16][]Route)
+	for _, e := range entries {
+		for _, pr := range e.Routes {
+			perPeer[pr.PeerIndex] = append(perPeer[pr.PeerIndex], Route{
+				Prefix:  e.Prefix,
+				Path:    pr.Path,
+				Origin:  pr.Origin,
+				NextHop: pr.NextHop,
+			})
+		}
+	}
+	var total SanitizeReport
+	for idx, routes := range perPeer {
+		clean, rep := Sanitize(routes)
+		total.Input += rep.Input
+		total.Kept += rep.Kept
+		total.SpecialSpace += rep.SpecialSpace
+		total.ReservedASN += rep.ReservedASN
+		total.PathLoop += rep.PathLoop
+		var ip netblock.Addr
+		if int(idx) < len(peers) {
+			ip = peers[idx].IP
+		}
+		s.AddView(fmt.Sprintf("%s:%s", collectorName, ip), clean)
+	}
+	return total
+}

@@ -1,0 +1,139 @@
+package bgp
+
+import (
+	"sort"
+
+	"ipv4market/internal/netblock"
+)
+
+// OriginSurvey aggregates prefix-origin observations across the monitors
+// of one or more collectors. It is the input to the delegation-inference
+// pipeline: for each prefix it records which origin ASes announce it and
+// how many monitors see each (prefix, origin) pair — step (i) and the raw
+// material for steps (ii) and (iii) of the paper's algorithm.
+type OriginSurvey struct {
+	monitors map[string]bool // monitor IDs seen
+	// pairs[prefix][origin] = set of monitor IDs seeing that pair.
+	pairs map[netblock.Prefix]map[ASN]map[string]bool
+	// asSet[prefix] = true if any monitor saw the prefix originated by an
+	// AS_SET (such prefixes are discarded by step (iii)).
+	asSet map[netblock.Prefix]bool
+}
+
+// NewOriginSurvey returns an empty survey.
+func NewOriginSurvey() *OriginSurvey {
+	return &OriginSurvey{
+		monitors: make(map[string]bool),
+		pairs:    make(map[netblock.Prefix]map[ASN]map[string]bool),
+		asSet:    make(map[netblock.Prefix]bool),
+	}
+}
+
+// AddView records one monitor's sanitized routes. The monitor ID must be
+// globally unique (e.g. "rrc00:198.51.100.7").
+func (s *OriginSurvey) AddView(monitorID string, routes []Route) {
+	s.monitors[monitorID] = true
+	for _, r := range routes {
+		if r.Path.EndsInSet() {
+			s.asSet[r.Prefix] = true
+			continue
+		}
+		origin, ok := r.OriginAS()
+		if !ok {
+			continue
+		}
+		byOrigin := s.pairs[r.Prefix]
+		if byOrigin == nil {
+			byOrigin = make(map[ASN]map[string]bool)
+			s.pairs[r.Prefix] = byOrigin
+		}
+		mons := byOrigin[origin]
+		if mons == nil {
+			mons = make(map[string]bool)
+			byOrigin[origin] = mons
+		}
+		mons[monitorID] = true
+	}
+}
+
+// NumMonitors returns the number of monitors contributing to the survey.
+func (s *OriginSurvey) NumMonitors() int { return len(s.monitors) }
+
+// PrefixOrigin is one observed (prefix, origin) pair with its visibility.
+type PrefixOrigin struct {
+	Prefix   netblock.Prefix
+	Origin   ASN
+	Monitors int  // monitors seeing this pair
+	MOAS     bool // prefix also originated by other ASes
+	ASSet    bool // prefix originated via AS_SET at some monitor
+}
+
+// Visibility returns the fraction of all monitors seeing the pair.
+func (po PrefixOrigin) Visibility(totalMonitors int) float64 {
+	if totalMonitors == 0 {
+		return 0
+	}
+	return float64(po.Monitors) / float64(totalMonitors)
+}
+
+// Pairs returns every (prefix, origin) pair with its monitor count and
+// MOAS/AS_SET flags, sorted by prefix then origin.
+func (s *OriginSurvey) Pairs() []PrefixOrigin {
+	out := make([]PrefixOrigin, 0, len(s.pairs))
+	for p, byOrigin := range s.pairs {
+		moas := len(byOrigin) > 1
+		for origin, mons := range byOrigin {
+			out = append(out, PrefixOrigin{
+				Prefix:   p,
+				Origin:   origin,
+				Monitors: len(mons),
+				MOAS:     moas,
+				ASSet:    s.asSet[p],
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].Prefix.Compare(out[j].Prefix); c != 0 {
+			return c < 0
+		}
+		return out[i].Origin < out[j].Origin
+	})
+	return out
+}
+
+// CleanPairs applies steps (ii) and (iii) of the inference algorithm:
+// it keeps pairs seen by at least minVisibility of all monitors (the paper
+// uses 0.5) and drops prefixes originated by AS_SETs or multiple ASes.
+// The result maps each surviving prefix to its unique origin.
+func (s *OriginSurvey) CleanPairs(minVisibility float64) map[netblock.Prefix]ASN {
+	total := s.NumMonitors()
+	out := make(map[netblock.Prefix]ASN)
+	for p, byOrigin := range s.pairs {
+		if s.asSet[p] || len(byOrigin) != 1 {
+			continue
+		}
+		for origin, mons := range byOrigin {
+			if total > 0 && float64(len(mons))/float64(total) >= minVisibility {
+				out[p] = origin
+			}
+		}
+	}
+	return out
+}
+
+// RawPairs returns the step-(i) view with no filtering: each prefix maps
+// to every origin that announced it anywhere. Prefixes announced via
+// AS_SET are excluded (they carry no usable origin). This is the input
+// the baseline Krenc-Feldmann algorithm consumes.
+func (s *OriginSurvey) RawPairs() map[netblock.Prefix][]ASN {
+	out := make(map[netblock.Prefix][]ASN, len(s.pairs))
+	for p, byOrigin := range s.pairs {
+		origins := make([]ASN, 0, len(byOrigin))
+		for origin := range byOrigin {
+			origins = append(origins, origin)
+		}
+		sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+		out[p] = origins
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package bgp
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ipv4market/internal/netblock"
+)
+
+// Property tests: MRT encode→decode is the identity on structured data,
+// for randomized snapshots and update streams.
+
+// genRoute draws a random route with a well-formed path.
+func genRoute(rng *rand.Rand) Route {
+	p := netblock.NewPrefix(netblock.Addr(rng.Uint32()), rng.Intn(25)+8)
+	hops := 1 + rng.Intn(6)
+	asns := make([]ASN, hops)
+	for i := range asns {
+		asns[i] = ASN(1 + rng.Intn(400000))
+	}
+	path := NewPath(asns...)
+	if rng.Intn(5) == 0 {
+		path = path.AppendSet(ASN(1+rng.Intn(400000)), ASN(1+rng.Intn(400000)))
+	}
+	return Route{
+		Prefix:  p,
+		Path:    path,
+		Origin:  Origin(rng.Intn(3)),
+		NextHop: netblock.Addr(rng.Uint32()),
+	}
+}
+
+func TestQuickSnapshotRoundTrip(t *testing.T) {
+	f := func(seed int64, nPeers, nPrefixes uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		peers := make([]PeerEntry, int(nPeers%8)+1)
+		for i := range peers {
+			peers[i] = PeerEntry{
+				BGPID: netblock.Addr(rng.Uint32()),
+				IP:    netblock.Addr(rng.Uint32()),
+				AS:    ASN(rng.Uint32()),
+			}
+		}
+		var entries []RIBEntry
+		seen := map[netblock.Prefix]bool{}
+		for i := 0; i < int(nPrefixes%16)+1; i++ {
+			r := genRoute(rng)
+			if seen[r.Prefix] {
+				continue
+			}
+			seen[r.Prefix] = true
+			e := RIBEntry{Prefix: r.Prefix}
+			for j := 0; j <= rng.Intn(len(peers)); j++ {
+				rr := genRoute(rng)
+				e.Routes = append(e.Routes, PeerRoute{
+					PeerIndex:  uint16(j),
+					Originated: time.Unix(rng.Int63n(1<<31), 0).UTC(),
+					Path:       rr.Path,
+					Origin:     rr.Origin,
+					NextHop:    rr.NextHop,
+				})
+			}
+			entries = append(entries, e)
+		}
+		var buf bytes.Buffer
+		if err := WriteRIBSnapshot(&buf, time.Unix(1590000000, 0), 1, "q", peers, entries); err != nil {
+			return false
+		}
+		gotPeers, gotEntries, err := ReadRIBSnapshot(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return false
+		}
+		if !reflect.DeepEqual(gotPeers, peers) {
+			return false
+		}
+		if len(gotEntries) != len(entries) {
+			return false
+		}
+		for i := range entries {
+			if gotEntries[i].Prefix != entries[i].Prefix {
+				return false
+			}
+			for j := range entries[i].Routes {
+				w, g := entries[i].Routes[j], gotEntries[i].Routes[j]
+				if g.PeerIndex != w.PeerIndex || g.Path.String() != w.Path.String() ||
+					g.Origin != w.Origin || g.NextHop != w.NextHop ||
+					!g.Originated.Equal(w.Originated) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUpdateRoundTrip(t *testing.T) {
+	f := func(seed int64, nUpd uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var updates []UpdateRecord
+		for i := 0; i < int(nUpd%8)+1; i++ {
+			u := UpdateRecord{
+				Timestamp: time.Unix(rng.Int63n(1<<31), 0).UTC(),
+				PeerAS:    ASN(rng.Uint32()),
+				PeerIP:    netblock.Addr(rng.Uint32()),
+			}
+			for j := 0; j < rng.Intn(4); j++ {
+				u.Withdrawn = append(u.Withdrawn, genRoute(rng).Prefix)
+			}
+			if rng.Intn(3) > 0 {
+				r := genRoute(rng)
+				u.Announced = append(u.Announced, r.Prefix)
+				u.Path, u.Origin, u.NextHop = r.Path, r.Origin, r.NextHop
+			}
+			if len(u.Withdrawn) == 0 && len(u.Announced) == 0 {
+				u.Withdrawn = append(u.Withdrawn, genRoute(rng).Prefix)
+			}
+			updates = append(updates, u)
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for i := range updates {
+			if err := w.WriteUpdate(updates[i], 64496, 0); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r := NewReader(bytes.NewReader(buf.Bytes()))
+		for i := range updates {
+			rec, err := r.Next()
+			if err != nil || rec.Update == nil {
+				return false
+			}
+			g, want := rec.Update, updates[i]
+			if g.PeerAS != want.PeerAS || g.PeerIP != want.PeerIP || !g.Timestamp.Equal(want.Timestamp) {
+				return false
+			}
+			if len(g.Withdrawn) != len(want.Withdrawn) || len(g.Announced) != len(want.Announced) {
+				return false
+			}
+			for j := range want.Withdrawn {
+				if g.Withdrawn[j] != want.Withdrawn[j] {
+					return false
+				}
+			}
+			if len(want.Announced) > 0 && g.Path.String() != want.Path.String() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,209 @@
+package bgp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ipv4market/internal/netblock"
+)
+
+// The paper's pipeline consumes one RIB snapshot per day plus the update
+// files recorded since ("we use the RIB snapshot at 0:00 UTC and all
+// update files for that day"). This file implements that path: applying
+// BGP4MP update records to per-peer RIBs and evolving a decoded snapshot
+// forward.
+
+// ApplyUpdate applies one update record to a RIB: withdrawals first, then
+// announcements (the order within a BGP UPDATE message).
+func ApplyUpdate(rib *RIB, u *UpdateRecord) {
+	for _, p := range u.Withdrawn {
+		rib.Withdraw(p)
+	}
+	for _, p := range u.Announced {
+		rib.Insert(Route{Prefix: p, Path: u.Path, Origin: u.Origin, NextHop: u.NextHop})
+	}
+}
+
+// PeerKey identifies a monitor by address and AS (the fields BGP4MP
+// records carry).
+type PeerKey struct {
+	IP netblock.Addr
+	AS ASN
+}
+
+// SnapshotState is a set of per-peer RIBs reconstructed from a decoded
+// TABLE_DUMP_V2 snapshot, ready to be evolved with update records.
+type SnapshotState struct {
+	Peers []PeerEntry
+	ribs  map[PeerKey]*RIB
+}
+
+// NewSnapshotState expands a decoded snapshot into per-peer RIBs.
+func NewSnapshotState(peers []PeerEntry, entries []RIBEntry) *SnapshotState {
+	st := &SnapshotState{
+		Peers: append([]PeerEntry(nil), peers...),
+		ribs:  make(map[PeerKey]*RIB, len(peers)),
+	}
+	for _, p := range peers {
+		st.ribs[PeerKey{p.IP, p.AS}] = NewRIB()
+	}
+	for _, e := range entries {
+		for _, pr := range e.Routes {
+			if int(pr.PeerIndex) >= len(peers) {
+				continue // tolerate truncated peer tables
+			}
+			p := peers[pr.PeerIndex]
+			st.ribs[PeerKey{p.IP, p.AS}].Insert(Route{
+				Prefix:  e.Prefix,
+				Path:    pr.Path,
+				Origin:  pr.Origin,
+				NextHop: pr.NextHop,
+			})
+		}
+	}
+	return st
+}
+
+// RIBOf returns the RIB for a peer, creating it for unknown peers (update
+// streams may include peers absent from the snapshot's index table).
+func (st *SnapshotState) RIBOf(key PeerKey) *RIB {
+	rib := st.ribs[key]
+	if rib == nil {
+		rib = NewRIB()
+		st.ribs[key] = rib
+		st.Peers = append(st.Peers, PeerEntry{IP: key.IP, AS: key.AS, BGPID: key.IP})
+	}
+	return rib
+}
+
+// Apply routes one update record to the matching peer's RIB.
+func (st *SnapshotState) Apply(u *UpdateRecord) {
+	ApplyUpdate(st.RIBOf(PeerKey{u.PeerIP, u.PeerAS}), u)
+}
+
+// ApplyStream decodes an MRT update stream and applies every update.
+// It returns the number of updates applied.
+func (st *SnapshotState) ApplyStream(r io.Reader) (int, error) {
+	mr := NewReader(r)
+	n := 0
+	for {
+		rec, err := mr.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if rec.Update == nil {
+			continue
+		}
+		st.Apply(rec.Update)
+		n++
+	}
+}
+
+// AddViewsTo registers every peer's sanitized routes with the survey
+// under monitor IDs derived from the given collector name. It returns
+// the aggregate sanitize report.
+func (st *SnapshotState) AddViewsTo(collectorName string, s *OriginSurvey) SanitizeReport {
+	var total SanitizeReport
+	// Stable iteration order for reproducibility.
+	keys := make([]PeerKey, 0, len(st.ribs))
+	for k := range st.ribs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].IP != keys[j].IP {
+			return keys[i].IP < keys[j].IP
+		}
+		return keys[i].AS < keys[j].AS
+	})
+	for _, k := range keys {
+		clean, rep := Sanitize(st.ribs[k].Routes())
+		total.Input += rep.Input
+		total.Kept += rep.Kept
+		total.SpecialSpace += rep.SpecialSpace
+		total.ReservedASN += rep.ReservedASN
+		total.PathLoop += rep.PathLoop
+		s.AddView(fmt.Sprintf("%s:%s", collectorName, k.IP), clean)
+	}
+	return total
+}
+
+// Entries re-serializes the state as RIB entries grouped by prefix, for
+// writing an evolved snapshot back out.
+func (st *SnapshotState) Entries() []RIBEntry {
+	byPrefix := make(map[netblock.Prefix][]PeerRoute)
+	for i, peer := range st.Peers {
+		rib := st.ribs[PeerKey{peer.IP, peer.AS}]
+		if rib == nil {
+			continue
+		}
+		for _, r := range rib.Routes() {
+			byPrefix[r.Prefix] = append(byPrefix[r.Prefix], PeerRoute{
+				PeerIndex: uint16(i),
+				Path:      r.Path,
+				Origin:    r.Origin,
+				NextHop:   r.NextHop,
+			})
+		}
+	}
+	prefixes := make([]netblock.Prefix, 0, len(byPrefix))
+	for p := range byPrefix {
+		prefixes = append(prefixes, p)
+	}
+	netblock.SortPrefixes(prefixes)
+	out := make([]RIBEntry, 0, len(prefixes))
+	for _, p := range prefixes {
+		out = append(out, RIBEntry{Prefix: p, Routes: byPrefix[p]})
+	}
+	return out
+}
+
+// DiffUpdates computes the update records that transform RIB `from` into
+// RIB `to` for the given peer: withdrawals for routes that vanished and
+// announcements (grouped by identical path attributes) for new or changed
+// routes. Collectors' update files are exactly such diffs plus churn.
+func DiffUpdates(from, to *RIB, peer PeerKey) []UpdateRecord {
+	var withdrawn []netblock.Prefix
+	for _, r := range from.Routes() {
+		if _, ok := to.Get(r.Prefix); !ok {
+			withdrawn = append(withdrawn, r.Prefix)
+		}
+	}
+	// Group announcements by attribute signature so one update carries
+	// many NLRI, as real speakers do.
+	type attrKey struct {
+		path    string
+		origin  Origin
+		nextHop netblock.Addr
+	}
+	groups := make(map[attrKey]*UpdateRecord)
+	var order []attrKey
+	for _, r := range to.Routes() {
+		old, ok := from.Get(r.Prefix)
+		if ok && old.Path.String() == r.Path.String() && old.Origin == r.Origin && old.NextHop == r.NextHop {
+			continue // unchanged
+		}
+		k := attrKey{r.Path.String(), r.Origin, r.NextHop}
+		u := groups[k]
+		if u == nil {
+			u = &UpdateRecord{
+				PeerIP: peer.IP, PeerAS: peer.AS,
+				Path: r.Path, Origin: r.Origin, NextHop: r.NextHop,
+			}
+			groups[k] = u
+			order = append(order, k)
+		}
+		u.Announced = append(u.Announced, r.Prefix)
+	}
+	var out []UpdateRecord
+	if len(withdrawn) > 0 {
+		out = append(out, UpdateRecord{PeerIP: peer.IP, PeerAS: peer.AS, Withdrawn: withdrawn})
+	}
+	for _, k := range order {
+		out = append(out, *groups[k])
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package bgp
+
+import (
+	"bytes"
+	"testing"
+
+	"ipv4market/internal/netblock"
+)
+
+func TestApplyUpdate(t *testing.T) {
+	rib := NewRIB()
+	rib.Insert(Route{Prefix: pfx("8.8.8.0/24"), Path: NewPath(1, 2)})
+	rib.Insert(Route{Prefix: pfx("9.9.9.0/24"), Path: NewPath(1, 3)})
+
+	u := &UpdateRecord{
+		Withdrawn: []netblock.Prefix{pfx("9.9.9.0/24")},
+		Announced: []netblock.Prefix{pfx("8.8.8.0/24"), pfx("7.7.7.0/24")},
+		Path:      NewPath(1, 9),
+		Origin:    OriginEGP,
+		NextHop:   5,
+	}
+	ApplyUpdate(rib, u)
+	if rib.Len() != 2 {
+		t.Fatalf("Len = %d", rib.Len())
+	}
+	if _, ok := rib.Get(pfx("9.9.9.0/24")); ok {
+		t.Error("withdrawn route still present")
+	}
+	got, _ := rib.Get(pfx("8.8.8.0/24"))
+	if got.Path.String() != "1 9" || got.Origin != OriginEGP || got.NextHop != 5 {
+		t.Errorf("replaced route = %+v", got)
+	}
+	if _, ok := rib.Get(pfx("7.7.7.0/24")); !ok {
+		t.Error("announced route missing")
+	}
+}
+
+func TestDiffUpdates(t *testing.T) {
+	from := NewRIB()
+	from.Insert(Route{Prefix: pfx("8.8.8.0/24"), Path: NewPath(1, 2)})
+	from.Insert(Route{Prefix: pfx("9.9.9.0/24"), Path: NewPath(1, 3)}) // will vanish
+	from.Insert(Route{Prefix: pfx("6.6.6.0/24"), Path: NewPath(1, 4)}) // unchanged
+
+	to := NewRIB()
+	to.Insert(Route{Prefix: pfx("8.8.8.0/24"), Path: NewPath(1, 9)})  // changed path
+	to.Insert(Route{Prefix: pfx("6.6.6.0/24"), Path: NewPath(1, 4)})  // unchanged
+	to.Insert(Route{Prefix: pfx("7.7.7.0/24"), Path: NewPath(1, 9)})  // new, same attrs as 8.8.8
+	to.Insert(Route{Prefix: pfx("5.5.5.0/24"), Path: NewPath(1, 11)}) // new, distinct attrs
+
+	key := PeerKey{IP: netblock.MustParseAddr("198.51.100.1"), AS: 21000}
+	updates := DiffUpdates(from, to, key)
+
+	// Expect: one withdraw record, one announce record for path "1 9"
+	// with two NLRI, one announce record for path "1 11".
+	if len(updates) != 3 {
+		t.Fatalf("updates = %+v", updates)
+	}
+	if len(updates[0].Withdrawn) != 1 || updates[0].Withdrawn[0] != pfx("9.9.9.0/24") {
+		t.Errorf("withdraw record = %+v", updates[0])
+	}
+	var twoNLRI, oneNLRI *UpdateRecord
+	for i := range updates[1:] {
+		u := &updates[1+i]
+		switch len(u.Announced) {
+		case 2:
+			twoNLRI = u
+		case 1:
+			oneNLRI = u
+		}
+	}
+	if twoNLRI == nil || twoNLRI.Path.String() != "1 9" {
+		t.Errorf("grouped announcement wrong: %+v", twoNLRI)
+	}
+	if oneNLRI == nil || oneNLRI.Path.String() != "1 11" {
+		t.Errorf("singleton announcement wrong: %+v", oneNLRI)
+	}
+
+	// Applying the diff to `from` must reproduce `to`.
+	for i := range updates {
+		ApplyUpdate(from, &updates[i])
+	}
+	if from.Len() != to.Len() {
+		t.Fatalf("after apply Len = %d, want %d", from.Len(), to.Len())
+	}
+	for _, r := range to.Routes() {
+		got, ok := from.Get(r.Prefix)
+		if !ok || got.Path.String() != r.Path.String() {
+			t.Errorf("route %v diverges after apply", r.Prefix)
+		}
+	}
+}
+
+func TestSnapshotStateEvolution(t *testing.T) {
+	peers := samplePeers()
+	entries := []RIBEntry{
+		{
+			Prefix: pfx("8.8.8.0/24"),
+			Routes: []PeerRoute{
+				{PeerIndex: 0, Path: NewPath(6447, 15169), Origin: OriginIGP},
+				{PeerIndex: 1, Path: NewPath(3320, 15169), Origin: OriginIGP},
+			},
+		},
+	}
+	st := NewSnapshotState(peers, entries)
+	k0 := PeerKey{peers[0].IP, peers[0].AS}
+	if st.RIBOf(k0).Len() != 1 {
+		t.Fatal("peer 0 RIB not populated")
+	}
+
+	// Encode an update stream: peer 0 withdraws 8.8.8.0/24 and announces
+	// 1.2.3.0/24; an unknown peer appears.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, u := range []UpdateRecord{
+		{
+			Timestamp: ts(), PeerAS: peers[0].AS, PeerIP: peers[0].IP,
+			Withdrawn: []netblock.Prefix{pfx("8.8.8.0/24")},
+			Announced: []netblock.Prefix{pfx("1.2.3.0/24")},
+			Path:      NewPath(6447, 13335), Origin: OriginIGP,
+		},
+		{
+			Timestamp: ts(), PeerAS: 2914, PeerIP: netblock.MustParseAddr("198.51.100.9"),
+			Announced: []netblock.Prefix{pfx("4.4.4.0/24")},
+			Path:      NewPath(2914, 4444), Origin: OriginIGP,
+		},
+	} {
+		if err := w.WriteUpdate(u, 64496, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+
+	n, err := st.ApplyStream(bytes.NewReader(buf.Bytes()))
+	if err != nil || n != 2 {
+		t.Fatalf("ApplyStream = %d, %v", n, err)
+	}
+	if _, ok := st.RIBOf(k0).Get(pfx("8.8.8.0/24")); ok {
+		t.Error("withdrawal not applied")
+	}
+	if _, ok := st.RIBOf(k0).Get(pfx("1.2.3.0/24")); !ok {
+		t.Error("announcement not applied")
+	}
+	newKey := PeerKey{netblock.MustParseAddr("198.51.100.9"), 2914}
+	if _, ok := st.RIBOf(newKey).Get(pfx("4.4.4.0/24")); !ok {
+		t.Error("unknown-peer announcement not applied")
+	}
+	if len(st.Peers) != 3 {
+		t.Errorf("Peers = %d, want 3", len(st.Peers))
+	}
+
+	// Survey over the evolved state.
+	s := NewOriginSurvey()
+	rep := st.AddViewsTo("rrc00", s)
+	if s.NumMonitors() != 3 || rep.Kept == 0 {
+		t.Errorf("survey monitors = %d, report = %+v", s.NumMonitors(), rep)
+	}
+	if got := s.CleanPairs(0.3)[pfx("8.8.8.0/24")]; got != 15169 {
+		t.Errorf("peer 1 still holds 8.8.8.0/24 via 15169, got %v", got)
+	}
+
+	// Entries round-trip: evolve → serialize → re-expand.
+	out := st.Entries()
+	st2 := NewSnapshotState(st.Peers, out)
+	if st2.RIBOf(k0).Len() != st.RIBOf(k0).Len() {
+		t.Error("Entries round trip lost routes")
+	}
+}
+
+func TestSnapshotStateTruncatedPeerIndex(t *testing.T) {
+	// A RIB entry referencing a peer index beyond the table is tolerated.
+	entries := []RIBEntry{{
+		Prefix: pfx("8.8.8.0/24"),
+		Routes: []PeerRoute{{PeerIndex: 99, Path: NewPath(1, 2)}},
+	}}
+	st := NewSnapshotState(samplePeers(), entries)
+	if len(st.Peers) != 2 {
+		t.Errorf("Peers = %d", len(st.Peers))
+	}
+}
+
+func TestApplyStreamError(t *testing.T) {
+	st := NewSnapshotState(samplePeers(), nil)
+	if _, err := st.ApplyStream(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("corrupt stream should fail")
+	}
+}

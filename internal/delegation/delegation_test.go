@@ -1,0 +1,239 @@
+package delegation
+
+import (
+	"testing"
+	"time"
+
+	"ipv4market/internal/asorg"
+	"ipv4market/internal/bgp"
+	"ipv4market/internal/netblock"
+)
+
+func pfx(s string) netblock.Prefix { return netblock.MustParsePrefix(s) }
+
+func date(y, m, d int) time.Time {
+	return time.Date(y, time.Month(m), d, 0, 0, 0, 0, time.UTC)
+}
+
+// buildSurvey creates a survey with nMon monitors, all seeing the given
+// routes (perfect visibility).
+func buildSurvey(nMon int, routes []bgp.Route) *bgp.OriginSurvey {
+	s := bgp.NewOriginSurvey()
+	for i := 0; i < nMon; i++ {
+		s.AddView(string(rune('a'+i)), routes)
+	}
+	return s
+}
+
+func TestBaselineSimpleDelegation(t *testing.T) {
+	s := buildSurvey(4, []bgp.Route{
+		{Prefix: pfx("185.0.0.0/16"), Path: bgp.NewPath(100, 64500)},
+		{Prefix: pfx("185.0.1.0/24"), Path: bgp.NewPath(100, 64501)},
+	})
+	ds := Baseline(s)
+	if len(ds) != 1 {
+		t.Fatalf("Baseline = %v", ds)
+	}
+	d := ds[0]
+	if d.Parent != pfx("185.0.0.0/16") || d.Child != pfx("185.0.1.0/24") || d.From != 64500 || d.To != 64501 {
+		t.Errorf("delegation = %+v", d)
+	}
+}
+
+func TestBaselineIncludesLowVisibilityAndMOAS(t *testing.T) {
+	s := bgp.NewOriginSurvey()
+	s.AddView("m1", []bgp.Route{
+		{Prefix: pfx("185.0.0.0/16"), Path: bgp.NewPath(100, 64500)},
+		{Prefix: pfx("185.0.1.0/24"), Path: bgp.NewPath(100, 64501)},
+	})
+	s.AddView("m2", []bgp.Route{
+		{Prefix: pfx("185.0.1.0/24"), Path: bgp.NewPath(100, 64502)}, // MOAS child
+	})
+	// Baseline keeps both origin combinations for the child.
+	ds := Baseline(s)
+	if len(ds) != 2 {
+		t.Fatalf("Baseline = %v", ds)
+	}
+
+	// Extended algorithm drops everything: the /16 is seen by only half?
+	// m1 only → 1/2 visibility = 0.5 ≥ 0.5 keeps it; but the child is
+	// MOAS, so no delegation survives.
+	inf := DefaultInference(nil)
+	ext := inf.FromSurvey(date(2020, 6, 1), s)
+	if len(ext) != 0 {
+		t.Errorf("extended = %v", ext)
+	}
+}
+
+func TestExtendedVisibilityThreshold(t *testing.T) {
+	s := bgp.NewOriginSurvey()
+	full := []bgp.Route{
+		{Prefix: pfx("185.0.0.0/16"), Path: bgp.NewPath(100, 64500)},
+		{Prefix: pfx("185.0.1.0/24"), Path: bgp.NewPath(100, 64501)},
+	}
+	// 4 monitors; only one sees the child.
+	s.AddView("m1", full)
+	for _, id := range []string{"m2", "m3", "m4"} {
+		s.AddView(id, full[:1])
+	}
+	inf := DefaultInference(nil)
+	if ds := inf.FromSurvey(date(2020, 6, 1), s); len(ds) != 0 {
+		t.Errorf("25%%-visible child should be dropped: %v", ds)
+	}
+	// Lowering the threshold admits it.
+	inf.MinVisibility = 0.2
+	if ds := inf.FromSurvey(date(2020, 6, 1), s); len(ds) != 1 {
+		t.Errorf("20%% threshold should keep it: %v", ds)
+	}
+	// Baseline always includes it.
+	if ds := Baseline(s); len(ds) != 1 {
+		t.Errorf("baseline should include it: %v", ds)
+	}
+}
+
+func TestExtendedSameOrgRemoval(t *testing.T) {
+	snap := asorg.NewSnapshot(date(2020, 6, 1))
+	snap.AddAS(64500, "ORG-A")
+	snap.AddAS(64501, "ORG-A") // same org as 64500
+	snap.AddAS(64502, "ORG-B")
+	orgs := asorg.NewSeries(snap)
+
+	s := buildSurvey(2, []bgp.Route{
+		{Prefix: pfx("185.0.0.0/16"), Path: bgp.NewPath(100, 64500)},
+		{Prefix: pfx("185.0.1.0/24"), Path: bgp.NewPath(100, 64501)}, // same org
+		{Prefix: pfx("185.0.2.0/24"), Path: bgp.NewPath(100, 64502)}, // real delegation
+	})
+	inf := DefaultInference(orgs)
+	ds := inf.FromSurvey(date(2020, 5, 15), s)
+	if len(ds) != 1 || ds[0].To != 64502 {
+		t.Errorf("same-org delegation should be removed: %v", ds)
+	}
+	// Without the org series both survive.
+	inf.Orgs = nil
+	if ds := inf.FromSurvey(date(2020, 5, 15), s); len(ds) != 2 {
+		t.Errorf("without as2org both should survive: %v", ds)
+	}
+}
+
+func TestNearestParentIsImmediate(t *testing.T) {
+	s := buildSurvey(2, []bgp.Route{
+		{Prefix: pfx("185.0.0.0/8"), Path: bgp.NewPath(100, 1)},
+		{Prefix: pfx("185.0.0.0/16"), Path: bgp.NewPath(100, 2)},
+		{Prefix: pfx("185.0.1.0/24"), Path: bgp.NewPath(100, 3)},
+	})
+	inf := DefaultInference(nil)
+	ds := inf.FromSurvey(date(2020, 6, 1), s)
+	// /24's delegator must be the /16 (AS 2), not the /8 (AS 1); and the
+	// /16 is itself delegated from the /8.
+	if len(ds) != 2 {
+		t.Fatalf("ds = %v", ds)
+	}
+	for _, d := range ds {
+		if d.Child == pfx("185.0.1.0/24") && d.From != 2 {
+			t.Errorf("immediate parent wrong: %+v", d)
+		}
+		if d.Child == pfx("185.0.0.0/16") && d.From != 1 {
+			t.Errorf("mid-level delegation wrong: %+v", d)
+		}
+	}
+}
+
+func TestDelegatedAddrsAndSizeHistogram(t *testing.T) {
+	ds := []Delegation{
+		{Child: pfx("185.0.0.0/24")},
+		{Child: pfx("185.0.0.0/25")}, // nested inside the /24
+		{Child: pfx("185.0.4.0/22")},
+	}
+	if got := DelegatedAddrs(ds); got != 256+1024 {
+		t.Errorf("DelegatedAddrs = %d", got)
+	}
+	h := SizeHistogram(ds)
+	if h[24] < 0.33 || h[24] > 0.34 || h[22] < 0.33 || h[22] > 0.34 {
+		t.Errorf("SizeHistogram = %v", h)
+	}
+	if SizeHistogram(nil) != nil {
+		t.Error("empty histogram should be nil")
+	}
+}
+
+func dlg(child string, from, to ASN) Delegation {
+	return Delegation{Parent: pfx("185.0.0.0/16"), Child: pfx(child), From: from, To: to}
+}
+
+func TestTimelineFillGapsAndStats(t *testing.T) {
+	tl := NewTimeline(date(2020, 1, 1), 30)
+	d := dlg("185.0.1.0/24", 1, 2)
+	tl.AddDay(0, []Delegation{d})
+	tl.AddDay(5, []Delegation{d})  // gap of 4 ≤ 10: fill
+	tl.AddDay(25, []Delegation{d}) // gap of 19 > 10: keep
+	if tl.NumKeys() != 1 || tl.Days() != 30 {
+		t.Fatal("timeline metadata")
+	}
+	filled := tl.FillGaps(10)
+	if filled != 4 {
+		t.Errorf("filled = %d", filled)
+	}
+	stats := tl.DailyStats()
+	if stats[3].Delegations != 1 || stats[3].DelegatedIPs != 256 {
+		t.Errorf("day 3 stats = %+v", stats[3])
+	}
+	if stats[10].Delegations != 0 {
+		t.Errorf("day 10 should be empty: %+v", stats[10])
+	}
+	if !stats[5].Date.Equal(date(2020, 1, 6)) {
+		t.Errorf("date mapping = %v", stats[5].Date)
+	}
+}
+
+func TestTimelineConflictBlocksFill(t *testing.T) {
+	tl := NewTimeline(date(2020, 1, 1), 30)
+	d := dlg("185.0.1.0/24", 1, 2)
+	conflict := dlg("185.0.1.0/24", 1, 3)
+	tl.AddDay(0, []Delegation{d})
+	tl.AddDay(6, []Delegation{d})
+	tl.AddDay(3, []Delegation{conflict})
+	if filled := tl.FillGaps(10); filled != 0 {
+		t.Errorf("conflicted gap filled: %d", filled)
+	}
+	if !tl.Present(3, conflict) || tl.Present(3, d) {
+		t.Error("presence wrong")
+	}
+}
+
+func TestTimelineDelegationsOnAndSizeShares(t *testing.T) {
+	tl := NewTimeline(date(2020, 1, 1), 10)
+	a := dlg("185.0.1.0/24", 1, 2)
+	b := dlg("185.0.16.0/20", 1, 3)
+	tl.AddDay(0, []Delegation{a, b})
+	tl.AddDay(1, []Delegation{a})
+	got := tl.DelegationsOn(0)
+	if len(got) != 2 {
+		t.Fatalf("DelegationsOn(0) = %v", got)
+	}
+	if got := tl.DelegationsOn(1); len(got) != 1 || got[0] != a {
+		t.Errorf("DelegationsOn(1) = %v", got)
+	}
+	shares := tl.SizeShares(0, 2, 24, 20)
+	// Day 0: one /24 + one /20; day 1: one /24. Totals: /24 2/3, /20 1/3.
+	if shares[24] < 0.66 || shares[24] > 0.67 {
+		t.Errorf("share /24 = %v", shares[24])
+	}
+	if shares[20] < 0.33 || shares[20] > 0.34 {
+		t.Errorf("share /20 = %v", shares[20])
+	}
+	// Out-of-range clamping and empty range.
+	empty := NewTimeline(date(2020, 1, 1), 5)
+	sh := empty.SizeShares(-3, 99, 24)
+	if sh[24] != 0 {
+		t.Errorf("empty timeline shares = %v", sh)
+	}
+	// Out-of-range AddDay ignored.
+	tl.AddDay(-1, []Delegation{a})
+	tl.AddDay(10, []Delegation{a})
+	if tl.Present(-1, a) || tl.Present(10, a) {
+		t.Error("out-of-range days must be ignored")
+	}
+	if tl.DayOf(date(2020, 1, 3)) != 2 {
+		t.Error("DayOf")
+	}
+}

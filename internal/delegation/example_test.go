@@ -1,0 +1,45 @@
+package delegation_test
+
+import (
+	"fmt"
+	"time"
+
+	"ipv4market/internal/bgp"
+	"ipv4market/internal/delegation"
+	"ipv4market/internal/netblock"
+)
+
+// ExampleInference_FromSurvey shows the paper's extended algorithm on a
+// hand-built survey: AS 5000 announces a /16 and AS 6000 a /24 inside it
+// at both monitors, so a delegation 5000 → 6000 is inferred.
+func ExampleInference_FromSurvey() {
+	routes := []bgp.Route{
+		{Prefix: netblock.MustParsePrefix("185.0.0.0/16"), Path: bgp.NewPath(21000, 1299, 5000)},
+		{Prefix: netblock.MustParsePrefix("185.0.7.0/24"), Path: bgp.NewPath(21000, 1299, 6000)},
+	}
+	survey := bgp.NewOriginSurvey()
+	survey.AddView("rrc00:198.51.100.1", routes)
+	survey.AddView("rrc00:198.51.100.2", routes)
+
+	inf := delegation.DefaultInference(nil)
+	for _, d := range inf.FromSurvey(time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC), survey) {
+		fmt.Printf("%s delegates %s to AS%d\n", d.From, d.Child, uint32(d.To))
+	}
+	// Output: AS5000 delegates 185.0.7.0/24 to AS6000
+}
+
+// ExampleTimeline_FillGaps shows extension (v): a delegation seen on days
+// 0 and 5 is presumed present in between.
+func ExampleTimeline_FillGaps() {
+	tl := delegation.NewTimeline(time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC), 10)
+	d := delegation.Delegation{
+		Parent: netblock.MustParsePrefix("185.0.0.0/16"),
+		Child:  netblock.MustParsePrefix("185.0.7.0/24"),
+		From:   5000, To: 6000,
+	}
+	tl.AddDay(0, []delegation.Delegation{d})
+	tl.AddDay(5, []delegation.Delegation{d})
+	filled := tl.FillGaps(10)
+	fmt.Println(filled, tl.Present(3, d))
+	// Output: 4 true
+}

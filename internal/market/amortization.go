@@ -1,0 +1,87 @@
+package market
+
+import (
+	"errors"
+	"math"
+)
+
+// Amortization models the §6 buy-vs-lease tradeoff: buying costs an
+// upfront price per address (plus broker commission) and ongoing RIR
+// maintenance fees, while leasing costs a monthly rate. The amortization
+// time is when cumulative leasing costs would have exceeded the cost of
+// ownership.
+type Amortization struct {
+	// BuyPricePerAddr is the market price per address (≈ $22.50 in 2020).
+	BuyPricePerAddr float64
+	// BrokerCommission is the broker's cut on the purchase (5-10%).
+	BrokerCommission float64
+	// MaintenancePerAddrYear is the RIR membership/maintenance fee
+	// attributable to one address per year.
+	MaintenancePerAddrYear float64
+	// LeasePerAddrMonth is the advertised leasing rate.
+	LeasePerAddrMonth float64
+}
+
+// Errors returned by Months.
+var (
+	ErrNeverAmortizes = errors.New("market: leasing is cheaper than holding costs; buying never amortizes")
+	ErrBadInput       = errors.New("market: invalid amortization input")
+)
+
+// Months returns the amortization time in months: the point where renting
+// the same space would have cost as much as buying it (including the
+// commission) plus the maintenance paid while owning it.
+func (a Amortization) Months() (float64, error) {
+	if a.BuyPricePerAddr <= 0 || a.LeasePerAddrMonth <= 0 || a.BrokerCommission < 0 || a.MaintenancePerAddrYear < 0 {
+		return 0, ErrBadInput
+	}
+	upfront := a.BuyPricePerAddr * (1 + a.BrokerCommission)
+	net := a.LeasePerAddrMonth - a.MaintenancePerAddrYear/12
+	if net <= 0 {
+		return 0, ErrNeverAmortizes
+	}
+	return upfront / net, nil
+}
+
+// Years returns the amortization time in years.
+func (a Amortization) Years() (float64, error) {
+	m, err := a.Months()
+	if err != nil {
+		return 0, err
+	}
+	return m / 12, nil
+}
+
+// GridRow is one row of the amortization sensitivity grid.
+type GridRow struct {
+	LeasePerAddrMonth float64
+	Months            float64
+	Years             float64
+	Amortizes         bool
+}
+
+// Grid evaluates the amortization time across a sweep of leasing rates,
+// holding the purchase-side parameters fixed. Rates at which buying never
+// pays off are flagged rather than dropped.
+func Grid(buyPricePerAddr, commission, maintenancePerAddrYear float64, leaseRates []float64) []GridRow {
+	out := make([]GridRow, 0, len(leaseRates))
+	for _, rate := range leaseRates {
+		a := Amortization{
+			BuyPricePerAddr:        buyPricePerAddr,
+			BrokerCommission:       commission,
+			MaintenancePerAddrYear: maintenancePerAddrYear,
+			LeasePerAddrMonth:      rate,
+		}
+		row := GridRow{LeasePerAddrMonth: rate}
+		if m, err := a.Months(); err == nil {
+			row.Months = m
+			row.Years = m / 12
+			row.Amortizes = true
+		} else {
+			row.Months = math.Inf(1)
+			row.Years = math.Inf(1)
+		}
+		out = append(out, row)
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+package market_test
+
+import (
+	"fmt"
+	"time"
+
+	"ipv4market/internal/market"
+)
+
+// ExampleAmortization reproduces §6's tradeoff: at the 2020 market price,
+// an expensive lease amortizes a purchase in under a year.
+func ExampleAmortization() {
+	a := market.Amortization{
+		BuyPricePerAddr:   22.50,
+		BrokerCommission:  0.075,
+		LeasePerAddrMonth: 2.33,
+	}
+	months, _ := a.Months()
+	fmt.Printf("%.0f months\n", months)
+	// Output: 10 months
+}
+
+// ExampleSnapshotAt summarizes the advertised leasing prices the paper
+// observed on 1 June 2020.
+func ExampleSnapshotAt() {
+	snap, _ := market.SnapshotAt(market.PaperProviders(), time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC))
+	fmt.Printf("%d providers, $%.2f-$%.2f per IP per month\n", snap.Providers, snap.Min, snap.Max)
+	// Output: 21 providers, $0.30-$2.33 per IP per month
+}
+
+// ExamplePriceChanges lists the three advertised-price changes of Figure 4.
+func ExamplePriceChanges() {
+	for _, c := range market.PriceChanges(market.PaperProviders()) {
+		fmt.Printf("%s: $%.2f -> $%.2f\n", c.Provider, c.From, c.To)
+	}
+	// Output:
+	// IP-AS: $1.17 -> $3.90
+	// IP-AS: $3.90 -> $2.33
+	// Heficed: $0.65 -> $0.40
+	// IPv4Mall: $0.35 -> $0.56
+}

@@ -1,0 +1,209 @@
+package market
+
+import (
+	"errors"
+	"sort"
+	"time"
+)
+
+// Figure 4 of the paper tracks the advertised price of leasing a /24 for
+// one month across 21 provider websites: 12 observed from 2019-10-26 and
+// 9 more added on 2020-06-01. Only three providers changed their price
+// during the window. This file transcribes that price book. Where the
+// paper names a provider but not its exact price, the value is synthetic
+// within the reported $0.30-$2.33 range (see DESIGN.md).
+
+// LeasingProvider is one advertised-price series.
+type LeasingProvider struct {
+	Name string
+	// Bundled marks IP leasing sold together with infrastructure hosting;
+	// the paper finds no structural price difference vs. pure leasing.
+	Bundled bool
+	// ObservedFrom is when the paper started tracking the site.
+	ObservedFrom time.Time
+	// Prices is the step function of advertised $/IP/month values,
+	// in effect from each entry's date until the next entry.
+	Prices []PricePoint
+}
+
+// PricePoint is one step of an advertised-price series.
+type PricePoint struct {
+	Date  time.Time
+	Price float64 // $ per IP per month for a /24
+}
+
+// PriceAt returns the advertised price in effect at time t, or false if
+// the provider was not yet observed.
+func (p *LeasingProvider) PriceAt(t time.Time) (float64, bool) {
+	if t.Before(p.ObservedFrom) {
+		return 0, false
+	}
+	price, ok := 0.0, false
+	for _, pp := range p.Prices {
+		if pp.Date.After(t) {
+			break
+		}
+		price, ok = pp.Price, true
+	}
+	return price, ok
+}
+
+func leaseDate(y, m, d int) time.Time {
+	return time.Date(y, time.Month(m), d, 0, 0, 0, 0, time.UTC)
+}
+
+var (
+	firstWave  = leaseDate(2019, 10, 26)
+	secondWave = leaseDate(2020, 6, 1)
+)
+
+// PaperProviders returns the 21-provider price book of Figure 4,
+// including the three documented price changes: Heficed $0.65 → $0.40,
+// IPv4Mall $0.35 → $0.56, and IP-AS $1.17 → $3.90 (January test) → $2.33.
+func PaperProviders() []LeasingProvider {
+	fixed := func(name string, bundled bool, from time.Time, price float64) LeasingProvider {
+		return LeasingProvider{
+			Name: name, Bundled: bundled, ObservedFrom: from,
+			Prices: []PricePoint{{Date: from, Price: price}},
+		}
+	}
+	return []LeasingProvider{
+		// First wave: observed from 2019-10-26.
+		fixed("DevelApp", false, firstWave, 0.80),
+		fixed("GetIPAddresses", false, firstWave, 0.50),
+		{
+			Name: "Heficed", Bundled: true, ObservedFrom: firstWave,
+			Prices: []PricePoint{
+				{Date: firstWave, Price: 0.65},
+				{Date: leaseDate(2020, 3, 1), Price: 0.40},
+			},
+		},
+		fixed("HostHoney", true, firstWave, 0.45),
+		{
+			Name: "IP-AS", Bundled: false, ObservedFrom: firstWave,
+			Prices: []PricePoint{
+				{Date: firstWave, Price: 1.17},
+				{Date: leaseDate(2020, 1, 1), Price: 3.90}, // January market test
+				{Date: leaseDate(2020, 2, 1), Price: 2.33},
+			},
+		},
+		fixed("IPRoyal", false, firstWave, 0.75),
+		fixed("IPv4Broker", false, firstWave, 1.00),
+		{
+			Name: "IPv4Mall", Bundled: false, ObservedFrom: firstWave,
+			Prices: []PricePoint{
+				{Date: firstWave, Price: 0.35},
+				{Date: leaseDate(2020, 4, 1), Price: 0.56},
+			},
+		},
+		fixed("LogicWeb", true, firstWave, 1.25),
+		fixed("Logosnet", true, firstWave, 0.60),
+		fixed("Fork Networking", true, firstWave, 1.50),
+		fixed("ProstoHost", true, firstWave, 0.55),
+		// Second wave: added 2020-06-01.
+		fixed("AnyIP", false, secondWave, 0.30),
+		fixed("CH-CENTER", false, secondWave, 0.90),
+		fixed("Deploymentcode", true, secondWave, 0.70),
+		fixed("Hetzner", true, secondWave, 1.70),
+		fixed("LIR.SERVICES", false, secondWave, 1.10),
+		fixed("Prefix Broker", false, secondWave, 1.40),
+		fixed("RapidDedi", true, secondWave, 0.65),
+		fixed("RentIPv4", false, secondWave, 0.85),
+		fixed("Hostio Solutions", true, secondWave, 2.00),
+	}
+}
+
+// ErrNoPrices reports that no provider advertised a price at the time.
+var ErrNoPrices = errors.New("market: no advertised leasing prices at this time")
+
+// LeasingSnapshot summarizes the advertised prices at a point in time.
+type LeasingSnapshot struct {
+	Date      time.Time
+	Providers int
+	Min, Max  float64
+	Mean      float64
+	// PureMean and BundledMean split by business model; the paper finds
+	// no structural difference.
+	PureMean    float64
+	BundledMean float64
+}
+
+// SnapshotAt summarizes the price book at time t.
+func SnapshotAt(providers []LeasingProvider, t time.Time) (LeasingSnapshot, error) {
+	snap := LeasingSnapshot{Date: t}
+	var sum, pureSum, bundledSum float64
+	var pureN, bundledN int
+	for i := range providers {
+		price, ok := providers[i].PriceAt(t)
+		if !ok {
+			continue
+		}
+		if snap.Providers == 0 || price < snap.Min {
+			snap.Min = price
+		}
+		if price > snap.Max {
+			snap.Max = price
+		}
+		snap.Providers++
+		sum += price
+		if providers[i].Bundled {
+			bundledSum += price
+			bundledN++
+		} else {
+			pureSum += price
+			pureN++
+		}
+	}
+	if snap.Providers == 0 {
+		return snap, ErrNoPrices
+	}
+	snap.Mean = sum / float64(snap.Providers)
+	if pureN > 0 {
+		snap.PureMean = pureSum / float64(pureN)
+	}
+	if bundledN > 0 {
+		snap.BundledMean = bundledSum / float64(bundledN)
+	}
+	return snap, nil
+}
+
+// PriceChange describes one observed advertised-price change.
+type PriceChange struct {
+	Provider string
+	Date     time.Time
+	From, To float64
+}
+
+// PriceChanges lists every advertised-price change in the book, sorted by
+// date. The paper observes exactly three providers changing prices.
+func PriceChanges(providers []LeasingProvider) []PriceChange {
+	var out []PriceChange
+	for i := range providers {
+		p := &providers[i]
+		for j := 1; j < len(p.Prices); j++ {
+			out = append(out, PriceChange{
+				Provider: p.Name,
+				Date:     p.Prices[j].Date,
+				From:     p.Prices[j-1].Price,
+				To:       p.Prices[j].Price,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Date.Before(out[j].Date) })
+	return out
+}
+
+// ChangedProviders returns the names of providers that ever changed their
+// advertised price.
+func ChangedProviders(providers []LeasingProvider) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, c := range PriceChanges(providers) {
+		if !seen[c.Provider] {
+			seen[c.Provider] = true
+			out = append(out, c.Provider)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,104 @@
+package market
+
+import (
+	"sort"
+	"time"
+
+	"ipv4market/internal/registry"
+)
+
+// Merger inference. APNIC and LACNIC do not label merger-and-acquisition
+// transfers in their public logs (§3), so market analyses over those
+// regions overcount. Giotsas, Livadariu and Gigis proposed heuristics to
+// recover the labels; the paper declined to use them because neither an
+// evaluation nor a sensitivity analysis existed. This file implements a
+// heuristic in that spirit — and because the simulator knows the ground
+// truth, EvaluateMergerHeuristic provides exactly the missing evaluation.
+
+// MergerHeuristic configures the inference.
+type MergerHeuristic struct {
+	// MinPairTransfers flags an organization pair as consolidating when
+	// at least this many transfers occur between them within Window —
+	// acquisitions move whole holdings, market sales rarely repeat.
+	MinPairTransfers int
+	// Window bounds the burst.
+	Window time.Duration
+}
+
+// DefaultMergerHeuristic returns the configuration used in the ablation.
+func DefaultMergerHeuristic() MergerHeuristic {
+	return MergerHeuristic{MinPairTransfers: 3, Window: 30 * 24 * time.Hour}
+}
+
+// Infer returns, per transfer index, whether the heuristic classifies the
+// transfer as part of a merger/acquisition. Only the fields available in
+// public logs are consulted (organizations, dates) — never the Type.
+func (h MergerHeuristic) Infer(transfers []registry.Transfer) []bool {
+	type pair struct{ from, to registry.OrgID }
+	byPair := make(map[pair][]int)
+	for i, t := range transfers {
+		p := pair{t.From, t.To}
+		byPair[p] = append(byPair[p], i)
+	}
+	out := make([]bool, len(transfers))
+	for _, idxs := range byPair {
+		if len(idxs) < h.MinPairTransfers {
+			continue
+		}
+		sort.Slice(idxs, func(a, b int) bool {
+			return transfers[idxs[a]].Date.Before(transfers[idxs[b]].Date)
+		})
+		// Sliding window over the pair's (already chronological within the
+		// log) transfer dates.
+		for i := range idxs {
+			j := i
+			for j+1 < len(idxs) &&
+				transfers[idxs[j+1]].Date.Sub(transfers[idxs[i]].Date) <= h.Window {
+				j++
+			}
+			if j-i+1 >= h.MinPairTransfers {
+				for k := i; k <= j; k++ {
+					out[idxs[k]] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MergerEvaluation reports the heuristic's quality against ground truth.
+type MergerEvaluation struct {
+	Transfers     int
+	TrueMergers   int
+	Flagged       int
+	TruePositives int
+	Precision     float64
+	Recall        float64
+}
+
+// EvaluateMergerHeuristic scores the heuristic against the true transfer
+// types — the evaluation the paper found missing from prior work. Pass
+// the unfiltered transfer list (types intact).
+func EvaluateMergerHeuristic(h MergerHeuristic, transfers []registry.Transfer) MergerEvaluation {
+	flags := h.Infer(transfers)
+	ev := MergerEvaluation{Transfers: len(transfers)}
+	for i, t := range transfers {
+		isMerger := t.Type == registry.TypeMerger
+		if isMerger {
+			ev.TrueMergers++
+		}
+		if flags[i] {
+			ev.Flagged++
+			if isMerger {
+				ev.TruePositives++
+			}
+		}
+	}
+	if ev.Flagged > 0 {
+		ev.Precision = float64(ev.TruePositives) / float64(ev.Flagged)
+	}
+	if ev.TrueMergers > 0 {
+		ev.Recall = float64(ev.TruePositives) / float64(ev.TrueMergers)
+	}
+	return ev
+}

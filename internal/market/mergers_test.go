@@ -1,0 +1,91 @@
+package market
+
+import (
+	"testing"
+	"time"
+
+	"ipv4market/internal/registry"
+)
+
+func mtr(from, to registry.OrgID, typ registry.TransferType, p string, d time.Time) registry.Transfer {
+	return registry.Transfer{
+		Prefix: pfx(p), From: from, To: to,
+		FromRIR: registry.APNIC, ToRIR: registry.APNIC, Type: typ, Date: d,
+	}
+}
+
+func TestMergerHeuristicInfer(t *testing.T) {
+	h := DefaultMergerHeuristic()
+	transfers := []registry.Transfer{
+		// A consolidation burst: four same-pair transfers within a week.
+		mtr("acq", "parent", registry.TypeMerger, "103.0.0.0/22", date(2019, 3, 1)),
+		mtr("acq", "parent", registry.TypeMerger, "103.0.4.0/22", date(2019, 3, 2)),
+		mtr("acq", "parent", registry.TypeMerger, "103.0.8.0/22", date(2019, 3, 3)),
+		mtr("acq", "parent", registry.TypeMerger, "103.0.12.0/22", date(2019, 3, 4)),
+		// A lone market sale.
+		mtr("s1", "b1", registry.TypeMarket, "103.1.0.0/24", date(2019, 4, 1)),
+		// A repeated pair, but spread over a year: not a burst.
+		mtr("s2", "b2", registry.TypeMarket, "103.2.0.0/24", date(2019, 1, 1)),
+		mtr("s2", "b2", registry.TypeMarket, "103.2.1.0/24", date(2019, 6, 1)),
+		mtr("s2", "b2", registry.TypeMarket, "103.2.2.0/24", date(2019, 12, 1)),
+	}
+	flags := h.Infer(transfers)
+	for i := 0; i < 4; i++ {
+		if !flags[i] {
+			t.Errorf("burst transfer %d not flagged", i)
+		}
+	}
+	for i := 4; i < len(transfers); i++ {
+		if flags[i] {
+			t.Errorf("non-burst transfer %d flagged", i)
+		}
+	}
+}
+
+func TestMergerHeuristicUnsortedInput(t *testing.T) {
+	h := DefaultMergerHeuristic()
+	// Same burst, shuffled order: the sliding window must still find it.
+	transfers := []registry.Transfer{
+		mtr("acq", "parent", registry.TypeMerger, "103.0.8.0/22", date(2019, 3, 3)),
+		mtr("acq", "parent", registry.TypeMerger, "103.0.0.0/22", date(2019, 3, 1)),
+		mtr("acq", "parent", registry.TypeMerger, "103.0.12.0/22", date(2019, 3, 4)),
+		mtr("acq", "parent", registry.TypeMerger, "103.0.4.0/22", date(2019, 3, 2)),
+	}
+	flags := h.Infer(transfers)
+	for i, f := range flags {
+		if !f {
+			t.Errorf("shuffled burst transfer %d not flagged", i)
+		}
+	}
+}
+
+func TestEvaluateMergerHeuristic(t *testing.T) {
+	h := DefaultMergerHeuristic()
+	transfers := []registry.Transfer{
+		mtr("acq", "parent", registry.TypeMerger, "103.0.0.0/22", date(2019, 3, 1)),
+		mtr("acq", "parent", registry.TypeMerger, "103.0.4.0/22", date(2019, 3, 2)),
+		mtr("acq", "parent", registry.TypeMerger, "103.0.8.0/22", date(2019, 3, 3)),
+		mtr("s1", "b1", registry.TypeMarket, "103.1.0.0/24", date(2019, 4, 1)),
+		mtr("s2", "b2", registry.TypeMerger, "103.3.0.0/22", date(2019, 5, 1)), // lone M&A: missed
+	}
+	ev := EvaluateMergerHeuristic(h, transfers)
+	if ev.Transfers != 5 || ev.TrueMergers != 4 {
+		t.Fatalf("eval = %+v", ev)
+	}
+	if ev.Flagged != 3 || ev.TruePositives != 3 {
+		t.Errorf("eval = %+v", ev)
+	}
+	if ev.Precision != 1.0 {
+		t.Errorf("precision = %v", ev.Precision)
+	}
+	if ev.Recall != 0.75 {
+		t.Errorf("recall = %v", ev.Recall)
+	}
+}
+
+func TestEvaluateMergerHeuristicEmpty(t *testing.T) {
+	ev := EvaluateMergerHeuristic(DefaultMergerHeuristic(), nil)
+	if ev.Precision != 0 || ev.Recall != 0 || ev.Flagged != 0 {
+		t.Errorf("empty eval = %+v", ev)
+	}
+}

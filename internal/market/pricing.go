@@ -1,0 +1,240 @@
+package market
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"ipv4market/internal/registry"
+	"ipv4market/internal/stats"
+)
+
+// PriceRecord is one anonymized broker transaction: the paper's pricing
+// data set tracks the region, prefix size, date and per-address price of
+// each deal, never the prefix or the parties.
+type PriceRecord struct {
+	Date         time.Time
+	Region       registry.RIR
+	Bits         int // prefix length; the data covers /16 and more-specific
+	PricePerAddr float64
+}
+
+// PriceCell is one box of Figure 1: the price distribution for a (prefix
+// size, region, quarter) group.
+type PriceCell struct {
+	Bits    int
+	Region  registry.RIR
+	Quarter stats.Quarter
+	Box     stats.BoxPlot
+}
+
+// PriceBoxes groups the records by prefix size, region and quarter and
+// summarizes each group — the data behind Figure 1. Cells are sorted by
+// quarter, then bits, then region.
+func PriceBoxes(records []PriceRecord) []PriceCell {
+	type key struct {
+		bits   int
+		region registry.RIR
+		q      stats.Quarter
+	}
+	groups := make(map[key][]float64)
+	for _, r := range records {
+		k := key{r.Bits, r.Region, stats.QuarterOf(r.Date)}
+		groups[k] = append(groups[k], r.PricePerAddr)
+	}
+	out := make([]PriceCell, 0, len(groups))
+	for k, xs := range groups {
+		box, err := stats.Summarize(xs)
+		if err != nil {
+			continue
+		}
+		out = append(out, PriceCell{Bits: k.bits, Region: k.region, Quarter: k.q, Box: box})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Quarter != b.Quarter {
+			return a.Quarter.Before(b.Quarter)
+		}
+		if a.Bits != b.Bits {
+			return a.Bits < b.Bits
+		}
+		return a.Region < b.Region
+	})
+	return out
+}
+
+// ErrNoRecords reports an empty selection.
+var ErrNoRecords = errors.New("market: no price records in selection")
+
+func selectPrices(records []PriceRecord, from, to time.Time, filter func(PriceRecord) bool) []float64 {
+	var xs []float64
+	for _, r := range records {
+		if r.Date.Before(from) || !r.Date.Before(to) {
+			continue
+		}
+		if filter != nil && !filter(r) {
+			continue
+		}
+		xs = append(xs, r.PricePerAddr)
+	}
+	return xs
+}
+
+// MeanPrice returns the mean per-address price over [from, to).
+func MeanPrice(records []PriceRecord, from, to time.Time) (float64, error) {
+	xs := selectPrices(records, from, to, nil)
+	if len(xs) == 0 {
+		return 0, ErrNoRecords
+	}
+	return stats.Mean(xs), nil
+}
+
+// MedianPrice returns the median per-address price over [from, to).
+func MedianPrice(records []PriceRecord, from, to time.Time) (float64, error) {
+	xs := selectPrices(records, from, to, nil)
+	if len(xs) == 0 {
+		return 0, ErrNoRecords
+	}
+	return stats.Median(xs)
+}
+
+// GrowthFactor returns mean(price in [laterFrom, laterTo)) divided by
+// mean(price in [earlyFrom, earlyTo)). The paper reports a factor of ~2
+// between 2016 and 2020.
+func GrowthFactor(records []PriceRecord, earlyFrom, earlyTo, laterFrom, laterTo time.Time) (float64, error) {
+	early, err := MeanPrice(records, earlyFrom, earlyTo)
+	if err != nil {
+		return 0, err
+	}
+	later, err := MeanPrice(records, laterFrom, laterTo)
+	if err != nil {
+		return 0, err
+	}
+	if early == 0 {
+		return 0, errors.New("market: zero early-period price")
+	}
+	return later / early, nil
+}
+
+// RegionEffect tests whether prices differ across the three active
+// regions (APNIC, ARIN, RIPE NCC) over [from, to) with a Kruskal-Wallis
+// test. The paper finds no statistically significant difference.
+func RegionEffect(records []PriceRecord, from, to time.Time) (stats.RankTestResult, error) {
+	var groups [][]float64
+	for _, rir := range []registry.RIR{registry.APNIC, registry.ARIN, registry.RIPENCC} {
+		rir := rir
+		xs := selectPrices(records, from, to, func(r PriceRecord) bool { return r.Region == rir })
+		if len(xs) < 2 {
+			return stats.RankTestResult{}, ErrNoRecords
+		}
+		groups = append(groups, xs)
+	}
+	return stats.KruskalWallis(groups...)
+}
+
+// PairwiseRegionEffect runs Mann-Whitney U between two specific regions.
+func PairwiseRegionEffect(records []PriceRecord, a, b registry.RIR, from, to time.Time) (stats.RankTestResult, error) {
+	xa := selectPrices(records, from, to, func(r PriceRecord) bool { return r.Region == a })
+	xb := selectPrices(records, from, to, func(r PriceRecord) bool { return r.Region == b })
+	if len(xa) < 2 || len(xb) < 2 {
+		return stats.RankTestResult{}, ErrNoRecords
+	}
+	return stats.MannWhitneyU(xa, xb)
+}
+
+// SizeEffect compares small-block (/24, /23) prices against larger blocks
+// over [from, to); the paper reports a small-block premium.
+func SizeEffect(records []PriceRecord, from, to time.Time) (premium float64, test stats.RankTestResult, err error) {
+	small := selectPrices(records, from, to, func(r PriceRecord) bool { return r.Bits >= 23 })
+	large := selectPrices(records, from, to, func(r PriceRecord) bool { return r.Bits < 23 })
+	if len(small) < 2 || len(large) < 2 {
+		return 0, stats.RankTestResult{}, ErrNoRecords
+	}
+	test, err = stats.MannWhitneyU(small, large)
+	if err != nil {
+		return 0, stats.RankTestResult{}, err
+	}
+	return stats.Mean(small) / stats.Mean(large), test, nil
+}
+
+// QuarterlyMedians returns the median price per quarter, sorted.
+func QuarterlyMedians(records []PriceRecord) []struct {
+	Quarter stats.Quarter
+	Median  float64
+	N       int
+} {
+	groups := make(map[stats.Quarter][]float64)
+	for _, r := range records {
+		q := stats.QuarterOf(r.Date)
+		groups[q] = append(groups[q], r.PricePerAddr)
+	}
+	qs := make([]stats.Quarter, 0, len(groups))
+	for q := range groups {
+		qs = append(qs, q)
+	}
+	stats.SortQuarters(qs)
+	out := make([]struct {
+		Quarter stats.Quarter
+		Median  float64
+		N       int
+	}, 0, len(qs))
+	for _, q := range qs {
+		m, _ := stats.Median(groups[q])
+		out = append(out, struct {
+			Quarter stats.Quarter
+			Median  float64
+			N       int
+		}{q, m, len(groups[q])})
+	}
+	return out
+}
+
+// Consolidation describes a detected market consolidation phase: a
+// trailing window of quarters whose median price barely moves.
+type Consolidation struct {
+	Since     stats.Quarter
+	Quarters  int
+	SlopePerQ float64 // fitted $/quarter over the phase
+	MedianEnd float64 // median price in the last quarter
+	RelSlope  float64 // |slope| / median
+}
+
+// DetectConsolidation finds the earliest quarter q such that the linear
+// fit of quarterly medians from q to the end has a relative slope below
+// tol (e.g. 0.02 = 2% of the price level per quarter) and the phase spans
+// at least minQuarters. The paper identifies such a phase from Spring 2019.
+func DetectConsolidation(records []PriceRecord, tol float64, minQuarters int) (Consolidation, bool) {
+	med := QuarterlyMedians(records)
+	if len(med) < minQuarters {
+		return Consolidation{}, false
+	}
+	for start := 0; start+minQuarters <= len(med); start++ {
+		var xs, ys []float64
+		for i := start; i < len(med); i++ {
+			xs = append(xs, float64(med[i].Quarter.Index()))
+			ys = append(ys, med[i].Median)
+		}
+		fit, err := stats.LinearRegression(xs, ys)
+		if err != nil {
+			continue
+		}
+		level := med[len(med)-1].Median
+		if level <= 0 {
+			continue
+		}
+		rel := fit.Slope / level
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel <= tol {
+			return Consolidation{
+				Since:     med[start].Quarter,
+				Quarters:  len(med) - start,
+				SlopePerQ: fit.Slope,
+				MedianEnd: level,
+				RelSlope:  rel,
+			}, true
+		}
+	}
+	return Consolidation{}, false
+}

@@ -1,0 +1,143 @@
+package market
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// The paper built Figure 4 by periodically fetching advertised leasing
+// prices from 21 provider websites. This file provides both halves of
+// that loop: an HTTP handler that serves a provider's current advertised
+// price (the "website"), and a scraper that polls a set of price pages
+// and accumulates a price book.
+
+// PriceQuote is the JSON document a provider's price page serves.
+type PriceQuote struct {
+	Provider        string  `json:"provider"`
+	Bundled         bool    `json:"bundled_hosting"`
+	PricePerIPMonth float64 `json:"price_per_ip_month"`
+	PrefixSize      int     `json:"prefix_size"`
+	Currency        string  `json:"currency"`
+	AsOf            string  `json:"as_of"` // RFC 3339
+}
+
+// ServeQuote returns an HTTP handler exposing the provider's advertised
+// /24 leasing price at GET /pricing. The clock injects the "current"
+// date, so tests and simulations can replay history.
+func ServeQuote(p *LeasingProvider, clock func() time.Time) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet || r.URL.Path != "/pricing" {
+			http.NotFound(w, r)
+			return
+		}
+		now := clock()
+		price, ok := p.PriceAt(now)
+		if !ok {
+			http.Error(w, "no advertised price", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(PriceQuote{
+			Provider:        p.Name,
+			Bundled:         p.Bundled,
+			PricePerIPMonth: price,
+			PrefixSize:      24,
+			Currency:        "USD",
+			AsOf:            now.UTC().Format(time.RFC3339),
+		})
+	})
+}
+
+// ErrBadQuote reports a price page returning an unusable document.
+var ErrBadQuote = errors.New("market: unusable price quote")
+
+// FetchQuote retrieves one provider's quote.
+func FetchQuote(client *http.Client, baseURL string) (PriceQuote, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 15 * time.Second}
+	}
+	resp, err := client.Get(baseURL + "/pricing")
+	if err != nil {
+		return PriceQuote{}, fmt.Errorf("market: fetch %s: %w", baseURL, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return PriceQuote{}, fmt.Errorf("market: read %s: %w", baseURL, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return PriceQuote{}, fmt.Errorf("%w: status %d from %s", ErrBadQuote, resp.StatusCode, baseURL)
+	}
+	var q PriceQuote
+	if err := json.Unmarshal(body, &q); err != nil {
+		return PriceQuote{}, fmt.Errorf("%w: %v", ErrBadQuote, err)
+	}
+	if q.Provider == "" || q.PricePerIPMonth <= 0 {
+		return PriceQuote{}, fmt.Errorf("%w: missing fields", ErrBadQuote)
+	}
+	return q, nil
+}
+
+// ScrapeResult is one polling round across all tracked price pages.
+type ScrapeResult struct {
+	Quotes []PriceQuote
+	Errors []error // one per failed site; successful quotes are unaffected
+}
+
+// Scrape polls every URL; individual failures do not abort the round (a
+// site being down must not lose the rest of the observation, as in any
+// real scraping campaign). Quotes are sorted by provider name.
+func Scrape(client *http.Client, urls []string) ScrapeResult {
+	var res ScrapeResult
+	for _, u := range urls {
+		q, err := FetchQuote(client, u)
+		if err != nil {
+			res.Errors = append(res.Errors, err)
+			continue
+		}
+		res.Quotes = append(res.Quotes, q)
+	}
+	sort.Slice(res.Quotes, func(i, j int) bool { return res.Quotes[i].Provider < res.Quotes[j].Provider })
+	return res
+}
+
+// SnapshotFromQuotes converts a scrape round into the same summary
+// statistics SnapshotAt computes from the curated price book.
+func SnapshotFromQuotes(quotes []PriceQuote, at time.Time) (LeasingSnapshot, error) {
+	snap := LeasingSnapshot{Date: at}
+	var sum, pureSum, bundledSum float64
+	var pureN, bundledN int
+	for _, q := range quotes {
+		if snap.Providers == 0 || q.PricePerIPMonth < snap.Min {
+			snap.Min = q.PricePerIPMonth
+		}
+		if q.PricePerIPMonth > snap.Max {
+			snap.Max = q.PricePerIPMonth
+		}
+		snap.Providers++
+		sum += q.PricePerIPMonth
+		if q.Bundled {
+			bundledSum += q.PricePerIPMonth
+			bundledN++
+		} else {
+			pureSum += q.PricePerIPMonth
+			pureN++
+		}
+	}
+	if snap.Providers == 0 {
+		return snap, ErrNoPrices
+	}
+	snap.Mean = sum / float64(snap.Providers)
+	if pureN > 0 {
+		snap.PureMean = pureSum / float64(pureN)
+	}
+	if bundledN > 0 {
+		snap.BundledMean = bundledSum / float64(bundledN)
+	}
+	return snap, nil
+}

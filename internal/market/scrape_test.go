@@ -1,0 +1,134 @@
+package market
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func fixedClock(t time.Time) func() time.Time {
+	return func() time.Time { return t }
+}
+
+func TestServeAndFetchQuote(t *testing.T) {
+	providers := PaperProviders()
+	heficed := &providers[2] // Heficed, price change 2020-03
+	if heficed.Name != "Heficed" {
+		t.Fatal("provider order changed")
+	}
+	// Before the change.
+	srv := httptest.NewServer(ServeQuote(heficed, fixedClock(date(2020, 1, 15))))
+	defer srv.Close()
+	q, err := FetchQuote(srv.Client(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Provider != "Heficed" || q.PricePerIPMonth != 0.65 || !q.Bundled || q.PrefixSize != 24 {
+		t.Errorf("quote = %+v", q)
+	}
+	// After the change.
+	srv2 := httptest.NewServer(ServeQuote(heficed, fixedClock(date(2020, 4, 15))))
+	defer srv2.Close()
+	q2, err := FetchQuote(srv2.Client(), srv2.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.PricePerIPMonth != 0.40 {
+		t.Errorf("post-change price = %v", q2.PricePerIPMonth)
+	}
+}
+
+func TestServeQuoteErrors(t *testing.T) {
+	providers := PaperProviders()
+	srv := httptest.NewServer(ServeQuote(&providers[0], fixedClock(date(2018, 1, 1))))
+	defer srv.Close()
+	// Before the observation window: the page 404s.
+	if _, err := FetchQuote(srv.Client(), srv.URL); err == nil {
+		t.Error("pre-window quote should fail")
+	}
+	// Wrong path.
+	resp, err := srv.Client().Get(srv.URL + "/other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("wrong path status = %d", resp.StatusCode)
+	}
+}
+
+func TestScrapeFullCampaign(t *testing.T) {
+	// Spin up all 21 provider sites as of June 2020 and rebuild Figure
+	// 4's snapshot purely from scraped quotes.
+	providers := PaperProviders()
+	at := date(2020, 6, 1)
+	var urls []string
+	for i := range providers {
+		srv := httptest.NewServer(ServeQuote(&providers[i], fixedClock(at)))
+		defer srv.Close()
+		urls = append(urls, srv.URL)
+	}
+	res := Scrape(nil, urls)
+	if len(res.Errors) != 0 {
+		t.Fatalf("errors = %v", res.Errors)
+	}
+	if len(res.Quotes) != 21 {
+		t.Fatalf("quotes = %d", len(res.Quotes))
+	}
+	snap, err := SnapshotFromQuotes(res.Quotes, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must agree exactly with the curated price book.
+	direct, err := SnapshotAt(providers, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Min != direct.Min || snap.Max != direct.Max || snap.Providers != direct.Providers {
+		t.Errorf("scraped %+v vs direct %+v", snap, direct)
+	}
+	if snap.Min != 0.30 || snap.Max != 2.33 {
+		t.Errorf("range = %v-%v", snap.Min, snap.Max)
+	}
+}
+
+func TestScrapeToleratesFailures(t *testing.T) {
+	providers := PaperProviders()
+	at := date(2020, 6, 1)
+	good := httptest.NewServer(ServeQuote(&providers[0], fixedClock(at)))
+	defer good.Close()
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	garbage := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("{not json"))
+	}))
+	defer garbage.Close()
+
+	res := Scrape(nil, []string{good.URL, bad.URL, garbage.URL, "http://127.0.0.1:1"})
+	if len(res.Quotes) != 1 || res.Quotes[0].Provider != providers[0].Name {
+		t.Errorf("quotes = %+v", res.Quotes)
+	}
+	if len(res.Errors) != 3 {
+		t.Errorf("errors = %d", len(res.Errors))
+	}
+}
+
+func TestSnapshotFromQuotesEmpty(t *testing.T) {
+	if _, err := SnapshotFromQuotes(nil, date(2020, 6, 1)); err != ErrNoPrices {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFetchQuoteValidation(t *testing.T) {
+	// Syntactically valid JSON but missing fields.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"provider":"", "price_per_ip_month": 0}`))
+	}))
+	defer srv.Close()
+	if _, err := FetchQuote(srv.Client(), srv.URL); err == nil {
+		t.Error("empty quote should fail validation")
+	}
+}

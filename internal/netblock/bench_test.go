@@ -1,0 +1,84 @@
+package netblock
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchPrefixes(n int) []Prefix {
+	rng := rand.New(rand.NewSource(1))
+	ps := make([]Prefix, n)
+	for i := range ps {
+		ps[i] = NewPrefix(Addr(rng.Uint32()), 8+rng.Intn(17))
+	}
+	return ps
+}
+
+func BenchmarkTrieInsert(b *testing.B) {
+	ps := benchPrefixes(10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := NewTrie[int]()
+		for j, p := range ps {
+			tr.Insert(p, j)
+		}
+	}
+}
+
+func BenchmarkTrieLongestMatch(b *testing.B) {
+	ps := benchPrefixes(10000)
+	tr := NewTrie[int]()
+	for j, p := range ps {
+		tr.Insert(p, j)
+	}
+	queries := benchPrefixes(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.LongestMatch(queries[i%len(queries)])
+	}
+}
+
+func BenchmarkSetAddPrefix(b *testing.B) {
+	ps := benchPrefixes(2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewSet()
+		for _, p := range ps {
+			s.AddPrefix(p)
+		}
+	}
+}
+
+func BenchmarkSetPrefixesDecompose(b *testing.B) {
+	s := NewSet()
+	for _, p := range benchPrefixes(2000) {
+		s.AddPrefix(p)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(s.Prefixes()) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkSetIntersectionSize(b *testing.B) {
+	a := NewSet()
+	c := NewSet()
+	for i, p := range benchPrefixes(4000) {
+		if i%2 == 0 {
+			a.AddPrefix(p)
+		} else {
+			c.AddPrefix(p)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.IntersectionSize(c)
+	}
+}

@@ -1,0 +1,47 @@
+package netblock_test
+
+import (
+	"fmt"
+
+	"ipv4market/internal/netblock"
+)
+
+func ExamplePrefix_Covers() {
+	alloc := netblock.MustParsePrefix("185.0.0.0/16")
+	lease := netblock.MustParsePrefix("185.0.7.0/24")
+	fmt.Println(alloc.Covers(lease), alloc.CoversStrictly(lease), lease.Covers(alloc))
+	// Output: true true false
+}
+
+func ExampleSet() {
+	pool := netblock.NewSet(netblock.MustParsePrefix("185.0.0.0/16"))
+	pool.RemovePrefix(netblock.MustParsePrefix("185.0.0.0/24")) // allocated away
+	fmt.Println(pool.Size())
+	fmt.Println(pool.Contains(netblock.MustParseAddr("185.0.0.7")))
+	// Output:
+	// 65280
+	// false
+}
+
+func ExampleTrie_LongestMatch() {
+	routes := netblock.NewTrie[string]()
+	routes.Insert(netblock.MustParsePrefix("185.0.0.0/16"), "provider")
+	routes.Insert(netblock.MustParsePrefix("185.0.7.0/24"), "lessee")
+
+	p, origin, _ := routes.LongestMatch(netblock.MustParsePrefix("185.0.7.128/25"))
+	fmt.Println(p, origin)
+	// Output: 185.0.7.0/24 lessee
+}
+
+func ExampleSet_Prefixes() {
+	s := netblock.NewSet()
+	s.AddRange(netblock.MustParseAddr("185.0.0.3"), netblock.MustParseAddr("185.0.0.10"))
+	for _, p := range s.Prefixes() {
+		fmt.Println(p)
+	}
+	// Output:
+	// 185.0.0.3/32
+	// 185.0.0.4/30
+	// 185.0.0.8/31
+	// 185.0.0.10/32
+}

@@ -1,0 +1,280 @@
+package netblock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Set is a set of IPv4 addresses maintained as disjoint, sorted,
+// half-open intervals [lo, hi). The zero value is an empty set ready to use.
+//
+// Intervals use uint64 bounds so that the interval ending at 255.255.255.255
+// can be represented as [.., 1<<32) without overflow.
+type Set struct {
+	ivs []interval
+}
+
+type interval struct{ lo, hi uint64 } // half-open [lo, hi)
+
+// NewSet builds a set from the given prefixes.
+func NewSet(ps ...Prefix) *Set {
+	s := &Set{}
+	for _, p := range ps {
+		s.AddPrefix(p)
+	}
+	return s
+}
+
+// Clone returns a deep copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{ivs: make([]interval, len(s.ivs))}
+	copy(c.ivs, s.ivs)
+	return c
+}
+
+// AddPrefix inserts all addresses of p into the set.
+func (s *Set) AddPrefix(p Prefix) {
+	s.addRange(uint64(p.First()), uint64(p.First())+p.NumAddrs())
+}
+
+// AddRange inserts the inclusive address range [first, last].
+func (s *Set) AddRange(first, last Addr) {
+	if last < first {
+		first, last = last, first
+	}
+	s.addRange(uint64(first), uint64(last)+1)
+}
+
+func (s *Set) addRange(lo, hi uint64) {
+	if lo >= hi {
+		return
+	}
+	// Find all intervals that touch or overlap [lo, hi) and merge them.
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].hi >= lo })
+	j := i
+	for j < len(s.ivs) && s.ivs[j].lo <= hi {
+		if s.ivs[j].lo < lo {
+			lo = s.ivs[j].lo
+		}
+		if s.ivs[j].hi > hi {
+			hi = s.ivs[j].hi
+		}
+		j++
+	}
+	merged := interval{lo, hi}
+	s.ivs = append(s.ivs[:i], append([]interval{merged}, s.ivs[j:]...)...)
+}
+
+// RemovePrefix deletes all addresses of p from the set.
+func (s *Set) RemovePrefix(p Prefix) {
+	s.removeRange(uint64(p.First()), uint64(p.First())+p.NumAddrs())
+}
+
+// RemoveRange deletes the inclusive address range [first, last].
+func (s *Set) RemoveRange(first, last Addr) {
+	if last < first {
+		first, last = last, first
+	}
+	s.removeRange(uint64(first), uint64(last)+1)
+}
+
+func (s *Set) removeRange(lo, hi uint64) {
+	if lo >= hi {
+		return
+	}
+	var out []interval
+	for _, iv := range s.ivs {
+		if iv.hi <= lo || iv.lo >= hi {
+			out = append(out, iv)
+			continue
+		}
+		if iv.lo < lo {
+			out = append(out, interval{iv.lo, lo})
+		}
+		if iv.hi > hi {
+			out = append(out, interval{hi, iv.hi})
+		}
+	}
+	s.ivs = out
+}
+
+// Contains reports whether the address is in the set.
+func (s *Set) Contains(a Addr) bool {
+	v := uint64(a)
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].hi > v })
+	return i < len(s.ivs) && s.ivs[i].lo <= v
+}
+
+// ContainsPrefix reports whether every address of p is in the set.
+func (s *Set) ContainsPrefix(p Prefix) bool {
+	lo := uint64(p.First())
+	hi := lo + p.NumAddrs()
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].hi > lo })
+	return i < len(s.ivs) && s.ivs[i].lo <= lo && s.ivs[i].hi >= hi
+}
+
+// OverlapsPrefix reports whether any address of p is in the set.
+func (s *Set) OverlapsPrefix(p Prefix) bool {
+	lo := uint64(p.First())
+	hi := lo + p.NumAddrs()
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].hi > lo })
+	return i < len(s.ivs) && s.ivs[i].lo < hi
+}
+
+// Size returns the number of addresses in the set.
+func (s *Set) Size() uint64 {
+	var n uint64
+	for _, iv := range s.ivs {
+		n += iv.hi - iv.lo
+	}
+	return n
+}
+
+// IsEmpty reports whether the set contains no addresses.
+func (s *Set) IsEmpty() bool { return len(s.ivs) == 0 }
+
+// Union adds every address of other to s.
+func (s *Set) Union(other *Set) {
+	for _, iv := range other.ivs {
+		s.addRange(iv.lo, iv.hi)
+	}
+}
+
+// Subtract removes every address of other from s.
+func (s *Set) Subtract(other *Set) {
+	for _, iv := range other.ivs {
+		s.removeRange(iv.lo, iv.hi)
+	}
+}
+
+// Intersect keeps only addresses present in both sets.
+func (s *Set) Intersect(other *Set) {
+	var out []interval
+	i, j := 0, 0
+	for i < len(s.ivs) && j < len(other.ivs) {
+		a, b := s.ivs[i], other.ivs[j]
+		lo := max64(a.lo, b.lo)
+		hi := min64(a.hi, b.hi)
+		if lo < hi {
+			out = append(out, interval{lo, hi})
+		}
+		if a.hi < b.hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	s.ivs = out
+}
+
+// IntersectionSize returns the number of addresses in both sets without
+// modifying either.
+func (s *Set) IntersectionSize(other *Set) uint64 {
+	var n uint64
+	i, j := 0, 0
+	for i < len(s.ivs) && j < len(other.ivs) {
+		a, b := s.ivs[i], other.ivs[j]
+		lo := max64(a.lo, b.lo)
+		hi := min64(a.hi, b.hi)
+		if lo < hi {
+			n += hi - lo
+		}
+		if a.hi < b.hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return n
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Prefixes decomposes the set into the minimal list of CIDR prefixes, in
+// address order.
+func (s *Set) Prefixes() []Prefix {
+	var out []Prefix
+	for _, iv := range s.ivs {
+		out = appendRangePrefixes(out, iv.lo, iv.hi)
+	}
+	return out
+}
+
+// appendRangePrefixes appends the minimal CIDR cover of [lo, hi) to dst.
+func appendRangePrefixes(dst []Prefix, lo, hi uint64) []Prefix {
+	for lo < hi {
+		// Largest power-of-two block starting at lo: limited both by the
+		// alignment of lo and by the remaining size.
+		size := lo & -lo // lowest set bit of lo; 0 means unconstrained
+		if size == 0 {
+			size = 1 << 32
+		}
+		for size > hi-lo {
+			size >>= 1
+		}
+		bits := 32
+		for b := size; b > 1; b >>= 1 {
+			bits--
+		}
+		dst = append(dst, Prefix{Addr(lo), uint8(bits)})
+		lo += size
+	}
+	return dst
+}
+
+// String renders the set as a comma-separated list of CIDR prefixes.
+func (s *Set) String() string {
+	ps := s.Prefixes()
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = p.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Equal reports whether the two sets contain exactly the same addresses.
+func (s *Set) Equal(other *Set) bool {
+	if len(s.ivs) != len(other.ivs) {
+		return false
+	}
+	for i, iv := range s.ivs {
+		if iv != other.ivs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkInvariants verifies the internal representation: sorted, disjoint,
+// non-adjacent, non-empty intervals. Exposed for property tests via the
+// exported debug helper below.
+func (s *Set) checkInvariants() error {
+	for i, iv := range s.ivs {
+		if iv.lo >= iv.hi {
+			return fmt.Errorf("empty interval at %d: [%d,%d)", i, iv.lo, iv.hi)
+		}
+		if iv.hi > 1<<32 {
+			return fmt.Errorf("interval out of IPv4 range at %d: [%d,%d)", i, iv.lo, iv.hi)
+		}
+		if i > 0 && s.ivs[i-1].hi >= iv.lo {
+			return fmt.Errorf("intervals %d and %d overlap or touch", i-1, i)
+		}
+	}
+	return nil
+}
+
+// DebugCheck verifies internal invariants; used by property tests.
+func (s *Set) DebugCheck() error { return s.checkInvariants() }

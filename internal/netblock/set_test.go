@@ -1,0 +1,218 @@
+package netblock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet()
+	if !s.IsEmpty() || s.Size() != 0 {
+		t.Fatal("new set should be empty")
+	}
+	s.AddPrefix(MustParsePrefix("10.0.0.0/24"))
+	if s.Size() != 256 {
+		t.Errorf("Size = %d, want 256", s.Size())
+	}
+	if !s.Contains(MustParseAddr("10.0.0.17")) {
+		t.Error("set should contain 10.0.0.17")
+	}
+	if s.Contains(MustParseAddr("10.0.1.0")) {
+		t.Error("set should not contain 10.0.1.0")
+	}
+	s.RemovePrefix(MustParsePrefix("10.0.0.128/25"))
+	if s.Size() != 128 {
+		t.Errorf("Size after removal = %d, want 128", s.Size())
+	}
+	if s.Contains(MustParseAddr("10.0.0.200")) {
+		t.Error("removed address still present")
+	}
+}
+
+func TestSetMergeAdjacent(t *testing.T) {
+	s := NewSet()
+	s.AddPrefix(MustParsePrefix("10.0.0.0/25"))
+	s.AddPrefix(MustParsePrefix("10.0.0.128/25"))
+	ps := s.Prefixes()
+	if len(ps) != 1 || ps[0] != MustParsePrefix("10.0.0.0/24") {
+		t.Errorf("adjacent halves should merge to /24, got %v", ps)
+	}
+	if err := s.DebugCheck(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetContainsOverlapsPrefix(t *testing.T) {
+	s := NewSet(MustParsePrefix("10.0.0.0/16"))
+	if !s.ContainsPrefix(MustParsePrefix("10.0.5.0/24")) {
+		t.Error("should contain sub-prefix")
+	}
+	if s.ContainsPrefix(MustParsePrefix("10.0.0.0/8")) {
+		t.Error("should not fully contain super-prefix")
+	}
+	if !s.OverlapsPrefix(MustParsePrefix("10.0.0.0/8")) {
+		t.Error("should overlap super-prefix")
+	}
+	if s.OverlapsPrefix(MustParsePrefix("11.0.0.0/8")) {
+		t.Error("should not overlap disjoint prefix")
+	}
+}
+
+func TestSetFullRange(t *testing.T) {
+	s := NewSet(MustParsePrefix("0.0.0.0/0"))
+	if s.Size() != 1<<32 {
+		t.Errorf("full set size = %d", s.Size())
+	}
+	if !s.Contains(MustParseAddr("255.255.255.255")) {
+		t.Error("full set should contain broadcast address")
+	}
+	s.RemovePrefix(MustParsePrefix("255.255.255.255/32"))
+	if s.Size() != 1<<32-1 {
+		t.Errorf("size after removing one = %d", s.Size())
+	}
+}
+
+func TestSetAddRangeUnaligned(t *testing.T) {
+	s := NewSet()
+	s.AddRange(MustParseAddr("10.0.0.3"), MustParseAddr("10.0.0.10"))
+	if s.Size() != 8 {
+		t.Errorf("size = %d, want 8", s.Size())
+	}
+	ps := s.Prefixes()
+	// Minimal CIDR cover of [3,10]: 3/32, 4/30, 8/31, 10/32.
+	want := []string{"10.0.0.3/32", "10.0.0.4/30", "10.0.0.8/31", "10.0.0.10/32"}
+	if len(ps) != len(want) {
+		t.Fatalf("prefixes = %v", ps)
+	}
+	for i, w := range want {
+		if ps[i].String() != w {
+			t.Errorf("prefix[%d] = %v, want %s", i, ps[i], w)
+		}
+	}
+}
+
+func TestSetUnionSubtractIntersect(t *testing.T) {
+	a := NewSet(MustParsePrefix("10.0.0.0/24"), MustParsePrefix("10.0.2.0/24"))
+	b := NewSet(MustParsePrefix("10.0.1.0/24"), MustParsePrefix("10.0.2.128/25"))
+
+	u := a.Clone()
+	u.Union(b)
+	if u.Size() != 256*3 {
+		t.Errorf("union size = %d, want 768", u.Size())
+	}
+
+	d := a.Clone()
+	d.Subtract(b)
+	if d.Size() != 256+128 {
+		t.Errorf("difference size = %d, want 384", d.Size())
+	}
+
+	i := a.Clone()
+	i.Intersect(b)
+	if i.Size() != 128 {
+		t.Errorf("intersection size = %d, want 128", i.Size())
+	}
+	if got := a.IntersectionSize(b); got != 128 {
+		t.Errorf("IntersectionSize = %d, want 128", got)
+	}
+	// a must be unchanged by IntersectionSize.
+	if a.Size() != 512 {
+		t.Error("IntersectionSize mutated receiver")
+	}
+}
+
+func TestSetEqual(t *testing.T) {
+	a := NewSet(MustParsePrefix("10.0.0.0/25"), MustParsePrefix("10.0.0.128/25"))
+	b := NewSet(MustParsePrefix("10.0.0.0/24"))
+	if !a.Equal(b) {
+		t.Error("equivalent sets should be Equal")
+	}
+	b.AddPrefix(MustParsePrefix("11.0.0.0/24"))
+	if a.Equal(b) {
+		t.Error("different sets should not be Equal")
+	}
+}
+
+// TestSetAgainstReferenceModel cross-checks Set against a brute-force map
+// model over a small universe, using randomized operation sequences.
+func TestSetAgainstReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const base = 0x0A000000 // 10.0.0.0, universe of 4096 addresses
+	const universe = 4096
+	for trial := 0; trial < 30; trial++ {
+		s := NewSet()
+		model := map[Addr]bool{}
+		for op := 0; op < 60; op++ {
+			bits := 20 + rng.Intn(13) // /20 .. /32 within universe
+			off := rng.Intn(universe)
+			p := NewPrefix(Addr(base+off), bits)
+			if p.Addr() < base || uint64(p.Addr())+p.NumAddrs() > base+universe {
+				continue
+			}
+			if rng.Intn(2) == 0 {
+				s.AddPrefix(p)
+				for a := p.First(); ; a++ {
+					model[a] = true
+					if a == p.Last() {
+						break
+					}
+				}
+			} else {
+				s.RemovePrefix(p)
+				for a := p.First(); ; a++ {
+					delete(model, a)
+					if a == p.Last() {
+						break
+					}
+				}
+			}
+			if err := s.DebugCheck(); err != nil {
+				t.Fatalf("trial %d op %d: invariant: %v", trial, op, err)
+			}
+		}
+		var want uint64
+		for range model {
+			want++
+		}
+		// Only count model addresses inside the universe; Set may contain
+		// nothing else by construction.
+		if got := s.Size(); got != want {
+			t.Fatalf("trial %d: size %d, model %d", trial, got, want)
+		}
+		for a := Addr(base); a < base+universe; a++ {
+			if s.Contains(a) != model[a] {
+				t.Fatalf("trial %d: membership of %v diverges", trial, a)
+			}
+		}
+	}
+}
+
+// TestSetPrefixesRoundTrip verifies that decomposing a set into prefixes
+// and rebuilding yields an equal set (property test).
+func TestSetPrefixesRoundTrip(t *testing.T) {
+	f := func(seeds []uint32) bool {
+		s := NewSet()
+		for _, v := range seeds {
+			bits := int(v%17) + 16 // /16../32
+			s.AddPrefix(NewPrefix(Addr(v), bits))
+		}
+		rebuilt := NewSet(s.Prefixes()...)
+		return rebuilt.Equal(s) && rebuilt.Size() == s.Size() && s.DebugCheck() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetAddRangeReversedArgs(t *testing.T) {
+	s := NewSet()
+	s.AddRange(MustParseAddr("10.0.0.10"), MustParseAddr("10.0.0.3"))
+	if s.Size() != 8 {
+		t.Errorf("reversed AddRange size = %d, want 8", s.Size())
+	}
+	s.RemoveRange(MustParseAddr("10.0.0.10"), MustParseAddr("10.0.0.3"))
+	if !s.IsEmpty() {
+		t.Error("reversed RemoveRange should clear the set")
+	}
+}

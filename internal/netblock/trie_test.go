@@ -1,0 +1,177 @@
+package netblock
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrieInsertGetDelete(t *testing.T) {
+	tr := NewTrie[string]()
+	p := MustParsePrefix("10.0.0.0/8")
+	if !tr.Insert(p, "ten") {
+		t.Error("first insert should be fresh")
+	}
+	if tr.Insert(p, "ten2") {
+		t.Error("second insert should not be fresh")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	v, ok := tr.Get(p)
+	if !ok || v != "ten2" {
+		t.Errorf("Get = %q, %v", v, ok)
+	}
+	if _, ok := tr.Get(MustParsePrefix("10.0.0.0/9")); ok {
+		t.Error("Get of absent prefix should miss")
+	}
+	if !tr.Delete(p) || tr.Delete(p) {
+		t.Error("Delete semantics wrong")
+	}
+	if tr.Len() != 0 {
+		t.Errorf("Len after delete = %d", tr.Len())
+	}
+}
+
+func TestTrieLongestMatch(t *testing.T) {
+	tr := NewTrie[int]()
+	tr.Insert(MustParsePrefix("10.0.0.0/8"), 8)
+	tr.Insert(MustParsePrefix("10.1.0.0/16"), 16)
+	tr.Insert(MustParsePrefix("10.1.2.0/24"), 24)
+
+	cases := []struct {
+		q    string
+		want int
+		ok   bool
+	}{
+		{"10.1.2.0/25", 24, true},
+		{"10.1.2.0/24", 24, true},
+		{"10.1.3.0/24", 16, true},
+		{"10.2.0.0/16", 8, true},
+		{"11.0.0.0/8", 0, false},
+	}
+	for _, c := range cases {
+		_, v, ok := tr.LongestMatch(MustParsePrefix(c.q))
+		if ok != c.ok || (ok && v != c.want) {
+			t.Errorf("LongestMatch(%s) = %d, %v; want %d, %v", c.q, v, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestTrieRootEntry(t *testing.T) {
+	tr := NewTrie[string]()
+	tr.Insert(MustParsePrefix("0.0.0.0/0"), "default")
+	p, v, ok := tr.LongestMatch(MustParsePrefix("203.0.113.0/24"))
+	if !ok || v != "default" || p != MustParsePrefix("0.0.0.0/0") {
+		t.Errorf("root match = %v, %q, %v", p, v, ok)
+	}
+}
+
+func TestTrieCoveringAndCoveredBy(t *testing.T) {
+	tr := NewTrie[int]()
+	for i, s := range []string{"10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24", "10.2.0.0/16", "11.0.0.0/8"} {
+		tr.Insert(MustParsePrefix(s), i)
+	}
+	cov := tr.Covering(MustParsePrefix("10.1.2.128/25"))
+	if len(cov) != 3 {
+		t.Fatalf("Covering returned %d entries: %v", len(cov), cov)
+	}
+	wantOrder := []string{"10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24"}
+	for i, w := range wantOrder {
+		if cov[i].Prefix.String() != w {
+			t.Errorf("covering[%d] = %v, want %s", i, cov[i].Prefix, w)
+		}
+	}
+
+	sub := tr.CoveredBy(MustParsePrefix("10.0.0.0/8"))
+	if len(sub) != 4 {
+		t.Fatalf("CoveredBy returned %d entries: %v", len(sub), sub)
+	}
+	if sub[0].Prefix != MustParsePrefix("10.0.0.0/8") {
+		t.Errorf("CoveredBy should include the query prefix itself, got %v", sub[0].Prefix)
+	}
+	if got := tr.CoveredBy(MustParsePrefix("12.0.0.0/8")); got != nil {
+		t.Errorf("CoveredBy disjoint = %v", got)
+	}
+}
+
+func TestTrieWalkOrder(t *testing.T) {
+	tr := NewTrie[int]()
+	in := []string{"11.0.0.0/8", "10.1.0.0/16", "10.0.0.0/8", "10.1.2.0/24"}
+	for i, s := range in {
+		tr.Insert(MustParsePrefix(s), i)
+	}
+	var got []Prefix
+	tr.Walk(func(p Prefix, _ int) bool {
+		got = append(got, p)
+		return true
+	})
+	want := []string{"10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24", "11.0.0.0/8"}
+	if len(got) != len(want) {
+		t.Fatalf("walk visited %d", len(got))
+	}
+	for i, w := range want {
+		if got[i].String() != w {
+			t.Errorf("walk[%d] = %v, want %s", i, got[i], w)
+		}
+	}
+	// Early stop.
+	n := 0
+	tr.Walk(func(Prefix, int) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Errorf("early-stopped walk visited %d", n)
+	}
+}
+
+// TestTrieAgainstLinearScan cross-checks LongestMatch/Covering/CoveredBy
+// against brute-force implementations on random prefix sets.
+func TestTrieAgainstLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		tr := NewTrie[int]()
+		var all []Prefix
+		for i := 0; i < 100; i++ {
+			p := NewPrefix(Addr(rng.Uint32()), 8+rng.Intn(25))
+			if tr.Insert(p, i) {
+				all = append(all, p)
+			}
+		}
+		for q := 0; q < 50; q++ {
+			query := NewPrefix(Addr(rng.Uint32()), 8+rng.Intn(25))
+
+			// Brute-force longest match.
+			var bestP Prefix
+			bestBits, found := -1, false
+			for _, p := range all {
+				if p.Covers(query) && p.Bits() > bestBits {
+					bestP, bestBits, found = p, p.Bits(), true
+				}
+			}
+			gp, _, gok := tr.LongestMatch(query)
+			if gok != found || (found && gp != bestP) {
+				t.Fatalf("trial %d: LongestMatch(%v) = %v,%v; want %v,%v", trial, query, gp, gok, bestP, found)
+			}
+
+			// Brute-force covering count.
+			nCover := 0
+			for _, p := range all {
+				if p.Covers(query) {
+					nCover++
+				}
+			}
+			if got := len(tr.Covering(query)); got != nCover {
+				t.Fatalf("trial %d: Covering(%v) = %d, want %d", trial, query, got, nCover)
+			}
+
+			// Brute-force covered-by count.
+			nSub := 0
+			for _, p := range all {
+				if query.Covers(p) {
+					nSub++
+				}
+			}
+			if got := len(tr.CoveredBy(query)); got != nSub {
+				t.Fatalf("trial %d: CoveredBy(%v) = %d, want %d", trial, query, got, nSub)
+			}
+		}
+	}
+}

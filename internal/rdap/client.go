@@ -1,0 +1,270 @@
+package rdap
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"ipv4market/internal/netblock"
+	"ipv4market/internal/whois"
+)
+
+// Client queries an RDAP service. The zero value is not usable; create
+// with NewClient.
+type Client struct {
+	base string
+	hc   *http.Client
+	// Delay throttles consecutive queries, as the paper does "to minimize
+	// the load on RIPE's RDAP interface". Zero disables throttling.
+	Delay    time.Duration
+	lastCall time.Time
+}
+
+// ErrNotFound reports an RDAP 404.
+var ErrNotFound = errors.New("rdap: object not found")
+
+// NewClient returns a client for the RDAP service at base (e.g.
+// "http://localhost:8080").
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Client{base: base, hc: hc}
+}
+
+func (c *Client) throttle() {
+	if c.Delay <= 0 {
+		return
+	}
+	if wait := c.Delay - time.Since(c.lastCall); wait > 0 {
+		time.Sleep(wait)
+	}
+	c.lastCall = time.Now()
+}
+
+// LookupPrefix fetches the ip-network object covering the prefix.
+func (c *Client) LookupPrefix(p netblock.Prefix) (IPNetwork, error) {
+	c.throttle()
+	url := fmt.Sprintf("%s/ip/%s/%d", c.base, p.Addr(), p.Bits())
+	return c.get(url)
+}
+
+// LookupAddr fetches the ip-network object covering a single address.
+func (c *Client) LookupAddr(a netblock.Addr) (IPNetwork, error) {
+	c.throttle()
+	return c.get(fmt.Sprintf("%s/ip/%s", c.base, a))
+}
+
+func (c *Client) get(url string) (IPNetwork, error) {
+	resp, err := c.hc.Get(url)
+	if err != nil {
+		return IPNetwork{}, fmt.Errorf("rdap: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return IPNetwork{}, fmt.Errorf("rdap: read response: %w", err)
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		return IPNetwork{}, ErrNotFound
+	}
+	if resp.StatusCode != http.StatusOK {
+		return IPNetwork{}, fmt.Errorf("rdap: unexpected status %d", resp.StatusCode)
+	}
+	var obj IPNetwork
+	if err := json.Unmarshal(body, &obj); err != nil {
+		return IPNetwork{}, fmt.Errorf("rdap: decode: %w", err)
+	}
+	return obj, nil
+}
+
+// Delegation is an administrative delegation inferred from RDAP data: a
+// child network with a parentHandle whose registrant differs from the
+// parent's.
+type Delegation struct {
+	ParentHandle string
+	ChildHandle  string
+	ParentOrg    string
+	ChildOrg     string
+	Child        IPNetwork
+}
+
+// SurveyOptions configures the delegation walk.
+type SurveyOptions struct {
+	// MinBlockSize skips blocks smaller than this many addresses. The
+	// paper ignores blocks smaller than a /24 (256 addresses) to spare
+	// the RDAP service.
+	MinBlockSize uint64
+	// Statuses selects which WHOIS statuses to query. Defaults to the
+	// delegation-related types: ASSIGNED PA and SUB-ALLOCATED PA.
+	Statuses []whois.Status
+}
+
+// DefaultSurveyOptions matches the paper's §4 methodology.
+func DefaultSurveyOptions() SurveyOptions {
+	return SurveyOptions{
+		MinBlockSize: 256,
+		Statuses:     []whois.Status{whois.StatusAssignedPA, whois.StatusSubAllocatedPA},
+	}
+}
+
+// SurveyResult reports the walk's outcome.
+type SurveyResult struct {
+	Queried     int // RDAP queries issued
+	Skipped     int // blocks below the size threshold
+	NoParent    int // objects without a parentHandle
+	IntraOrg    int // delegations removed: same registrant or admin contact
+	Delegations []Delegation
+}
+
+// Survey walks the WHOIS snapshot (the query input space, as RDAP has no
+// wildcard search), queries RDAP for every delegation-typed block of
+// sufficient size, and extracts inter-organization delegations via the
+// parentHandle field. Intra-organization entries — same registrant or the
+// same administrative contact on both sides — are removed, as in §4.
+func (c *Client) Survey(snapshot *whois.DB, opts SurveyOptions) (SurveyResult, error) {
+	if opts.MinBlockSize == 0 && opts.Statuses == nil {
+		opts = DefaultSurveyOptions()
+	}
+	statuses := make(map[whois.Status]bool, len(opts.Statuses))
+	for _, s := range opts.Statuses {
+		statuses[s] = true
+	}
+	var res SurveyResult
+	// Cache parent objects: many children share a parent.
+	parents := make(map[string]IPNetwork)
+	for _, in := range snapshot.All() {
+		if !statuses[in.Status] {
+			continue
+		}
+		if in.NumAddrs() < opts.MinBlockSize {
+			res.Skipped++
+			continue
+		}
+		p, ok := in.AsPrefix()
+		if !ok {
+			// Non-CIDR range: query by start address; the object covers it.
+			res.Queried++
+			obj, err := c.LookupAddr(in.First)
+			if err != nil {
+				if errors.Is(err, ErrNotFound) {
+					continue
+				}
+				return res, err
+			}
+			c.classify(&res, obj, parents)
+			continue
+		}
+		res.Queried++
+		obj, err := c.LookupPrefix(p)
+		if err != nil {
+			if errors.Is(err, ErrNotFound) {
+				continue
+			}
+			return res, err
+		}
+		c.classify(&res, obj, parents)
+	}
+	return res, nil
+}
+
+func (c *Client) classify(res *SurveyResult, obj IPNetwork, parents map[string]IPNetwork) {
+	if obj.ParentHandle == "" {
+		res.NoParent++
+		return
+	}
+	parent, ok := parents[obj.ParentHandle]
+	if !ok {
+		// Resolve the parent by querying its exact range: as a prefix
+		// lookup when the handle is CIDR-aligned (an exact match on the
+		// server), otherwise by start address as a best effort.
+		first, last, err := parseHandle(obj.ParentHandle)
+		if err != nil {
+			res.NoParent++
+			return
+		}
+		var p IPNetwork
+		if pr, aligned := rangeAsPrefix(first, last); aligned {
+			p, err = c.LookupPrefix(pr)
+		} else {
+			p, err = c.LookupAddr(first)
+		}
+		if err != nil {
+			res.NoParent++
+			return
+		}
+		parent = p
+		parents[obj.ParentHandle] = parent
+	}
+	childOrg, _ := obj.Registrant()
+	parentOrg, _ := parent.Registrant()
+	childAdmin, _ := obj.Administrative()
+	parentAdmin, _ := parent.Administrative()
+	sameOrg := childOrg != "" && childOrg == parentOrg
+	sameAdmin := childAdmin != "" && childAdmin == parentAdmin
+	if sameOrg || sameAdmin {
+		res.IntraOrg++
+		return
+	}
+	res.Delegations = append(res.Delegations, Delegation{
+		ParentHandle: obj.ParentHandle,
+		ChildHandle:  obj.Handle,
+		ParentOrg:    parentOrg,
+		ChildOrg:     childOrg,
+		Child:        obj,
+	})
+}
+
+// rangeAsPrefix converts an inclusive range to a CIDR prefix when the
+// range is power-of-two sized and aligned.
+func rangeAsPrefix(first, last netblock.Addr) (netblock.Prefix, bool) {
+	if last < first {
+		return netblock.Prefix{}, false
+	}
+	n := uint64(last) - uint64(first) + 1
+	if n&(n-1) != 0 {
+		return netblock.Prefix{}, false
+	}
+	bits := 32
+	for m := n; m > 1; m >>= 1 {
+		bits--
+	}
+	p := netblock.NewPrefix(first, bits)
+	if p.First() != first {
+		return netblock.Prefix{}, false
+	}
+	return p, true
+}
+
+// parseHandle splits an RDAP range handle back into addresses.
+func parseHandle(h string) (first, last netblock.Addr, err error) {
+	parts := strings.Split(h, " - ")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("rdap: bad handle %q", h)
+	}
+	first, err = netblock.ParseAddr(parts[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	last, err = netblock.ParseAddr(parts[1])
+	return first, last, err
+}
+
+// DelegatedAddrs returns the number of distinct addresses covered by the
+// inferred delegations' child networks.
+func DelegatedAddrs(ds []Delegation) uint64 {
+	set := netblock.NewSet()
+	for _, d := range ds {
+		first, err1 := netblock.ParseAddr(d.Child.StartAddress)
+		last, err2 := netblock.ParseAddr(d.Child.EndAddress)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		set.AddRange(first, last)
+	}
+	return set.Size()
+}

@@ -1,0 +1,173 @@
+// Package rdap implements the Registration Data Access Protocol pieces
+// the paper uses (§4): RFC 7483 "ip network" JSON objects served over
+// HTTP from a WHOIS database, a client that queries them, and the
+// delegation inference that walks parentHandle links and compares
+// registrant/administrative contacts.
+package rdap
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"ipv4market/internal/netblock"
+	"ipv4market/internal/whois"
+)
+
+// IPNetwork is the RFC 7483 ip-network object (the fields the analysis
+// needs).
+type IPNetwork struct {
+	ObjectClassName string   `json:"objectClassName"`
+	Handle          string   `json:"handle"`
+	StartAddress    string   `json:"startAddress"`
+	EndAddress      string   `json:"endAddress"`
+	IPVersion       string   `json:"ipVersion"`
+	Name            string   `json:"name"`
+	Type            string   `json:"type"` // WHOIS status, e.g. "ASSIGNED PA"
+	Country         string   `json:"country,omitempty"`
+	ParentHandle    string   `json:"parentHandle,omitempty"`
+	Entities        []Entity `json:"entities,omitempty"`
+}
+
+// Entity is an RFC 7483 entity with its roles.
+type Entity struct {
+	ObjectClassName string   `json:"objectClassName"`
+	Handle          string   `json:"handle"`
+	Roles           []string `json:"roles"`
+}
+
+// RDAP entity roles used here.
+const (
+	RoleRegistrant     = "registrant"
+	RoleAdministrative = "administrative"
+)
+
+// ErrorResponse is the RFC 7483 error document.
+type ErrorResponse struct {
+	ErrorCode   int    `json:"errorCode"`
+	Title       string `json:"title"`
+	Description string `json:"description,omitempty"`
+}
+
+// HandleFor renders an inetnum's RDAP handle ("first - last", as the RIPE
+// NCC does).
+func HandleFor(in *whois.Inetnum) string {
+	return fmt.Sprintf("%s - %s", in.First, in.Last)
+}
+
+// objectFor converts an inetnum (plus its parent, if any) into the RDAP
+// representation.
+func objectFor(db *whois.DB, in *whois.Inetnum) IPNetwork {
+	obj := IPNetwork{
+		ObjectClassName: "ip network",
+		Handle:          HandleFor(in),
+		StartAddress:    in.First.String(),
+		EndAddress:      in.Last.String(),
+		IPVersion:       "v4",
+		Name:            in.Netname,
+		Type:            string(in.Status),
+		Country:         in.Country,
+	}
+	if parent, ok := db.Parent(in); ok {
+		obj.ParentHandle = HandleFor(parent)
+	}
+	if in.Org != "" {
+		obj.Entities = append(obj.Entities, Entity{
+			ObjectClassName: "entity", Handle: in.Org, Roles: []string{RoleRegistrant},
+		})
+	}
+	if in.AdminC != "" {
+		obj.Entities = append(obj.Entities, Entity{
+			ObjectClassName: "entity", Handle: in.AdminC, Roles: []string{RoleAdministrative},
+		})
+	}
+	return obj
+}
+
+// Registrant returns the handle of the registrant entity, if present.
+func (n IPNetwork) Registrant() (string, bool) { return n.roleHandle(RoleRegistrant) }
+
+// Administrative returns the handle of the administrative entity.
+func (n IPNetwork) Administrative() (string, bool) { return n.roleHandle(RoleAdministrative) }
+
+func (n IPNetwork) roleHandle(role string) (string, bool) {
+	for _, e := range n.Entities {
+		for _, r := range e.Roles {
+			if r == role {
+				return e.Handle, true
+			}
+		}
+	}
+	return "", false
+}
+
+// Server serves RDAP ip-network lookups from a WHOIS database. Paths
+// follow RFC 7482: /ip/<address> and /ip/<address>/<length>. The response
+// describes the most specific registered network covering the query.
+type Server struct {
+	DB *whois.DB
+}
+
+// NewServer returns a server over the database.
+func NewServer(db *whois.DB) *Server { return &Server{DB: db} }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method not allowed", "")
+		return
+	}
+	path := strings.TrimPrefix(r.URL.Path, "/")
+	parts := strings.Split(path, "/")
+	if len(parts) < 2 || parts[0] != "ip" {
+		writeError(w, http.StatusNotFound, "not found", "use /ip/<address>[/<length>]")
+		return
+	}
+	addr, err := netblock.ParseAddr(parts[1])
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid address", err.Error())
+		return
+	}
+	first, last := addr, addr
+	if len(parts) >= 3 {
+		bits, err := strconv.Atoi(parts[2])
+		if err != nil || bits < 0 || bits > 32 {
+			writeError(w, http.StatusBadRequest, "invalid prefix length", "")
+			return
+		}
+		p := netblock.NewPrefix(addr, bits)
+		first, last = p.First(), p.Last()
+	}
+	obj, ok := s.lookup(first, last)
+	if !ok {
+		writeError(w, http.StatusNotFound, "object not found", "")
+		return
+	}
+	w.Header().Set("Content-Type", "application/rdap+json")
+	if err := json.NewEncoder(w).Encode(obj); err != nil {
+		// Too late for an error document; the connection is gone.
+		return
+	}
+}
+
+// lookup finds the most specific inetnum covering [first, last]: an exact
+// match if present, otherwise the tightest enclosing object.
+func (s *Server) lookup(first, last netblock.Addr) (IPNetwork, bool) {
+	if in, ok := s.DB.Lookup(first, last); ok {
+		return objectFor(s.DB, in), true
+	}
+	// Walk up: use a synthetic probe object to find the tightest cover.
+	probe := &whois.Inetnum{First: first, Last: last}
+	if parent, ok := s.DB.Parent(probe); ok {
+		return objectFor(s.DB, parent), true
+	}
+	return IPNetwork{}, false
+}
+
+func writeError(w http.ResponseWriter, code int, title, desc string) {
+	w.Header().Set("Content-Type", "application/rdap+json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(ErrorResponse{ErrorCode: code, Title: title, Description: desc})
+}

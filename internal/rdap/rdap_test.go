@@ -1,0 +1,235 @@
+package rdap
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ipv4market/internal/netblock"
+	"ipv4market/internal/whois"
+)
+
+func addr(s string) netblock.Addr  { return netblock.MustParseAddr(s) }
+func pfx(s string) netblock.Prefix { return netblock.MustParsePrefix(s) }
+
+func buildDB() *whois.DB {
+	db := whois.NewDB()
+	add := func(first, last string, status whois.Status, org, admin string) {
+		db.Add(&whois.Inetnum{
+			First: addr(first), Last: addr(last),
+			Netname: "NET-" + first, Country: "DE",
+			Org: org, AdminC: admin, Status: status,
+		})
+	}
+	// LIR allocation with a sub-allocation and assignments.
+	add("185.0.0.0", "185.0.255.255", whois.StatusAllocatedPA, "ORG-LIR", "LIR-ADM")
+	add("185.0.0.0", "185.0.3.255", whois.StatusSubAllocatedPA, "ORG-ISP", "ISP-ADM") // real delegation
+	add("185.0.0.0", "185.0.0.255", whois.StatusAssignedPA, "ORG-CUST", "CUST-ADM")   // delegation from ISP
+	add("185.0.8.0", "185.0.8.255", whois.StatusAssignedPA, "ORG-LIR", "LIR-ADM")     // intra-org (same registrant)
+	add("185.0.9.0", "185.0.9.255", whois.StatusAssignedPA, "ORG-OTHER", "LIR-ADM")   // intra-org (same admin)
+	add("185.0.10.0", "185.0.10.127", whois.StatusAssignedPA, "ORG-TINY", "TINY-ADM") // < /24: skipped
+	return db
+}
+
+func newTestServer(t *testing.T) (*httptest.Server, *whois.DB) {
+	t.Helper()
+	db := buildDB()
+	srv := httptest.NewServer(NewServer(db))
+	t.Cleanup(srv.Close)
+	return srv, db
+}
+
+func TestServerLookupExactAndCovering(t *testing.T) {
+	srv, _ := newTestServer(t)
+	c := NewClient(srv.URL, srv.Client())
+
+	obj, err := c.LookupPrefix(pfx("185.0.0.0/24"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Handle != "185.0.0.0 - 185.0.0.255" || obj.Type != string(whois.StatusAssignedPA) {
+		t.Errorf("obj = %+v", obj)
+	}
+	if obj.ParentHandle != "185.0.0.0 - 185.0.3.255" {
+		t.Errorf("parentHandle = %q", obj.ParentHandle)
+	}
+	if org, ok := obj.Registrant(); !ok || org != "ORG-CUST" {
+		t.Errorf("registrant = %q, %v", org, ok)
+	}
+	if adm, ok := obj.Administrative(); !ok || adm != "CUST-ADM" {
+		t.Errorf("administrative = %q, %v", adm, ok)
+	}
+
+	// Covering lookup: an address inside the /16 but outside any child.
+	cov, err := c.LookupAddr(addr("185.0.200.7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov.Handle != "185.0.0.0 - 185.0.255.255" {
+		t.Errorf("covering handle = %q", cov.Handle)
+	}
+	if cov.ParentHandle != "" {
+		t.Errorf("top object should have no parent, got %q", cov.ParentHandle)
+	}
+	if cov.ObjectClassName != "ip network" || cov.IPVersion != "v4" {
+		t.Errorf("object metadata = %+v", cov)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	srv, _ := newTestServer(t)
+	c := NewClient(srv.URL, srv.Client())
+
+	if _, err := c.LookupAddr(addr("9.9.9.9")); !errors.Is(err, ErrNotFound) {
+		t.Errorf("uncovered address err = %v", err)
+	}
+
+	// Malformed paths.
+	for _, path := range []string{"/ip/banana", "/ip/185.0.0.0/99", "/nope/1.2.3.4", "/ip"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatalf("%s: error doc: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Errorf("%s: expected error status", path)
+		}
+		if e.ErrorCode != resp.StatusCode {
+			t.Errorf("%s: errorCode %d != status %d", path, e.ErrorCode, resp.StatusCode)
+		}
+	}
+
+	// Wrong method.
+	resp, err := srv.Client().Post(srv.URL+"/ip/185.0.0.0", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d", resp.StatusCode)
+	}
+}
+
+func TestSurvey(t *testing.T) {
+	srv, db := newTestServer(t)
+	c := NewClient(srv.URL, srv.Client())
+
+	res, err := c.Survey(db, DefaultSurveyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queried: sub-allocated /22 + three /24 ASSIGNED PA = 4.
+	if res.Queried != 4 {
+		t.Errorf("Queried = %d", res.Queried)
+	}
+	if res.Skipped != 1 {
+		t.Errorf("Skipped = %d (the /25)", res.Skipped)
+	}
+	if res.IntraOrg != 2 {
+		t.Errorf("IntraOrg = %d", res.IntraOrg)
+	}
+	// Delegations: ISP /22 (from LIR) and CUST /24 (from ISP).
+	if len(res.Delegations) != 2 {
+		t.Fatalf("Delegations = %+v", res.Delegations)
+	}
+	var handles []string
+	for _, d := range res.Delegations {
+		handles = append(handles, d.ChildHandle)
+	}
+	want := map[string]bool{
+		"185.0.0.0 - 185.0.3.255": true,
+		"185.0.0.0 - 185.0.0.255": true,
+	}
+	for _, h := range handles {
+		if !want[h] {
+			t.Errorf("unexpected delegation child %q", h)
+		}
+	}
+	// Delegated address count: /22 ∪ /24 (nested) = 1024.
+	if got := DelegatedAddrs(res.Delegations); got != 1024 {
+		t.Errorf("DelegatedAddrs = %d", got)
+	}
+}
+
+func TestSurveyZeroOptionsDefaults(t *testing.T) {
+	srv, db := newTestServer(t)
+	c := NewClient(srv.URL, srv.Client())
+	res, err := c.Survey(db, SurveyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Delegations) != 2 {
+		t.Errorf("zero-options survey should use defaults, got %+v", res)
+	}
+}
+
+func TestSurveyNonCIDRRange(t *testing.T) {
+	db := whois.NewDB()
+	db.Add(&whois.Inetnum{
+		First: addr("185.0.0.0"), Last: addr("185.0.255.255"),
+		Status: whois.StatusAllocatedPA, Org: "ORG-LIR",
+	})
+	// A 512-address range that is not CIDR-aligned (starts at .128).
+	db.Add(&whois.Inetnum{
+		First: addr("185.0.0.128"), Last: addr("185.0.2.127"),
+		Status: whois.StatusAssignedPA, Org: "ORG-CUST",
+	})
+	srv := httptest.NewServer(NewServer(db))
+	defer srv.Close()
+	c := NewClient(srv.URL, srv.Client())
+	res, err := c.Survey(db, DefaultSurveyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Delegations) != 1 {
+		t.Fatalf("non-CIDR survey = %+v", res)
+	}
+	if got := DelegatedAddrs(res.Delegations); got != 512 {
+		t.Errorf("DelegatedAddrs = %d", got)
+	}
+}
+
+func TestParseHandle(t *testing.T) {
+	f, l, err := parseHandle("185.0.0.0 - 185.0.0.255")
+	if err != nil || f != addr("185.0.0.0") || l != addr("185.0.0.255") {
+		t.Errorf("parseHandle = %v %v %v", f, l, err)
+	}
+	if _, _, err := parseHandle("x"); err == nil {
+		t.Error("bad handle should fail")
+	}
+	if _, _, err := parseHandle("a - b"); err == nil {
+		t.Error("bad addresses should fail")
+	}
+}
+
+func TestClientBadServer(t *testing.T) {
+	// Server returning garbage JSON.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("{not json"))
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL, srv.Client())
+	if _, err := c.LookupAddr(addr("1.2.3.4")); err == nil {
+		t.Error("garbage JSON should fail")
+	}
+	// Server returning 500.
+	srv2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer srv2.Close()
+	c2 := NewClient(srv2.URL, srv2.Client())
+	if _, err := c2.LookupAddr(addr("1.2.3.4")); err == nil {
+		t.Error("500 should fail")
+	}
+	// Unreachable server.
+	c3 := NewClient("http://127.0.0.1:0", nil)
+	if _, err := c3.LookupAddr(addr("1.2.3.4")); err == nil {
+		t.Error("unreachable server should fail")
+	}
+}

@@ -1,0 +1,56 @@
+package registry_test
+
+import (
+	"fmt"
+	"time"
+
+	"ipv4market/internal/netblock"
+	"ipv4market/internal/registry"
+)
+
+// ExampleRegistry shows the exhaustion-era lifecycle: a pre-exhaustion
+// member gets its requested block, a post-run-out request queues on the
+// waiting list, and recovered space serves it after quarantine.
+func ExampleRegistry() {
+	r := registry.NewRegistry()
+	r.SeedPool(registry.RIPENCC, netblock.MustParsePrefix("185.0.0.0/12"))
+
+	r.RegisterLIR("veteran", registry.RIPENCC, "DE", time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC))
+	a, _ := r.Allocate(registry.RIPENCC, "veteran", 16, time.Date(2005, 6, 1, 0, 0, 0, 0, time.UTC))
+	fmt.Println("2005:", a.Prefix)
+
+	// RIPE ran out on 2019-11-25; drain what remains and request again.
+	sinkDate := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+	r.RegisterLIR("sink", registry.RIPENCC, "NL", sinkDate)
+	for bits := 12; bits <= 24; bits++ {
+		for {
+			if _, err := r.Allocate(registry.RIPENCC, "sink", bits, sinkDate); err != nil {
+				break
+			}
+		}
+	}
+	r.RegisterLIR("newcomer", registry.RIPENCC, "FR", time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC))
+	_, err := r.Allocate(registry.RIPENCC, "newcomer", 24, time.Date(2020, 1, 15, 0, 0, 0, 0, time.UTC))
+	fmt.Println("2020:", err)
+
+	// The veteran closes; its space is recovered, matures, and serves the list.
+	r.Recover(a.Prefix, time.Date(2020, 2, 1, 0, 0, 0, 0, time.UTC))
+	served := r.ProcessQuarantine(registry.RIPENCC, time.Date(2020, 9, 1, 0, 0, 0, 0, time.UTC))
+	fmt.Println("served:", served[0].Org, "with a /"+fmt.Sprint(served[0].Prefix.Bits()))
+	// Output:
+	// 2005: 185.0.0.0/16
+	// 2020: registry: request queued on waiting list
+	// served: newcomer with a /24
+}
+
+// ExamplePhaseAt reads Table 1's timeline from the policy engine.
+func ExamplePhaseAt() {
+	for _, when := range []string{"2012-09-13", "2012-09-14", "2019-11-25"} {
+		t, _ := time.Parse("2006-01-02", when)
+		fmt.Println(when, registry.PhaseAt(registry.RIPENCC, t))
+	}
+	// Output:
+	// 2012-09-13 normal
+	// 2012-09-14 soft-landing
+	// 2019-11-25 depleted
+}

@@ -1,0 +1,124 @@
+package registry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"ipv4market/internal/netblock"
+)
+
+// This file implements the NRO delegated-extended statistics format, the
+// pipe-delimited daily snapshot each RIR publishes:
+//
+//	registry|cc|type|start|value|date|status[|opaque-id]
+//
+// preceded by a version line and per-type summary lines. Only ipv4 records
+// are modeled; the parser skips asn/ipv6 records rather than failing so
+// that real files remain ingestible.
+
+// ExtendedRecord is one ipv4 row of a delegated-extended file.
+type ExtendedRecord struct {
+	Registry RIR
+	Country  string
+	Start    netblock.Addr
+	Count    uint64 // number of addresses (need not be a CIDR block)
+	Date     time.Time
+	Status   AllocationStatus
+	OpaqueID string // registry-unique org handle
+}
+
+// Prefixes decomposes the record's range into minimal CIDR blocks.
+func (e ExtendedRecord) Prefixes() []netblock.Prefix {
+	s := netblock.NewSet()
+	s.AddRange(e.Start, e.Start+netblock.Addr(e.Count-1))
+	return s.Prefixes()
+}
+
+// ExportExtended writes a delegated-extended snapshot for the RIR, listing
+// each of its live allocations plus an "available" summary derived from
+// the free pool size. Records are sorted by start address.
+func ExportExtended(w io.Writer, r *Registry, rir RIR, asOf time.Time) error {
+	bw := bufio.NewWriter(w)
+	allocs := r.Allocations()
+	var rows []*Allocation
+	for _, a := range allocs {
+		if a.RIR == rir {
+			rows = append(rows, a)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Prefix.Compare(rows[j].Prefix) < 0 })
+
+	serial := asOf.Format("20060102")
+	fmt.Fprintf(bw, "2|%s|%s|%d|%d|19830101|%s|+0000\n",
+		rir.StatsName(), serial, len(rows), len(rows), serial)
+	fmt.Fprintf(bw, "%s|*|ipv4|*|%d|summary\n", rir.StatsName(), len(rows))
+	for _, a := range rows {
+		fmt.Fprintf(bw, "%s|%s|ipv4|%s|%d|%s|%s|%s\n",
+			rir.StatsName(), a.Country, a.Prefix.First(), a.Prefix.NumAddrs(),
+			a.Date.Format("20060102"), a.Status, a.Org)
+	}
+	return bw.Flush()
+}
+
+// ParseExtended reads the ipv4 records of a delegated-extended file.
+// Header, summary, asn and ipv6 lines are skipped.
+func ParseExtended(rd io.Reader) ([]ExtendedRecord, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []ExtendedRecord
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "|")
+		if len(fields) < 7 {
+			continue // version or summary line
+		}
+		if fields[2] != "ipv4" || fields[3] == "*" {
+			continue
+		}
+		reg, err := ParseRIR(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("registry: extended line %d: %w", lineNo, err)
+		}
+		start, err := netblock.ParseAddr(fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("registry: extended line %d: %w", lineNo, err)
+		}
+		count, err := strconv.ParseUint(fields[4], 10, 64)
+		if err != nil || count == 0 {
+			return nil, fmt.Errorf("registry: extended line %d: bad count %q", lineNo, fields[4])
+		}
+		var date time.Time
+		if fields[5] != "" {
+			date, err = time.Parse("20060102", fields[5])
+			if err != nil {
+				return nil, fmt.Errorf("registry: extended line %d: bad date %q", lineNo, fields[5])
+			}
+		}
+		rec := ExtendedRecord{
+			Registry: reg,
+			Country:  fields[1],
+			Start:    start,
+			Count:    count,
+			Date:     date,
+			Status:   AllocationStatus(fields[6]),
+		}
+		if len(fields) > 7 {
+			rec.OpaqueID = fields[7]
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("registry: extended: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,218 @@
+package registry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ipv4market/internal/netblock"
+)
+
+func buildTransfers(t *testing.T) (*Registry, []Transfer) {
+	t.Helper()
+	r := newTestRegistry()
+	r.RegisterLIR("seller-ripe", RIPENCC, "DE", date(2005, 1, 1))
+	r.RegisterLIR("buyer-ripe", RIPENCC, "SE", date(2014, 1, 1))
+	r.RegisterLIR("seller-apnic", APNIC, "JP", date(2005, 1, 1))
+	r.RegisterLIR("buyer-apnic", APNIC, "AU", date(2014, 1, 1))
+
+	a1, err := r.Allocate(RIPENCC, "seller-ripe", 16, date(2005, 6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := r.Allocate(APNIC, "seller-apnic", 16, date(2005, 6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub1, _ := a1.Prefix.Split(24)
+	sub2, _ := a2.Prefix.Split(24)
+
+	if _, err := r.ExecuteTransfer(sub1[0], "seller-ripe", "buyer-ripe", RIPENCC, TypeMarket, 21, date(2020, 1, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ExecuteTransfer(sub1[1], "seller-ripe", "buyer-ripe", RIPENCC, TypeMerger, 0, date(2020, 2, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ExecuteTransfer(sub2[0], "seller-apnic", "buyer-apnic", APNIC, TypeMerger, 0, date(2020, 3, 10)); err != nil {
+		t.Fatal(err)
+	}
+	return r, r.Transfers()
+}
+
+func TestTransferLogRoundTrip(t *testing.T) {
+	_, transfers := buildTransfers(t)
+	var buf bytes.Buffer
+	if err := ExportTransferLog(&buf, RIPENCC, transfers); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseTransferLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d transfers, want 2 (RIPE only)", len(got))
+	}
+	// RIPE labels M&A, so the merger type survives the round trip.
+	var sawMerger bool
+	for _, tr := range got {
+		if tr.Type == TypeMerger {
+			sawMerger = true
+		}
+		if tr.FromRIR != RIPENCC {
+			t.Errorf("unexpected source RIR %s", tr.FromRIR)
+		}
+	}
+	if !sawMerger {
+		t.Error("RIPE log should preserve the M&A label")
+	}
+}
+
+func TestTransferLogErasesMALabelForAPNIC(t *testing.T) {
+	// §3: APNIC and LACNIC do not label M&A transfers.
+	_, transfers := buildTransfers(t)
+	var buf bytes.Buffer
+	if err := ExportTransferLog(&buf, APNIC, transfers); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseTransferLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("parsed %d transfers, want 1", len(got))
+	}
+	if got[0].Type != TypeMarket {
+		t.Errorf("APNIC log should erase the M&A label, got %s", got[0].Type)
+	}
+}
+
+func TestParseTransferLogRangeDecomposition(t *testing.T) {
+	// A 256-address range offset so it is not one CIDR block must
+	// decompose into minimal prefixes (two /25s).
+	doc := `{
+	  "version": "4.0",
+	  "transfers": [{
+	    "ip4nets": {"transfer_set": [
+	      {"start_address": "185.0.0.128", "end_address": "185.0.1.127"}
+	    ]},
+	    "type": "RESOURCE_TRANSFER",
+	    "source_organization": {"name": "s"},
+	    "recipient_organization": {"name": "b"},
+	    "source_rir": "RIPE NCC",
+	    "recipient_rir": "RIPE NCC",
+	    "transfer_date": "2020-01-10T00:00:00Z"
+	  }]
+	}`
+	got, err := ParseTransferLog(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("decomposed into %d prefixes, want 2 (/25 + /25)", len(got))
+	}
+	var total uint64
+	for _, tr := range got {
+		total += tr.Prefix.NumAddrs()
+	}
+	if total != 256 {
+		t.Errorf("total addresses = %d, want 256", total)
+	}
+}
+
+func TestParseTransferLogErrors(t *testing.T) {
+	cases := []struct{ name, doc string }{
+		{"bad json", `{`},
+		{"bad rir", `{"transfers":[{"type":"RESOURCE_TRANSFER","source_organization":{"name":"s"},"recipient_organization":{"name":"b"},"source_rir":"MARS","recipient_rir":"ARIN","transfer_date":"2020-01-10T00:00:00Z"}]}`},
+		{"bad date", `{"transfers":[{"type":"RESOURCE_TRANSFER","source_organization":{"name":"s"},"recipient_organization":{"name":"b"},"source_rir":"ARIN","recipient_rir":"ARIN","transfer_date":"not-a-date"}]}`},
+		{"bad type", `{"transfers":[{"type":"GIFT","source_organization":{"name":"s"},"recipient_organization":{"name":"b"},"source_rir":"ARIN","recipient_rir":"ARIN","transfer_date":"2020-01-10T00:00:00Z"}]}`},
+		{"bad addr", `{"transfers":[{"ip4nets":{"transfer_set":[{"start_address":"x","end_address":"y"}]},"type":"RESOURCE_TRANSFER","source_organization":{"name":"s"},"recipient_organization":{"name":"b"},"source_rir":"ARIN","recipient_rir":"ARIN","transfer_date":"2020-01-10T00:00:00Z"}]}`},
+	}
+	for _, c := range cases {
+		if _, err := ParseTransferLog(strings.NewReader(c.doc)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestParseTransferLogSkipsNonIPv4(t *testing.T) {
+	doc := `{"transfers":[{"type":"RESOURCE_TRANSFER","source_organization":{"name":"s"},"recipient_organization":{"name":"b"},"source_rir":"ARIN","recipient_rir":"ARIN","transfer_date":"2020-01-10T00:00:00Z"}]}`
+	got, err := ParseTransferLog(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("ASN-only record should yield no transfers, got %v", got)
+	}
+}
+
+func TestExtendedRoundTrip(t *testing.T) {
+	r := newTestRegistry()
+	r.RegisterLIR("acme", RIPENCC, "DE", date(2005, 1, 1))
+	r.RegisterLIR("beta", RIPENCC, "FR", date(2006, 1, 1))
+	if _, err := r.Allocate(RIPENCC, "acme", 16, date(2005, 6, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Allocate(RIPENCC, "beta", 19, date(2006, 6, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := ExportExtended(&buf, r, RIPENCC, date(2020, 6, 1)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ParseExtended(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("parsed %d records, want 2; file:\n%s", len(recs), buf.String())
+	}
+	var total uint64
+	for _, rec := range recs {
+		if rec.Registry != RIPENCC || rec.Status != StatusAllocated {
+			t.Errorf("record = %+v", rec)
+		}
+		total += rec.Count
+	}
+	if total != (1<<16)+(1<<13) {
+		t.Errorf("total = %d", total)
+	}
+}
+
+func TestExtendedRecordPrefixes(t *testing.T) {
+	rec := ExtendedRecord{Start: netblock.MustParseAddr("185.0.0.0"), Count: 768}
+	ps := rec.Prefixes()
+	if len(ps) != 2 {
+		t.Fatalf("768-address range should be /23+/24, got %v", ps)
+	}
+}
+
+func TestParseExtendedSkipsAndErrors(t *testing.T) {
+	good := `2|ripencc|20200601|1|1|19830101|20200601|+0000
+ripencc|*|ipv4|*|1|summary
+ripencc|*|asn|*|5|summary
+ripencc|DE|asn|64500|1|20050601|allocated|acme
+ripencc|DE|ipv6|2001:db8::|32|20050601|allocated|acme
+ripencc|DE|ipv4|185.0.0.0|65536|20050601|allocated|acme
+`
+	recs, err := ParseExtended(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].OpaqueID != "acme" {
+		t.Fatalf("recs = %+v", recs)
+	}
+
+	bad := []string{
+		"mars|DE|ipv4|185.0.0.0|256|20050601|allocated|x\n",
+		"ripencc|DE|ipv4|nope|256|20050601|allocated|x\n",
+		"ripencc|DE|ipv4|185.0.0.0|zero|20050601|allocated|x\n",
+		"ripencc|DE|ipv4|185.0.0.0|0|20050601|allocated|x\n",
+		"ripencc|DE|ipv4|185.0.0.0|256|2005|allocated|x\n",
+	}
+	for i, b := range bad {
+		if _, err := ParseExtended(strings.NewReader(b)); err == nil {
+			t.Errorf("bad[%d]: expected error", i)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package registry
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"ipv4market/internal/netblock"
+)
+
+// Property test: under random sequences of allocations, transfers,
+// recoveries and quarantine processing, the registry preserves its
+// conservation and disjointness invariants:
+//
+//  1. live allocations never overlap;
+//  2. pool + quarantine + allocated space exactly equals the seeded space;
+//  3. every allocation's holder is a registered member of its RIR.
+func TestRegistryInvariantsUnderRandomOps(t *testing.T) {
+	for trial := 0; trial < 12; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		r := NewRegistry()
+		seeded := netblock.MustParsePrefix("60.0.0.0/8")
+		r.SeedPool(ARIN, seeded)
+
+		orgs := make([]OrgID, 12)
+		for i := range orgs {
+			orgs[i] = OrgID(string(rune('a' + i)))
+			r.RegisterLIR(orgs[i], ARIN, "US", date(2005, 1, 1))
+		}
+
+		when := date(2006, 1, 1)
+		for op := 0; op < 200; op++ {
+			when = when.AddDate(0, 0, 1+rng.Intn(20))
+			org := orgs[rng.Intn(len(orgs))]
+			switch rng.Intn(4) {
+			case 0: // allocate
+				_, err := r.Allocate(ARIN, org, 16+rng.Intn(9), when)
+				if err != nil && !errors.Is(err, ErrPoolEmpty) && !errors.Is(err, ErrPolicy) &&
+					!errors.Is(err, ErrWaitingList) && !errors.Is(err, ErrWaitingListFull) {
+					t.Fatalf("trial %d op %d: allocate: %v", trial, op, err)
+				}
+			case 1: // transfer a random (sub-)block
+				allocs := r.AllocationsOf(ARIN, org)
+				if len(allocs) == 0 {
+					continue
+				}
+				a := allocs[rng.Intn(len(allocs))]
+				bits := a.Prefix.Bits() + rng.Intn(3)
+				if bits > 24 {
+					bits = a.Prefix.Bits()
+				}
+				sub := netblock.NewPrefix(a.Prefix.Addr(), bits)
+				buyer := orgs[rng.Intn(len(orgs))]
+				if buyer == org {
+					continue
+				}
+				_, err := r.ExecuteTransfer(sub, org, buyer, ARIN, TypeMarket, 20, when)
+				if err != nil && !errors.Is(err, ErrMarketClosed) && !errors.Is(err, ErrNotHolder) {
+					t.Fatalf("trial %d op %d: transfer: %v", trial, op, err)
+				}
+			case 2: // recover
+				allocs := r.AllocationsOf(ARIN, org)
+				if len(allocs) == 0 {
+					continue
+				}
+				a := allocs[rng.Intn(len(allocs))]
+				if err := r.Recover(a.Prefix, when); err != nil {
+					t.Fatalf("trial %d op %d: recover: %v", trial, op, err)
+				}
+			case 3: // mature quarantine + serve waiting list
+				r.ProcessQuarantine(ARIN, when)
+			}
+		}
+
+		// Invariant 1: allocations are pairwise disjoint. Walk in prefix
+		// order: each next allocation must start after the previous ends.
+		allocs := r.Allocations()
+		coverage := netblock.NewSet()
+		var allocated uint64
+		for _, a := range allocs {
+			if coverage.OverlapsPrefix(a.Prefix) {
+				t.Fatalf("trial %d: overlapping allocation %v", trial, a.Prefix)
+			}
+			coverage.AddPrefix(a.Prefix)
+			allocated += a.Prefix.NumAddrs()
+
+			// Invariant 3: the holder is a member.
+			if _, ok := r.Member(a.RIR, a.Org); !ok {
+				t.Fatalf("trial %d: allocation %v held by non-member %s", trial, a.Prefix, a.Org)
+			}
+		}
+
+		// Invariant 2: conservation of address space.
+		total := r.PoolSize(ARIN) + r.QuarantineSize(ARIN) + allocated
+		if total != seeded.NumAddrs() {
+			t.Fatalf("trial %d: conservation broken: pool %d + quarantine %d + allocated %d != %d",
+				trial, r.PoolSize(ARIN), r.QuarantineSize(ARIN), allocated, seeded.NumAddrs())
+		}
+	}
+}

@@ -1,0 +1,341 @@
+package registry
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"ipv4market/internal/netblock"
+)
+
+func pfx(s string) netblock.Prefix { return netblock.MustParsePrefix(s) }
+
+func newTestRegistry() *Registry {
+	r := NewRegistry()
+	r.SeedPool(RIPENCC, pfx("185.0.0.0/8"))
+	r.SeedPool(ARIN, pfx("23.0.0.0/8"))
+	r.SeedPool(APNIC, pfx("103.0.0.0/8"))
+	return r
+}
+
+func TestAllocateNormalPhase(t *testing.T) {
+	r := newTestRegistry()
+	r.RegisterLIR("acme", RIPENCC, "DE", date(2005, 1, 1))
+	a, err := r.Allocate(RIPENCC, "acme", 16, date(2005, 6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Prefix.Bits() != 16 {
+		t.Errorf("normal-phase allocation should honor requested size, got %v", a.Prefix)
+	}
+	if a.Org != "acme" || a.RIR != RIPENCC || a.Status != StatusAllocated || a.Country != "DE" {
+		t.Errorf("allocation record = %+v", a)
+	}
+	if got, ok := r.Holder(a.Prefix); !ok || got != a {
+		t.Error("Holder lookup failed")
+	}
+	if r.PoolSize(RIPENCC) != (1<<24)-(1<<16) {
+		t.Errorf("pool size = %d", r.PoolSize(RIPENCC))
+	}
+}
+
+func TestAllocateRequiresMembership(t *testing.T) {
+	r := newTestRegistry()
+	_, err := r.Allocate(RIPENCC, "ghost", 24, date(2005, 1, 1))
+	if !errors.Is(err, ErrNotMember) {
+		t.Errorf("err = %v, want ErrNotMember", err)
+	}
+}
+
+func TestAllocateSoftLandingClampsAndLimits(t *testing.T) {
+	r := newTestRegistry()
+	r.RegisterLIR("acme", RIPENCC, "DE", date(2013, 1, 1))
+	// 2015: RIPE final-/8 regime, max one /22 per LIR.
+	a, err := r.Allocate(RIPENCC, "acme", 16, date(2015, 6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Prefix.Bits() != 22 {
+		t.Errorf("soft-landing allocation should clamp /16 to /22, got %v", a.Prefix)
+	}
+	// Second request must be refused: final block already granted.
+	if _, err := r.Allocate(RIPENCC, "acme", 22, date(2016, 1, 1)); !errors.Is(err, ErrPolicy) {
+		t.Errorf("second soft-landing request err = %v, want ErrPolicy", err)
+	}
+}
+
+func TestAllocateDepletedGoesToWaitingList(t *testing.T) {
+	r := NewRegistry() // empty RIPE pool
+	r.RegisterLIR("acme", RIPENCC, "DE", date(2020, 1, 1))
+	_, err := r.Allocate(RIPENCC, "acme", 24, date(2020, 2, 1))
+	if !errors.Is(err, ErrWaitingList) {
+		t.Fatalf("err = %v, want ErrWaitingList", err)
+	}
+	if r.WaitingListLen(RIPENCC) != 1 {
+		t.Errorf("waiting list len = %d", r.WaitingListLen(RIPENCC))
+	}
+}
+
+func TestWaitingListCapacity(t *testing.T) {
+	r := NewRegistry()
+	limit := WaitingListLimit(RIPENCC)
+	for i := 0; i < limit; i++ {
+		org := OrgID(string(rune('a'+i%26)) + string(rune('0'+i/26)))
+		r.RegisterLIR(org, RIPENCC, "NL", date(2020, 1, 1))
+		if _, err := r.Allocate(RIPENCC, org, 24, date(2020, 2, 1)); !errors.Is(err, ErrWaitingList) {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	r.RegisterLIR("late", RIPENCC, "NL", date(2020, 1, 1))
+	if _, err := r.Allocate(RIPENCC, "late", 24, date(2020, 2, 1)); !errors.Is(err, ErrWaitingListFull) {
+		t.Errorf("over-limit request err = %v, want ErrWaitingListFull", err)
+	}
+}
+
+func TestRecoveryQuarantineAndWaitingListService(t *testing.T) {
+	r := newTestRegistry()
+	r.RegisterLIR("old", RIPENCC, "DE", date(2005, 1, 1))
+	a, err := r.Allocate(RIPENCC, "old", 16, date(2005, 6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain the pool so the depleted phase has nothing to give.
+	r.rirs[RIPENCC].pool = netblock.NewSet()
+
+	r.RegisterLIR("new", RIPENCC, "FR", date(2020, 1, 1))
+	if _, err := r.Allocate(RIPENCC, "new", 24, date(2020, 1, 15)); !errors.Is(err, ErrWaitingList) {
+		t.Fatal(err)
+	}
+
+	// Old member closes; its /16 is recovered into quarantine.
+	if err := r.Recover(a.Prefix, date(2020, 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Holder(a.Prefix); ok {
+		t.Error("recovered allocation should be gone")
+	}
+	if r.QuarantineSize(RIPENCC) != 1<<16 {
+		t.Errorf("quarantine size = %d", r.QuarantineSize(RIPENCC))
+	}
+
+	// Before the quarantine matures nothing is served.
+	if made := r.ProcessQuarantine(RIPENCC, date(2020, 3, 1)); len(made) != 0 {
+		t.Errorf("premature service: %v", made)
+	}
+	// After six months the block is released and the waiting list served.
+	made := r.ProcessQuarantine(RIPENCC, date(2020, 9, 1))
+	if len(made) != 1 {
+		t.Fatalf("made = %v", made)
+	}
+	if made[0].Org != "new" || made[0].Prefix.Bits() != 24 {
+		t.Errorf("served allocation = %+v", made[0])
+	}
+	if r.WaitingListLen(RIPENCC) != 0 {
+		t.Error("waiting list should be drained")
+	}
+	if r.QuarantineSize(RIPENCC) != 0 {
+		t.Error("quarantine should be empty")
+	}
+}
+
+func TestRecoverUnknownPrefix(t *testing.T) {
+	r := newTestRegistry()
+	if err := r.Recover(pfx("198.41.0.0/24"), date(2020, 1, 1)); !errors.Is(err, ErrNotHolder) {
+		t.Errorf("err = %v, want ErrNotHolder", err)
+	}
+}
+
+func TestExecuteTransferIntraRIR(t *testing.T) {
+	r := newTestRegistry()
+	r.RegisterLIR("seller", RIPENCC, "DE", date(2005, 1, 1))
+	r.RegisterLIR("buyer", RIPENCC, "SE", date(2014, 1, 1))
+	a, err := r.Allocate(RIPENCC, "seller", 16, date(2005, 6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := r.ExecuteTransfer(a.Prefix, "seller", "buyer", RIPENCC, TypeMarket, 20.0, date(2019, 6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.IsInterRIR() {
+		t.Error("intra-RIR transfer mislabeled")
+	}
+	got, ok := r.Holder(a.Prefix)
+	if !ok || got.Org != "buyer" || got.Country != "SE" {
+		t.Errorf("post-transfer holder = %+v", got)
+	}
+	if len(r.Transfers()) != 1 {
+		t.Error("transfer not recorded")
+	}
+}
+
+func TestExecuteTransferSplitsAllocation(t *testing.T) {
+	r := newTestRegistry()
+	r.RegisterLIR("seller", RIPENCC, "DE", date(2005, 1, 1))
+	r.RegisterLIR("buyer", RIPENCC, "SE", date(2014, 1, 1))
+	a, err := r.Allocate(RIPENCC, "seller", 16, date(2005, 6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transfer only a /24 slice of the /16.
+	sub := netblock.NewPrefix(a.Prefix.Addr(), 24)
+	if _, err := r.ExecuteTransfer(sub, "seller", "buyer", RIPENCC, TypeMarket, 22.5, date(2019, 6, 1)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r.Holder(sub)
+	if !ok || got.Org != "buyer" {
+		t.Errorf("sub-block holder = %+v, %v", got, ok)
+	}
+	// The seller keeps the rest: total held addresses = /16 - /24.
+	var sellerAddrs uint64
+	for _, al := range r.AllocationsOf(RIPENCC, "seller") {
+		sellerAddrs += al.Prefix.NumAddrs()
+	}
+	if sellerAddrs != (1<<16)-(1<<8) {
+		t.Errorf("seller retains %d addresses", sellerAddrs)
+	}
+}
+
+func TestExecuteTransferPolicyChecks(t *testing.T) {
+	r := newTestRegistry()
+	r.RegisterLIR("seller", RIPENCC, "DE", date(2005, 1, 1))
+	r.RegisterLIR("buyer", RIPENCC, "SE", date(2014, 1, 1))
+	a, _ := r.Allocate(RIPENCC, "seller", 16, date(2005, 6, 1))
+
+	// Market transfer before the RIPE market opened (2012-09-14).
+	if _, err := r.ExecuteTransfer(a.Prefix, "seller", "buyer", RIPENCC, TypeMarket, 5, date(2011, 1, 1)); !errors.Is(err, ErrMarketClosed) {
+		t.Errorf("pre-market err = %v, want ErrMarketClosed", err)
+	}
+	// M&A transfers are allowed even pre-market.
+	if _, err := r.ExecuteTransfer(a.Prefix, "seller", "buyer", RIPENCC, TypeMerger, 0, date(2011, 1, 1)); err != nil {
+		t.Errorf("M&A transfer err = %v", err)
+	}
+	// Wrong seller.
+	if _, err := r.ExecuteTransfer(a.Prefix, "seller", "buyer", RIPENCC, TypeMarket, 5, date(2019, 1, 1)); !errors.Is(err, ErrNotHolder) {
+		t.Errorf("wrong-seller err = %v, want ErrNotHolder", err)
+	}
+	// Recipient not a member.
+	if _, err := r.ExecuteTransfer(a.Prefix, "buyer", "ghost", RIPENCC, TypeMarket, 5, date(2019, 1, 1)); !errors.Is(err, ErrNotMember) {
+		t.Errorf("non-member err = %v, want ErrNotMember", err)
+	}
+}
+
+func TestExecuteTransferInterRIR(t *testing.T) {
+	r := newTestRegistry()
+	r.RegisterLIR("seller", ARIN, "US", date(2005, 1, 1))
+	r.RegisterLIR("buyer", RIPENCC, "DE", date(2014, 1, 1))
+	r.RegisterLIR("afbuyer", AFRINIC, "ZA", date(2014, 1, 1))
+	a, err := r.Allocate(ARIN, "seller", 16, date(2005, 6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ARIN → AFRINIC is not permitted.
+	if _, err := r.ExecuteTransfer(a.Prefix, "seller", "afbuyer", AFRINIC, TypeMarket, 20, date(2019, 1, 1)); !errors.Is(err, ErrPolicy) {
+		t.Errorf("ARIN→AFRINIC err = %v, want ErrPolicy", err)
+	}
+	// ARIN → RIPE is permitted; region follows the block (footnote 1).
+	tr, err := r.ExecuteTransfer(a.Prefix, "seller", "buyer", RIPENCC, TypeMarket, 20, date(2019, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.IsInterRIR() || tr.FromRIR != ARIN || tr.ToRIR != RIPENCC {
+		t.Errorf("transfer = %+v", tr)
+	}
+	got, _ := r.Holder(a.Prefix)
+	if got.RIR != RIPENCC {
+		t.Errorf("block region should move to RIPE, got %s", got.RIR)
+	}
+}
+
+func TestTransfersIn(t *testing.T) {
+	r := newTestRegistry()
+	r.RegisterLIR("s", RIPENCC, "DE", date(2005, 1, 1))
+	r.RegisterLIR("b", RIPENCC, "SE", date(2014, 1, 1))
+	a, _ := r.Allocate(RIPENCC, "s", 16, date(2005, 6, 1))
+	subs, _ := a.Prefix.Split(24)
+	dates := []time.Time{date(2018, 3, 1), date(2019, 3, 1), date(2020, 3, 1)}
+	for i, d := range dates {
+		if _, err := r.ExecuteTransfer(subs[i], "s", "b", RIPENCC, TypeMarket, 20, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := r.TransfersIn(date(2019, 1, 1), date(2020, 1, 1))
+	if len(got) != 1 || !got[0].Date.Equal(dates[1]) {
+		t.Errorf("TransfersIn = %v", got)
+	}
+}
+
+func TestHolderOfLongestMatch(t *testing.T) {
+	r := newTestRegistry()
+	r.RegisterLIR("acme", RIPENCC, "DE", date(2005, 1, 1))
+	a, _ := r.Allocate(RIPENCC, "acme", 16, date(2005, 6, 1))
+	sub := netblock.NewPrefix(a.Prefix.Addr(), 24)
+	got, ok := r.HolderOf(sub)
+	if !ok || got != a {
+		t.Errorf("HolderOf(%v) = %+v, %v", sub, got, ok)
+	}
+}
+
+func TestRegisterLIRIdempotent(t *testing.T) {
+	r := newTestRegistry()
+	m1 := r.RegisterLIR("acme", RIPENCC, "DE", date(2005, 1, 1))
+	m2 := r.RegisterLIR("acme", RIPENCC, "XX", date(2010, 1, 1))
+	if m1 != m2 || m2.Country != "DE" {
+		t.Error("re-registration should return the existing record")
+	}
+	if r.NumMembers(RIPENCC) != 1 {
+		t.Errorf("NumMembers = %d", r.NumMembers(RIPENCC))
+	}
+}
+
+func TestRegisterLegacy(t *testing.T) {
+	r := newTestRegistry()
+	legacy := pfx("44.0.0.0/16") // not in any pool
+	a, err := r.RegisterLegacy(ARIN, "amprnet", legacy, "US", date(1981, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Status != StatusLegacy || a.Org != "amprnet" {
+		t.Errorf("legacy allocation = %+v", a)
+	}
+	if got, ok := r.Holder(legacy); !ok || got != a {
+		t.Error("legacy block not registered")
+	}
+
+	// Overlap with existing allocations is rejected.
+	r.RegisterLIR("acme", RIPENCC, "DE", date(2005, 1, 1))
+	alloc, err := r.Allocate(RIPENCC, "acme", 16, date(2005, 6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RegisterLegacy(RIPENCC, "x", netblock.NewPrefix(alloc.Prefix.Addr(), 24), "DE", date(1981, 1, 1)); !errors.Is(err, ErrPolicy) {
+		t.Errorf("overlap err = %v", err)
+	}
+	if _, err := r.RegisterLegacy(ARIN, "x", pfx("44.0.0.0/8"), "US", date(1981, 1, 1)); !errors.Is(err, ErrPolicy) {
+		t.Errorf("covering err = %v", err)
+	}
+	// Overlap with a free pool is rejected.
+	if _, err := r.RegisterLegacy(ARIN, "x", pfx("23.5.0.0/16"), "US", date(1981, 1, 1)); !errors.Is(err, ErrPolicy) {
+		t.Errorf("pool overlap err = %v", err)
+	}
+
+	// Legacy rows appear in delegated-extended output with legacy status.
+	var buf bytes.Buffer
+	if err := ExportExtended(&buf, r, ARIN, date(2020, 6, 1)); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ParseExtended(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawLegacy bool
+	for _, rec := range recs {
+		if rec.Status == StatusLegacy {
+			sawLegacy = true
+		}
+	}
+	if !sawLegacy {
+		t.Error("legacy row missing from extended stats")
+	}
+}

@@ -1,0 +1,222 @@
+// Package registry simulates the Regional Internet Registry system: the
+// five RIRs with their IPv4 pools, the exhaustion-era allocation policies
+// (normal → soft landing → depleted/recovery), waiting lists, recovered-
+// space quarantine, and the intra- and inter-RIR transfer machinery. It
+// also emits and parses the two public data formats the paper's analyses
+// consume: NRO delegated-extended statistics and the RIR transfer-log JSON
+// (`transfers_latest.json`).
+package registry
+
+import (
+	"fmt"
+	"time"
+)
+
+// RIR identifies one of the five Regional Internet Registries.
+type RIR int
+
+// The five RIRs, in alphabetical order.
+const (
+	AFRINIC RIR = iota
+	APNIC
+	ARIN
+	LACNIC
+	RIPENCC
+	numRIRs
+)
+
+// AllRIRs lists every RIR in a stable order.
+func AllRIRs() []RIR { return []RIR{AFRINIC, APNIC, ARIN, LACNIC, RIPENCC} }
+
+// String returns the RIR's usual short name.
+func (r RIR) String() string {
+	switch r {
+	case AFRINIC:
+		return "AFRINIC"
+	case APNIC:
+		return "APNIC"
+	case ARIN:
+		return "ARIN"
+	case LACNIC:
+		return "LACNIC"
+	case RIPENCC:
+		return "RIPE NCC"
+	}
+	return fmt.Sprintf("RIR(%d)", int(r))
+}
+
+// StatsName returns the registry token used in delegated-extended files.
+func (r RIR) StatsName() string {
+	switch r {
+	case AFRINIC:
+		return "afrinic"
+	case APNIC:
+		return "apnic"
+	case ARIN:
+		return "arin"
+	case LACNIC:
+		return "lacnic"
+	case RIPENCC:
+		return "ripencc"
+	}
+	return "unknown"
+}
+
+// ParseRIR resolves both display names ("RIPE NCC") and stats tokens
+// ("ripencc") to a RIR.
+func ParseRIR(s string) (RIR, error) {
+	switch s {
+	case "AFRINIC", "afrinic":
+		return AFRINIC, nil
+	case "APNIC", "apnic":
+		return APNIC, nil
+	case "ARIN", "arin":
+		return ARIN, nil
+	case "LACNIC", "lacnic":
+		return LACNIC, nil
+	case "RIPE NCC", "RIPE", "ripencc", "ripe":
+		return RIPENCC, nil
+	}
+	return 0, fmt.Errorf("registry: unknown RIR %q", s)
+}
+
+// Phase is an RIR's position in the IPv4 exhaustion lifecycle.
+type Phase int
+
+const (
+	// PhaseNormal: the pre-exhaustion regime; requests of justified size
+	// are granted from the free pool.
+	PhaseNormal Phase = iota
+	// PhaseSoftLanding: the RIR has reached its final /8 (or /11) and
+	// applies restricted assignment sizes.
+	PhaseSoftLanding
+	// PhaseDepleted: the free pool is (effectively) empty; requests join a
+	// waiting list served from recovered address space.
+	PhaseDepleted
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseNormal:
+		return "normal"
+	case PhaseSoftLanding:
+		return "soft-landing"
+	case PhaseDepleted:
+		return "depleted"
+	}
+	return fmt.Sprintf("Phase(%d)", int(p))
+}
+
+func date(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}
+
+// Milestones captures an RIR's exhaustion timeline: Table 1 of the paper.
+type Milestones struct {
+	// DownToLastBlock is when the RIR reached its final /8 (AFRINIC: /11)
+	// and entered soft landing.
+	DownToLastBlock time.Time
+	// Depleted is when the free pool ran dry and recovery-only service
+	// began. Zero for RIRs that had not depleted by mid-2020.
+	Depleted time.Time
+}
+
+// milestones per Table 1. AFRINIC entered exhaustion phase 2 (last /11) on
+// 2020-01-13 and had not depleted; APNIC reached its last /8 on 2011-04-15
+// and started recovery-based allocation on 2014-07-27 but still had part of
+// a /10 in 2020, so it is modeled as soft landing throughout.
+var rirMilestones = map[RIR]Milestones{
+	AFRINIC: {DownToLastBlock: date(2017, time.March, 31)},
+	APNIC:   {DownToLastBlock: date(2011, time.April, 15)},
+	ARIN:    {DownToLastBlock: date(2014, time.April, 23), Depleted: date(2015, time.September, 24)},
+	LACNIC:  {DownToLastBlock: date(2017, time.February, 15), Depleted: date(2020, time.August, 19)},
+	RIPENCC: {DownToLastBlock: date(2012, time.September, 14), Depleted: date(2019, time.November, 25)},
+}
+
+// MilestonesOf returns the exhaustion milestones for an RIR.
+func MilestonesOf(r RIR) Milestones { return rirMilestones[r] }
+
+// PhaseAt returns the RIR's lifecycle phase at time t according to the
+// Table 1 timeline.
+func PhaseAt(r RIR, t time.Time) Phase {
+	m := rirMilestones[r]
+	if !m.Depleted.IsZero() && !t.Before(m.Depleted) {
+		return PhaseDepleted
+	}
+	if !t.Before(m.DownToLastBlock) {
+		return PhaseSoftLanding
+	}
+	return PhaseNormal
+}
+
+// MaxAssignmentBits returns the most-specific prefix length an organization
+// may receive from the RIR at time t (larger value = smaller block), along
+// with whether new assignments are possible at all under the regime.
+//
+// Values for 2020 follow §2 of the paper: AFRINIC, ARIN and LACNIC limit
+// assignments to a /22, APNIC to a /23, and the RIPE NCC to a /24. During
+// earlier soft-landing years APNIC and RIPE NCC handed out one final /22
+// per LIR.
+func MaxAssignmentBits(r RIR, t time.Time) int {
+	switch PhaseAt(r, t) {
+	case PhaseNormal:
+		return 8 // effectively unconstrained for our simulation sizes
+	case PhaseSoftLanding, PhaseDepleted:
+		switch r {
+		case AFRINIC, ARIN, LACNIC:
+			return 22
+		case APNIC:
+			// prop-127 halved the maximum delegation to a /23 in 2019,
+			// when the waiting list was abolished (2019-07-02).
+			if t.Before(date(2019, time.July, 2)) {
+				return 22
+			}
+			return 23
+		case RIPENCC:
+			// Final-/8 policy: one /22 per LIR; /24 via the waiting list
+			// after run-out on 2019-11-25.
+			if t.Before(date(2019, time.November, 25)) {
+				return 22
+			}
+			return 24
+		}
+	}
+	return 24
+}
+
+// TransferMarketOpen reports whether the RIR had an active transfer policy
+// (and hence a transfer market) at time t. Markets open once the RIR is
+// down to its last block; per the paper, transfers in the AFRINIC and
+// LACNIC regions were negligible but technically possible after their
+// soft-landing starts.
+func TransferMarketOpen(r RIR, t time.Time) bool {
+	return PhaseAt(r, t) != PhaseNormal
+}
+
+// InterRIRAllowed reports whether address space may be transferred between
+// the two RIRs. Only APNIC, ARIN and the RIPE NCC agreed on compatible
+// inter-RIR transfer policies.
+func InterRIRAllowed(from, to RIR) bool {
+	ok := func(r RIR) bool { return r == APNIC || r == ARIN || r == RIPENCC }
+	return from != to && ok(from) && ok(to)
+}
+
+// QuarantinePeriod is how long recovered address space rests before being
+// redistributed (most RIRs use six months).
+const QuarantinePeriod = 182 * 24 * time.Hour
+
+// WaitingListLimit returns the maximum count of approved-but-unfulfilled
+// requests the RIR's waiting list held per the paper (§2): ARIN 202,
+// LACNIC 275, RIPE NCC 110. Zero means the RIR runs no waiting list.
+func WaitingListLimit(r RIR) int {
+	switch r {
+	case ARIN:
+		return 202
+	case LACNIC:
+		return 275
+	case RIPENCC:
+		return 110
+	}
+	return 0
+}

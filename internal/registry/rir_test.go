@@ -1,0 +1,136 @@
+package registry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRIRStringAndParse(t *testing.T) {
+	for _, r := range AllRIRs() {
+		got, err := ParseRIR(r.String())
+		if err != nil || got != r {
+			t.Errorf("ParseRIR(%q) = %v, %v", r.String(), got, err)
+		}
+		got, err = ParseRIR(r.StatsName())
+		if err != nil || got != r {
+			t.Errorf("ParseRIR(%q) = %v, %v", r.StatsName(), got, err)
+		}
+	}
+	if _, err := ParseRIR("nope"); err == nil {
+		t.Error("unknown RIR should fail")
+	}
+	if RIR(99).String() == "" || RIR(99).StatsName() != "unknown" {
+		t.Error("out-of-range RIR rendering")
+	}
+}
+
+// TestTable1Timeline pins the exhaustion milestones to the dates of
+// Table 1 in the paper.
+func TestTable1Timeline(t *testing.T) {
+	cases := []struct {
+		rir      RIR
+		lastTick time.Time
+		depleted time.Time // zero if not depleted
+	}{
+		{AFRINIC, date(2017, time.March, 31), time.Time{}},
+		{APNIC, date(2011, time.April, 15), time.Time{}},
+		{ARIN, date(2014, time.April, 23), date(2015, time.September, 24)},
+		{LACNIC, date(2017, time.February, 15), date(2020, time.August, 19)},
+		{RIPENCC, date(2012, time.September, 14), date(2019, time.November, 25)},
+	}
+	for _, c := range cases {
+		m := MilestonesOf(c.rir)
+		if !m.DownToLastBlock.Equal(c.lastTick) {
+			t.Errorf("%s DownToLastBlock = %v, want %v", c.rir, m.DownToLastBlock, c.lastTick)
+		}
+		if !m.Depleted.Equal(c.depleted) {
+			t.Errorf("%s Depleted = %v, want %v", c.rir, m.Depleted, c.depleted)
+		}
+	}
+}
+
+func TestPhaseAt(t *testing.T) {
+	cases := []struct {
+		rir  RIR
+		at   time.Time
+		want Phase
+	}{
+		{RIPENCC, date(2010, time.January, 1), PhaseNormal},
+		{RIPENCC, date(2012, time.September, 14), PhaseSoftLanding},
+		{RIPENCC, date(2019, time.November, 24), PhaseSoftLanding},
+		{RIPENCC, date(2019, time.November, 25), PhaseDepleted},
+		{RIPENCC, date(2020, time.June, 1), PhaseDepleted},
+		{ARIN, date(2015, time.September, 24), PhaseDepleted},
+		{APNIC, date(2020, time.June, 1), PhaseSoftLanding}, // still has /10
+		{AFRINIC, date(2020, time.June, 1), PhaseSoftLanding},
+		{LACNIC, date(2020, time.June, 1), PhaseSoftLanding},
+		{LACNIC, date(2020, time.August, 19), PhaseDepleted},
+	}
+	for _, c := range cases {
+		if got := PhaseAt(c.rir, c.at); got != c.want {
+			t.Errorf("PhaseAt(%s, %s) = %v, want %v", c.rir, c.at.Format("2006-01-02"), got, c.want)
+		}
+	}
+}
+
+func TestMaxAssignmentBits2020(t *testing.T) {
+	// §2: AFRINIC, ARIN, LACNIC limit to /22; APNIC /23; RIPE /24.
+	mid2020 := date(2020, time.June, 1)
+	want := map[RIR]int{AFRINIC: 22, ARIN: 22, LACNIC: 22, APNIC: 23, RIPENCC: 24}
+	for rir, bits := range want {
+		if got := MaxAssignmentBits(rir, mid2020); got != bits {
+			t.Errorf("MaxAssignmentBits(%s, 2020) = %d, want %d", rir, got, bits)
+		}
+	}
+	// Earlier regimes.
+	if got := MaxAssignmentBits(RIPENCC, date(2015, time.January, 1)); got != 22 {
+		t.Errorf("RIPE final-/8 policy should be /22, got /%d", got)
+	}
+	if got := MaxAssignmentBits(APNIC, date(2015, time.January, 1)); got != 22 {
+		t.Errorf("APNIC pre-2019 policy should be /22, got /%d", got)
+	}
+	if got := MaxAssignmentBits(RIPENCC, date(2010, time.January, 1)); got != 8 {
+		t.Errorf("normal phase should be unconstrained, got /%d", got)
+	}
+}
+
+func TestTransferMarketOpen(t *testing.T) {
+	// §3: markets start once the RIR is down to its last /8.
+	if TransferMarketOpen(RIPENCC, date(2012, time.September, 13)) {
+		t.Error("RIPE market should be closed before last /8")
+	}
+	if !TransferMarketOpen(RIPENCC, date(2012, time.September, 14)) {
+		t.Error("RIPE market should open at last /8")
+	}
+	if !TransferMarketOpen(APNIC, date(2011, time.May, 1)) {
+		t.Error("APNIC market should open after 2011-04-15")
+	}
+}
+
+func TestInterRIRAllowed(t *testing.T) {
+	if !InterRIRAllowed(ARIN, APNIC) || !InterRIRAllowed(APNIC, RIPENCC) || !InterRIRAllowed(RIPENCC, ARIN) {
+		t.Error("APNIC/ARIN/RIPE pairs must be allowed")
+	}
+	if InterRIRAllowed(ARIN, ARIN) {
+		t.Error("same-RIR is not inter-RIR")
+	}
+	if InterRIRAllowed(AFRINIC, ARIN) || InterRIRAllowed(ARIN, LACNIC) {
+		t.Error("AFRINIC/LACNIC have no inter-RIR policy")
+	}
+}
+
+func TestWaitingListLimits(t *testing.T) {
+	// §2: ARIN 202, LACNIC 275, RIPE 110.
+	if WaitingListLimit(ARIN) != 202 || WaitingListLimit(LACNIC) != 275 || WaitingListLimit(RIPENCC) != 110 {
+		t.Error("waiting list limits diverge from paper")
+	}
+	if WaitingListLimit(APNIC) != 0 || WaitingListLimit(AFRINIC) != 0 {
+		t.Error("APNIC/AFRINIC run no waiting list in 2020")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhaseNormal.String() != "normal" || PhaseSoftLanding.String() != "soft-landing" || PhaseDepleted.String() != "depleted" {
+		t.Error("phase names")
+	}
+}

@@ -1,0 +1,154 @@
+package registry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"ipv4market/internal/netblock"
+)
+
+// This file implements the public transfer-statistics JSON the RIRs
+// publish daily (the `transfers_latest.json` files the paper downloads
+// from each RIR's FTP site). The schema follows the RIR implementation of
+// the NRO transfer-log format: each record carries the address ranges, the
+// organizations, the source and recipient RIRs, a type, and a date.
+//
+// A deliberate modeling detail: AFRINIC, ARIN and the RIPE NCC label
+// merger-and-acquisition transfers, while APNIC and LACNIC do not (§3 of
+// the paper). ExportTransferLog therefore erases the M&A label for those
+// two RIRs, reproducing the data gap the paper works around.
+
+// transferLogJSON is the top-level document.
+type transferLogJSON struct {
+	Version   string            `json:"version"`
+	Transfers []transferRecJSON `json:"transfers"`
+}
+
+type transferRecJSON struct {
+	IP4Nets      *ip4NetsJSON `json:"ip4nets,omitempty"`
+	Type         string       `json:"type"`
+	SourceOrg    orgJSON      `json:"source_organization"`
+	RecipientOrg orgJSON      `json:"recipient_organization"`
+	SourceRIR    string       `json:"source_rir"`
+	RecipientRIR string       `json:"recipient_rir"`
+	Date         string       `json:"transfer_date"`
+}
+
+type ip4NetsJSON struct {
+	TransferSet []netRangeJSON `json:"transfer_set"`
+}
+
+type netRangeJSON struct {
+	Start string `json:"start_address"`
+	End   string `json:"end_address"`
+}
+
+type orgJSON struct {
+	Name string `json:"name"`
+}
+
+// LabelsMA reports whether the RIR labels merger-and-acquisition
+// transfers in its public logs. AFRINIC, ARIN and the RIPE NCC do; APNIC
+// and LACNIC do not (§3), so M&A transfers cannot be filtered from their
+// statistics.
+func LabelsMA(r RIR) bool {
+	return r == AFRINIC || r == ARIN || r == RIPENCC
+}
+
+// ExportTransferLog writes the transfers maintained by the given RIR (i.e.
+// whose source RIR is r) as a transfers_latest.json document. For APNIC
+// and LACNIC the M&A label is erased (both types appear as
+// RESOURCE_TRANSFER), reproducing those RIRs' real logs.
+func ExportTransferLog(w io.Writer, r RIR, transfers []Transfer) error {
+	doc := transferLogJSON{Version: "4.0"}
+	for _, t := range transfers {
+		if t.FromRIR != r {
+			continue
+		}
+		typ := string(t.Type)
+		if !LabelsMA(r) {
+			typ = string(TypeMarket)
+		}
+		doc.Transfers = append(doc.Transfers, transferRecJSON{
+			IP4Nets: &ip4NetsJSON{TransferSet: []netRangeJSON{{
+				Start: t.Prefix.First().String(),
+				End:   t.Prefix.Last().String(),
+			}}},
+			Type:         typ,
+			SourceOrg:    orgJSON{Name: string(t.From)},
+			RecipientOrg: orgJSON{Name: string(t.To)},
+			SourceRIR:    t.FromRIR.String(),
+			RecipientRIR: t.ToRIR.String(),
+			Date:         t.Date.UTC().Format(time.RFC3339),
+		})
+	}
+	sort.Slice(doc.Transfers, func(i, j int) bool { return doc.Transfers[i].Date < doc.Transfers[j].Date })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ParseTransferLog reads a transfers_latest.json document. Ranges that do
+// not align to a single CIDR block are decomposed into minimal prefixes,
+// producing one Transfer per prefix (real logs contain such ranges).
+func ParseTransferLog(rd io.Reader) ([]Transfer, error) {
+	var doc transferLogJSON
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("registry: parse transfer log: %w", err)
+	}
+	var out []Transfer
+	for i, rec := range doc.Transfers {
+		fromRIR, err := ParseRIR(rec.SourceRIR)
+		if err != nil {
+			return nil, fmt.Errorf("registry: transfer %d: %w", i, err)
+		}
+		toRIR, err := ParseRIR(rec.RecipientRIR)
+		if err != nil {
+			return nil, fmt.Errorf("registry: transfer %d: %w", i, err)
+		}
+		date, err := time.Parse(time.RFC3339, rec.Date)
+		if err != nil {
+			return nil, fmt.Errorf("registry: transfer %d: bad date %q: %w", i, rec.Date, err)
+		}
+		var typ TransferType
+		switch rec.Type {
+		case string(TypeMarket), "IPv4": // some logs use a bare resource tag
+			typ = TypeMarket
+		case string(TypeMerger):
+			typ = TypeMerger
+		default:
+			return nil, fmt.Errorf("registry: transfer %d: unknown type %q", i, rec.Type)
+		}
+		if rec.IP4Nets == nil {
+			continue // IPv6 or ASN-only record
+		}
+		for _, nr := range rec.IP4Nets.TransferSet {
+			start, err := netblock.ParseAddr(nr.Start)
+			if err != nil {
+				return nil, fmt.Errorf("registry: transfer %d: %w", i, err)
+			}
+			end, err := netblock.ParseAddr(nr.End)
+			if err != nil {
+				return nil, fmt.Errorf("registry: transfer %d: %w", i, err)
+			}
+			set := netblock.NewSet()
+			set.AddRange(start, end)
+			for _, p := range set.Prefixes() {
+				out = append(out, Transfer{
+					Prefix:  p,
+					From:    OrgID(rec.SourceOrg.Name),
+					To:      OrgID(rec.RecipientOrg.Name),
+					FromRIR: fromRIR,
+					ToRIR:   toRIR,
+					Type:    typ,
+					Date:    date,
+				})
+			}
+		}
+	}
+	return out, nil
+}

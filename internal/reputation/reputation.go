@@ -1,0 +1,216 @@
+// Package reputation models the IP-reputation ecosystem §2 of the paper
+// describes ("Not all IP addresses are equal"): time-indexed blacklists,
+// the clean/tainted distinction buyers check before acquiring a block,
+// and the SWIP-style registration shield leasing providers use to keep
+// their remaining address space clean when a delegated block is caught
+// spamming.
+package reputation
+
+import (
+	"sort"
+	"time"
+
+	"ipv4market/internal/netblock"
+	"ipv4market/internal/whois"
+)
+
+// Listing is one blacklist entry: a block listed at From and delisted at
+// Until (zero means still listed).
+type Listing struct {
+	Prefix netblock.Prefix
+	From   time.Time
+	Until  time.Time // zero: open-ended
+	Reason string
+}
+
+// ActiveAt reports whether the listing is in force at time t.
+func (l Listing) ActiveAt(t time.Time) bool {
+	return !t.Before(l.From) && (l.Until.IsZero() || t.Before(l.Until))
+}
+
+// Blacklist is a time-indexed collection of listings, modeled on the
+// DNSBL-style feeds operators use to filter ingress traffic.
+type Blacklist struct {
+	listings []Listing
+	trie     *netblock.Trie[[]int] // prefix → listing indexes
+}
+
+// NewBlacklist returns an empty blacklist.
+func NewBlacklist() *Blacklist {
+	return &Blacklist{trie: netblock.NewTrie[[]int]()}
+}
+
+// Add records a listing.
+func (b *Blacklist) Add(l Listing) {
+	idx := len(b.listings)
+	b.listings = append(b.listings, l)
+	existing, _ := b.trie.Get(l.Prefix)
+	b.trie.Insert(l.Prefix, append(existing, idx))
+}
+
+// Delist closes every open listing that exactly matches the prefix.
+func (b *Blacklist) Delist(p netblock.Prefix, at time.Time) int {
+	idxs, _ := b.trie.Get(p)
+	n := 0
+	for _, i := range idxs {
+		if b.listings[i].Until.IsZero() && !at.Before(b.listings[i].From) {
+			b.listings[i].Until = at
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of listings ever recorded.
+func (b *Blacklist) Len() int { return len(b.listings) }
+
+// listingsTouching returns the indexes of listings whose prefix covers or
+// is covered by p.
+func (b *Blacklist) listingsTouching(p netblock.Prefix) []int {
+	var out []int
+	for _, e := range b.trie.Covering(p) {
+		out = append(out, e.Value...)
+	}
+	for _, e := range b.trie.CoveredBy(p) {
+		if e.Prefix != p { // p itself already collected by Covering
+			out = append(out, e.Value...)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Status is a block's reputation state at a point in time.
+type Status int
+
+// Reputation states, ordered from best to worst.
+const (
+	// Clean: never associated with a listing.
+	Clean Status = iota
+	// Tainted: previously listed (or overlapping a listing) but not now.
+	// §2: "once an IP address block appears on a blacklist, it can be
+	// hard to remove it again".
+	Tainted
+	// Listed: currently on the blacklist.
+	Listed
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Clean:
+		return "clean"
+	case Tainted:
+		return "tainted"
+	case Listed:
+		return "listed"
+	}
+	return "unknown"
+}
+
+// StatusAt returns the block's reputation at time t, considering listings
+// that overlap the block in either direction (a listed sub-block taints
+// the whole block, and a listing of a covering block taints every
+// sub-block).
+func (b *Blacklist) StatusAt(p netblock.Prefix, t time.Time) Status {
+	status := Clean
+	for _, i := range b.listingsTouching(p) {
+		l := b.listings[i]
+		if l.From.After(t) {
+			continue // future listing: invisible now
+		}
+		if l.ActiveAt(t) {
+			return Listed
+		}
+		status = Tainted
+	}
+	return status
+}
+
+// ShieldedStatusAt is StatusAt with the SWIP shield: a listing of a
+// sub-block does NOT taint p when the sub-block is separately registered
+// in the WHOIS database to a different organization — the registry record
+// shows the abuse belongs to the delegatee, protecting the provider's
+// remaining space (§2). Listings of p itself or of covering blocks still
+// apply.
+func (b *Blacklist) ShieldedStatusAt(p netblock.Prefix, t time.Time, db *whois.DB, ownerOrg string) Status {
+	status := Clean
+	for _, i := range b.listingsTouching(p) {
+		l := b.listings[i]
+		if l.From.After(t) {
+			continue
+		}
+		if p.CoversStrictly(l.Prefix) && shielded(db, l.Prefix, ownerOrg) {
+			continue // delegated and registered: the taint stays with the lessee
+		}
+		if l.ActiveAt(t) {
+			return Listed
+		}
+		status = Tainted
+	}
+	return status
+}
+
+// shielded reports whether the listed sub-block has its own WHOIS record
+// registered to someone other than ownerOrg.
+func shielded(db *whois.DB, p netblock.Prefix, ownerOrg string) bool {
+	if db == nil {
+		return false
+	}
+	in, ok := db.LookupPrefix(p)
+	if !ok {
+		return false
+	}
+	return in.Org != "" && in.Org != ownerOrg
+}
+
+// Report summarizes a block's buy-side due diligence, the check "most
+// LIRs" perform before buying (§2).
+type Report struct {
+	Prefix        netblock.Prefix
+	Status        Status
+	OpenListings  int
+	PastListings  int
+	LastListedEnd time.Time
+}
+
+// Check compiles the due-diligence report for a block at time t.
+func (b *Blacklist) Check(p netblock.Prefix, t time.Time) Report {
+	rep := Report{Prefix: p, Status: Clean}
+	for _, i := range b.listingsTouching(p) {
+		l := b.listings[i]
+		if l.From.After(t) {
+			continue
+		}
+		if l.ActiveAt(t) {
+			rep.OpenListings++
+		} else {
+			rep.PastListings++
+			if l.Until.After(rep.LastListedEnd) {
+				rep.LastListedEnd = l.Until
+			}
+		}
+	}
+	switch {
+	case rep.OpenListings > 0:
+		rep.Status = Listed
+	case rep.PastListings > 0:
+		rep.Status = Tainted
+	}
+	return rep
+}
+
+// PriceFactor returns the market discount applied to a block with the
+// given reputation: clean blocks trade at full price, tainted blocks at a
+// discount, listed blocks are nearly unsellable ("most LIRs check the
+// reputation of address blocks before buying them").
+func PriceFactor(s Status) float64 {
+	switch s {
+	case Clean:
+		return 1.0
+	case Tainted:
+		return 0.75
+	default: // Listed
+		return 0.4
+	}
+}

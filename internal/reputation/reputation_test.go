@@ -1,0 +1,144 @@
+package reputation
+
+import (
+	"testing"
+	"time"
+
+	"ipv4market/internal/netblock"
+	"ipv4market/internal/whois"
+)
+
+func pfx(s string) netblock.Prefix { return netblock.MustParsePrefix(s) }
+
+func day(d int) time.Time {
+	return time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC).AddDate(0, 0, d)
+}
+
+func TestListingActiveAt(t *testing.T) {
+	l := Listing{Prefix: pfx("185.0.0.0/24"), From: day(10), Until: day(20)}
+	if l.ActiveAt(day(9)) || !l.ActiveAt(day(10)) || !l.ActiveAt(day(19)) || l.ActiveAt(day(20)) {
+		t.Error("bounded listing window wrong")
+	}
+	open := Listing{Prefix: pfx("185.0.0.0/24"), From: day(10)}
+	if !open.ActiveAt(day(1000)) {
+		t.Error("open listing should stay active")
+	}
+}
+
+func TestStatusLifecycle(t *testing.T) {
+	b := NewBlacklist()
+	p := pfx("185.0.0.0/24")
+	if b.StatusAt(p, day(0)) != Clean {
+		t.Error("fresh block should be clean")
+	}
+	b.Add(Listing{Prefix: p, From: day(10), Reason: "spam"})
+	if b.StatusAt(p, day(5)) != Clean {
+		t.Error("pre-listing the block is clean")
+	}
+	if b.StatusAt(p, day(15)) != Listed {
+		t.Error("open listing → listed")
+	}
+	if n := b.Delist(p, day(30)); n != 1 {
+		t.Errorf("Delist = %d", n)
+	}
+	if b.StatusAt(p, day(40)) != Tainted {
+		t.Error("after delisting the block stays tainted")
+	}
+	if b.Len() != 1 {
+		t.Errorf("Len = %d", b.Len())
+	}
+	// Delisting again is a no-op.
+	if n := b.Delist(p, day(50)); n != 0 {
+		t.Errorf("second Delist = %d", n)
+	}
+}
+
+func TestTaintPropagation(t *testing.T) {
+	b := NewBlacklist()
+	b.Add(Listing{Prefix: pfx("185.0.0.0/26"), From: day(0), Until: day(5)})
+
+	// A listed sub-block taints the covering block...
+	if got := b.StatusAt(pfx("185.0.0.0/24"), day(10)); got != Tainted {
+		t.Errorf("covering block = %v", got)
+	}
+	// ...and a listing of a covering block taints sub-blocks.
+	b.Add(Listing{Prefix: pfx("9.0.0.0/8"), From: day(0)})
+	if got := b.StatusAt(pfx("9.1.2.0/24"), day(10)); got != Listed {
+		t.Errorf("sub-block of listed /8 = %v", got)
+	}
+	// Disjoint space is unaffected.
+	if got := b.StatusAt(pfx("11.0.0.0/24"), day(10)); got != Clean {
+		t.Errorf("disjoint block = %v", got)
+	}
+}
+
+func TestSWIPShield(t *testing.T) {
+	b := NewBlacklist()
+	leased := pfx("185.0.0.0/26")
+	b.Add(Listing{Prefix: leased, From: day(0)})
+
+	parent := pfx("185.0.0.0/24")
+	// Without registration the provider's block is hit.
+	if got := b.ShieldedStatusAt(parent, day(1), nil, "ORG-PROVIDER"); got != Listed {
+		t.Errorf("unshielded = %v", got)
+	}
+	// With a WHOIS record naming the lessee, the parent stays clean.
+	db := whois.NewDB()
+	db.Add(&whois.Inetnum{
+		First: leased.First(), Last: leased.Last(),
+		Org: "ORG-SPAMMER", Status: whois.StatusAssignedPA,
+	})
+	if got := b.ShieldedStatusAt(parent, day(1), db, "ORG-PROVIDER"); got != Clean {
+		t.Errorf("shielded = %v", got)
+	}
+	// A record registered to the provider itself shields nothing.
+	db2 := whois.NewDB()
+	db2.Add(&whois.Inetnum{
+		First: leased.First(), Last: leased.Last(),
+		Org: "ORG-PROVIDER", Status: whois.StatusAssignedPA,
+	})
+	if got := b.ShieldedStatusAt(parent, day(1), db2, "ORG-PROVIDER"); got != Listed {
+		t.Errorf("self-registered = %v", got)
+	}
+	// Listings of the block itself are never shielded.
+	b.Add(Listing{Prefix: parent, From: day(2)})
+	if got := b.ShieldedStatusAt(parent, day(3), db, "ORG-PROVIDER"); got != Listed {
+		t.Errorf("direct listing = %v", got)
+	}
+}
+
+func TestCheckReport(t *testing.T) {
+	b := NewBlacklist()
+	p := pfx("185.0.0.0/24")
+	b.Add(Listing{Prefix: p, From: day(0), Until: day(5)})
+	b.Add(Listing{Prefix: p, From: day(10), Until: day(12)})
+	b.Add(Listing{Prefix: p, From: day(20)})
+
+	rep := b.Check(p, day(25))
+	if rep.Status != Listed || rep.OpenListings != 1 || rep.PastListings != 2 {
+		t.Errorf("report = %+v", rep)
+	}
+	if !rep.LastListedEnd.Equal(day(12)) {
+		t.Errorf("LastListedEnd = %v", rep.LastListedEnd)
+	}
+	rep15 := b.Check(p, day(15))
+	if rep15.Status != Tainted || rep15.OpenListings != 0 {
+		t.Errorf("report@15 = %+v", rep15)
+	}
+	repClean := b.Check(pfx("11.0.0.0/24"), day(25))
+	if repClean.Status != Clean {
+		t.Errorf("clean report = %+v", repClean)
+	}
+}
+
+func TestPriceFactor(t *testing.T) {
+	if PriceFactor(Clean) != 1.0 {
+		t.Error("clean factor")
+	}
+	if PriceFactor(Tainted) >= PriceFactor(Clean) || PriceFactor(Listed) >= PriceFactor(Tainted) {
+		t.Error("factors must be ordered clean > tainted > listed")
+	}
+	if Clean.String() != "clean" || Tainted.String() != "tainted" || Listed.String() != "listed" {
+		t.Error("status names")
+	}
+}

@@ -1,0 +1,46 @@
+package rpki
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func benchHistory(keys, days int) *History {
+	rng := rand.New(rand.NewSource(1))
+	h := NewHistory(time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC), days)
+	for k := 0; k < keys; k++ {
+		d := Delegation{
+			Child: pfx("185.0.0.0/24"),
+			From:  ASN(1000 + k),
+			To:    ASN(2000 + k),
+		}
+		for day := 0; day < days; day++ {
+			if rng.Float64() < 0.98 {
+				h.Observe(day, d)
+			}
+		}
+	}
+	return h
+}
+
+func BenchmarkEvaluateRule(b *testing.B) {
+	h := benchHistory(100, 400)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.EvaluateRule(10, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFillGaps(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		h := benchHistory(100, 400)
+		b.StartTimer()
+		h.FillGaps(10)
+	}
+}

@@ -1,0 +1,249 @@
+package rpki
+
+import (
+	"errors"
+	"math/bits"
+	"time"
+)
+
+// History records, day by day, which delegations were observable. It is
+// the input to the consistency-rule evaluation of the paper's appendix:
+// rules of the form "if a delegation is seen on day X and day X+M (with no
+// conflicting delegation in between), it also existed for all but at most
+// N of the days in between".
+type History struct {
+	start time.Time
+	days  int
+	// presence per delegation key.
+	keys map[delegKey]*dayset
+	// byChild groups keys by child prefix for conflict detection.
+	byChild map[childKey][]delegKey
+}
+
+type delegKey struct {
+	child childKey
+	from  ASN
+	to    ASN
+}
+
+type childKey struct {
+	addr uint32
+	bits uint8
+}
+
+// dayset is a fixed-size bitset over day indexes.
+type dayset struct {
+	w []uint64
+}
+
+func newDayset(days int) *dayset { return &dayset{w: make([]uint64, (days+63)/64)} }
+
+func (d *dayset) set(i int)      { d.w[i/64] |= 1 << uint(i%64) }
+func (d *dayset) get(i int) bool { return d.w[i/64]&(1<<uint(i%64)) != 0 }
+
+// countRange counts set bits in [lo, hi).
+func (d *dayset) countRange(lo, hi int) int {
+	if lo >= hi {
+		return 0
+	}
+	n := 0
+	for i := lo; i < hi; {
+		if i%64 == 0 && i+64 <= hi {
+			n += bits.OnesCount64(d.w[i/64])
+			i += 64
+			continue
+		}
+		if d.get(i) {
+			n++
+		}
+		i++
+	}
+	return n
+}
+
+// anyInRange reports whether any bit in [lo, hi) is set.
+func (d *dayset) anyInRange(lo, hi int) bool {
+	for i := lo; i < hi; {
+		if i%64 == 0 && i+64 <= hi {
+			if d.w[i/64] != 0 {
+				return true
+			}
+			i += 64
+			continue
+		}
+		if d.get(i) {
+			return true
+		}
+		i++
+	}
+	return false
+}
+
+// NewHistory creates a history covering `days` consecutive days starting
+// at start (UTC midnight).
+func NewHistory(start time.Time, days int) *History {
+	return &History{
+		start:   start.UTC(),
+		days:    days,
+		keys:    make(map[delegKey]*dayset),
+		byChild: make(map[childKey][]delegKey),
+	}
+}
+
+// Days returns the number of days covered.
+func (h *History) Days() int { return h.days }
+
+// Start returns the first day.
+func (h *History) Start() time.Time { return h.start }
+
+// DayOf converts a timestamp to a day index (negative or >= Days() if out
+// of range).
+func (h *History) DayOf(t time.Time) int {
+	return int(t.UTC().Sub(h.start) / (24 * time.Hour))
+}
+
+// Observe records that the delegation was visible on the given day.
+// Out-of-range days are ignored.
+func (h *History) Observe(day int, d Delegation) {
+	if day < 0 || day >= h.days {
+		return
+	}
+	ck := childKey{uint32(d.Child.Addr()), uint8(d.Child.Bits())}
+	k := delegKey{child: ck, from: d.From, to: d.To}
+	ds := h.keys[k]
+	if ds == nil {
+		ds = newDayset(h.days)
+		h.keys[k] = ds
+		h.byChild[ck] = append(h.byChild[ck], k)
+	}
+	ds.set(day)
+}
+
+// NumDelegations returns the number of distinct delegation keys observed.
+func (h *History) NumDelegations() int { return len(h.keys) }
+
+// ObservedOn reports whether the delegation was seen on the day.
+func (h *History) ObservedOn(day int, d Delegation) bool {
+	ck := childKey{uint32(d.Child.Addr()), uint8(d.Child.Bits())}
+	ds := h.keys[delegKey{child: ck, from: d.From, to: d.To}]
+	return ds != nil && day >= 0 && day < h.days && ds.get(day)
+}
+
+// conflictIn reports whether, strictly between days lo and hi, the child
+// prefix was delegated to a *different* delegatee than k.to.
+func (h *History) conflictIn(k delegKey, lo, hi int) bool {
+	for _, other := range h.byChild[k.child] {
+		if other.to == k.to {
+			continue
+		}
+		if h.keys[other].anyInRange(lo+1, hi) {
+			return true
+		}
+	}
+	return false
+}
+
+// RuleResult is the outcome of evaluating one (M, N) consistency rule.
+type RuleResult struct {
+	M        int // window length in days
+	N        int // tolerated missing days
+	Premises int // cases where the premise held
+	Failures int // premises whose conclusion was violated
+}
+
+// FailRate returns Failures/Premises (0 if no premises).
+func (r RuleResult) FailRate() float64 {
+	if r.Premises == 0 {
+		return 0
+	}
+	return float64(r.Failures) / float64(r.Premises)
+}
+
+// ErrBadRule reports invalid rule parameters.
+var ErrBadRule = errors.New("rpki: invalid consistency-rule parameters")
+
+// EvaluateRule computes the fail rate of the (M, N) rule over the history:
+// for every delegation key and every day X with the key present on X and
+// X+M and no conflicting delegation strictly in between (the premise), the
+// conclusion holds iff at most N of the M-1 days strictly in between lack
+// the delegation.
+func (h *History) EvaluateRule(m, n int) (RuleResult, error) {
+	if m < 1 || n < 0 {
+		return RuleResult{}, ErrBadRule
+	}
+	res := RuleResult{M: m, N: n}
+	for k, ds := range h.keys {
+		for x := 0; x+m < h.days; x++ {
+			if !ds.get(x) || !ds.get(x+m) {
+				continue
+			}
+			if h.conflictIn(k, x, x+m) {
+				continue
+			}
+			res.Premises++
+			present := ds.countRange(x+1, x+m)
+			missing := (m - 1) - present
+			if missing > n {
+				res.Failures++
+			}
+		}
+	}
+	return res, nil
+}
+
+// EvaluateGrid evaluates the rule for every combination of the given M and
+// N values — the data behind Figure 5. Results are ordered by N then M.
+func (h *History) EvaluateGrid(ms, ns []int) ([]RuleResult, error) {
+	out := make([]RuleResult, 0, len(ms)*len(ns))
+	for _, n := range ns {
+		for _, m := range ms {
+			r, err := h.EvaluateRule(m, n)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// FillGaps applies the paper's chosen consistency rule to a presence
+// bitmap: when the same delegation is seen on days X and X+M' for any
+// M' ≤ m with no conflicting delegation in between, the days in between
+// are marked present. It returns the per-key number of filled days, and
+// mutates the history's presence sets. The paper uses m = 10.
+func (h *History) FillGaps(m int) int {
+	filled := 0
+	for k, ds := range h.keys {
+		last := -1
+		for x := 0; x < h.days; x++ {
+			if !ds.get(x) {
+				continue
+			}
+			if last >= 0 && x-last > 1 && x-last <= m && !h.conflictIn(k, last, x) {
+				for i := last + 1; i < x; i++ {
+					if !ds.get(i) {
+						ds.set(i)
+						filled++
+					}
+				}
+			}
+			last = x
+		}
+	}
+	return filled
+}
+
+// PresenceCount returns, for each day, the number of delegations present
+// (after any gap filling).
+func (h *History) PresenceCount() []int {
+	out := make([]int, h.days)
+	for _, ds := range h.keys {
+		for x := 0; x < h.days; x++ {
+			if ds.get(x) {
+				out[x]++
+			}
+		}
+	}
+	return out
+}

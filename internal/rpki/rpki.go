@@ -1,0 +1,158 @@
+// Package rpki models the Resource Public Key Infrastructure pieces the
+// paper's appendix uses: ROA/VRP snapshots, route origin validation, the
+// inference of delegations from ROA pairs, and the evaluation of
+// consistency rules ("if a delegation is seen on day X and day X+M, it
+// holds for all but N days in between") whose fail rates Figure 5 plots.
+package rpki
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ipv4market/internal/asorg"
+	"ipv4market/internal/netblock"
+)
+
+// ASN is an autonomous system number (shared with the as2org dataset).
+type ASN = asorg.ASN
+
+// ROA is a Route Origin Authorization: the holder of Prefix authorizes
+// ASN to originate it (and more-specifics up to MaxLength).
+type ROA struct {
+	Prefix    netblock.Prefix
+	MaxLength int
+	ASN       ASN
+}
+
+// Validity is the RFC 6811 route-origin validation outcome.
+type Validity int
+
+// Validation states.
+const (
+	NotFound Validity = iota
+	Valid
+	Invalid
+)
+
+// String names the validity state.
+func (v Validity) String() string {
+	switch v {
+	case NotFound:
+		return "not-found"
+	case Valid:
+		return "valid"
+	case Invalid:
+		return "invalid"
+	}
+	return fmt.Sprintf("Validity(%d)", int(v))
+}
+
+// Snapshot is one day's validated ROA payload (VRP set).
+type Snapshot struct {
+	Date time.Time
+	trie *netblock.Trie[[]ROA]
+	n    int
+}
+
+// NewSnapshot returns an empty snapshot for the date.
+func NewSnapshot(date time.Time) *Snapshot {
+	return &Snapshot{Date: date.UTC(), trie: netblock.NewTrie[[]ROA]()}
+}
+
+// Add registers a ROA. MaxLength values shorter than the prefix are
+// normalized up to the prefix length, as validators do.
+func (s *Snapshot) Add(r ROA) {
+	if r.MaxLength < r.Prefix.Bits() {
+		r.MaxLength = r.Prefix.Bits()
+	}
+	if r.MaxLength > 32 {
+		r.MaxLength = 32
+	}
+	existing, _ := s.trie.Get(r.Prefix)
+	s.trie.Insert(r.Prefix, append(existing, r))
+	s.n++
+}
+
+// Len returns the number of ROAs.
+func (s *Snapshot) Len() int { return s.n }
+
+// Validate performs RFC 6811 origin validation of (prefix, origin).
+func (s *Snapshot) Validate(p netblock.Prefix, origin ASN) Validity {
+	covering := s.trie.Covering(p)
+	if len(covering) == 0 {
+		return NotFound
+	}
+	found := false
+	for _, e := range covering {
+		for _, roa := range e.Value {
+			found = true
+			if roa.ASN == origin && p.Bits() <= roa.MaxLength {
+				return Valid
+			}
+		}
+	}
+	if !found {
+		return NotFound
+	}
+	return Invalid
+}
+
+// Delegation is an inferred address-space delegation: From authorizes the
+// covering prefix, To the more-specific child.
+type Delegation struct {
+	Parent netblock.Prefix
+	Child  netblock.Prefix
+	From   ASN
+	To     ASN
+}
+
+// Delegations infers delegations from the snapshot: every ROA pair where
+// one prefix strictly covers the other and the ASNs differ. For a child
+// with several covering ROAs, the most specific covering prefix is used as
+// the parent (the immediate delegator).
+func (s *Snapshot) Delegations() []Delegation {
+	var out []Delegation
+	s.trie.Walk(func(child netblock.Prefix, childROAs []ROA) bool {
+		covering := s.trie.Covering(child)
+		// Find the most specific strictly-covering entry.
+		var parent *netblock.CoveringEntry[[]ROA]
+		for i := range covering {
+			if covering[i].Prefix.Bits() < child.Bits() {
+				if parent == nil || covering[i].Prefix.Bits() > parent.Prefix.Bits() {
+					parent = &covering[i]
+				}
+			}
+		}
+		if parent == nil {
+			return true
+		}
+		for _, pr := range parent.Value {
+			for _, cr := range childROAs {
+				if pr.ASN != cr.ASN {
+					out = append(out, Delegation{
+						Parent: parent.Prefix, Child: child,
+						From: pr.ASN, To: cr.ASN,
+					})
+				}
+			}
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].Child.Compare(out[j].Child); c != 0 {
+			return c < 0
+		}
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// ValidateOrigin adapts Validate to the bgp.OriginValidator interface
+// without creating an import cycle: 0 = not found, 1 = valid, 2 = invalid.
+func (s *Snapshot) ValidateOrigin(p netblock.Prefix, origin uint32) int {
+	return int(s.Validate(p, ASN(origin)))
+}

@@ -1,0 +1,56 @@
+package simulation
+
+import (
+	"math/rand"
+	"time"
+
+	"ipv4market/internal/reputation"
+)
+
+// Abuse simulation (§2 and §6): spammers lease short-lived blocks, engage
+// in malicious activity while keeping their own space clean, and the
+// leased blocks land on blacklists. Leasing providers rely on WHOIS
+// registration (SWIP-style records) so that the taint stays with the
+// delegated block rather than their remaining space.
+
+// BuildBlacklist derives the blacklist history from the world's leases:
+// every spammer lease is listed shortly after it starts; VPN-provider
+// leases are occasionally listed too (their rotating address usage trips
+// heuristics); delisting lags the lease end, and a fraction of listings
+// never close — "it can be hard to remove it again".
+func (w *World) BuildBlacklist() *reputation.Blacklist {
+	rng := rand.New(rand.NewSource(w.Cfg.Seed ^ 0xb1ac))
+	bl := reputation.NewBlacklist()
+	dayTime := func(day int) time.Time {
+		return w.Cfg.RoutingStart.AddDate(0, 0, day)
+	}
+	for _, l := range w.Leases {
+		var listProb float64
+		switch l.Customer.Kind {
+		case KindSpammer:
+			listProb = 0.9
+		case KindVPNProvider:
+			listProb = 0.15
+		default:
+			listProb = 0.02
+		}
+		if rng.Float64() > listProb {
+			continue
+		}
+		from := l.StartDay + 2 + rng.Intn(15)
+		listing := reputation.Listing{
+			Prefix: l.Child,
+			From:   dayTime(from),
+			Reason: "spam",
+		}
+		// Most listings close some weeks after the lease ends; some never do.
+		if rng.Float64() < 0.8 {
+			until := l.EndDay + 14 + rng.Intn(60)
+			if until > from {
+				listing.Until = dayTime(until)
+			}
+		}
+		bl.Add(listing)
+	}
+	return bl
+}

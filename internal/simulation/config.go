@@ -1,0 +1,118 @@
+// Package simulation generates a synthetic but behaviorally faithful
+// IPv4-market world: organizations and ASes, an allocation history
+// replayed through the registry policy engine, a transfer market whose
+// volume and price process are calibrated to the paper's Figures 1-3, a
+// leasing ecosystem with configurable WHOIS registration and BGP
+// visibility (Figures 4/6 and the §4 coverage statistics), multi-collector
+// BGP routing with on-off announcements, hijacks, MOAS and AS_SET noise,
+// and RPKI ROA churn (Figure 5).
+//
+// Everything is deterministic given Config.Seed.
+package simulation
+
+import (
+	"time"
+
+	"ipv4market/internal/registry"
+)
+
+// Config parameterizes the world generator. DefaultConfig returns values
+// producing a laptop-scale world with the paper's qualitative shape.
+type Config struct {
+	Seed int64
+
+	// NumLIRs is the number of member organizations per major RIR
+	// (AFRINIC and LACNIC receive a fraction of it).
+	NumLIRs int
+
+	// HistoryStart is when allocation history begins.
+	HistoryStart time.Time
+	// MarketEnd bounds the transfer/price simulation (exclusive).
+	MarketEnd time.Time
+
+	// RoutingStart/RoutingDays bound the daily BGP simulation window
+	// (the paper: 2018-01-01 to 2020-06-01, 882 days).
+	RoutingStart time.Time
+	RoutingDays  int
+
+	// Collectors and MonitorsPerCollector describe the measurement
+	// platform (RIS + Route Views + Isolario in the paper).
+	Collectors           int
+	MonitorsPerCollector int
+
+	// Leasing population sizes.
+	AdministrativeLeases int // registered in WHOIS, mostly invisible in BGP
+	RoutedLeases         int // announced in BGP as more-specifics
+
+	// RoutedLeaseWhoisProb is the probability that a routed lease is also
+	// registered in WHOIS/RDAP (the paper measures ~65.7% coverage).
+	RoutedLeaseWhoisProb float64
+
+	// OnOffProb is the probability that a routed lease shows an on-off
+	// announcement pattern rather than being continuously visible.
+	OnOffProb float64
+
+	// HijackRate is the per-day expected number of short-lived
+	// more-specific hijacks visible at a few monitors.
+	HijackRate float64
+
+	// SmallAssignmentsPerLIR controls the count of sub-/24 ASSIGNED PA
+	// objects per LIR (the paper: 91.4% of ASSIGNED PA entries are
+	// smaller than /24).
+	SmallAssignmentsPerLIR int
+}
+
+// DefaultConfig returns the standard laptop-scale configuration.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                   1,
+		NumLIRs:                60,
+		HistoryStart:           time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC),
+		MarketEnd:              time.Date(2020, 7, 1, 0, 0, 0, 0, time.UTC),
+		RoutingStart:           time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC),
+		RoutingDays:            882, // through 2020-06-01, as in the paper
+		Collectors:             3,   // RIS, Route Views, Isolario
+		MonitorsPerCollector:   6,
+		AdministrativeLeases:   700,
+		RoutedLeases:           290,
+		RoutedLeaseWhoisProb:   0.657,
+		OnOffProb:              0.35,
+		HijackRate:             0.8,
+		SmallAssignmentsPerLIR: 110,
+	}
+}
+
+// poolSeeds lists the address space IANA handed to each RIR in our world.
+// Sizes roughly follow reality (ARIN, APNIC and RIPE hold far more space
+// than AFRINIC and LACNIC).
+var poolSeeds = map[registry.RIR][]string{
+	registry.AFRINIC: {"41.0.0.0/8"},
+	registry.APNIC:   {"103.0.0.0/8", "110.0.0.0/8", "1.0.0.0/8"},
+	registry.ARIN:    {"23.0.0.0/8", "50.0.0.0/8", "64.0.0.0/8"},
+	registry.LACNIC:  {"177.0.0.0/8"},
+	registry.RIPENCC: {"185.0.0.0/8", "193.0.0.0/8", "77.0.0.0/8"},
+}
+
+// lirShare returns how many LIRs a region receives, given NumLIRs per
+// major region.
+func lirShare(r registry.RIR, numLIRs int) int {
+	switch r {
+	case registry.AFRINIC, registry.LACNIC:
+		return numLIRs / 6 // §3: negligible markets in these regions
+	default:
+		return numLIRs
+	}
+}
+
+// countryFor returns a representative country code per region.
+func countryFor(r registry.RIR, i int) string {
+	pools := map[registry.RIR][]string{
+		registry.AFRINIC: {"ZA", "NG", "KE", "EG"},
+		registry.APNIC:   {"JP", "CN", "AU", "IN", "SG"},
+		registry.ARIN:    {"US", "CA", "US", "US"},
+		registry.LACNIC:  {"BR", "AR", "CL", "MX"},
+		registry.RIPENCC: {"DE", "NL", "GB", "FR", "SE", "RU"},
+	}
+	cs := pools[r]
+	return cs[i%len(cs)]
+}

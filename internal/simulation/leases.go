@@ -1,0 +1,319 @@
+package simulation
+
+import (
+	"fmt"
+
+	"ipv4market/internal/netblock"
+	"ipv4market/internal/registry"
+	"ipv4market/internal/whois"
+)
+
+// createLeases generates the two leasing populations of §4:
+//
+//   - administrative leases: sub-allocations and assignments registered in
+//     WHOIS but (mostly) never visible as more-specific BGP announcements
+//     — ISPs reserving space for customers, hosting-bundled leases inside
+//     the provider AS, and unannounced reservations;
+//   - routed leases: the delegatee announces the child prefix with its own
+//     AS, a fraction of which (RoutedLeaseWhoisProb) is also registered.
+//
+// The population sizes in DefaultConfig are calibrated so the RDAP view
+// holds vastly more delegated addresses than the BGP view (the paper:
+// BGP covers ~1.85% of RDAP-delegated IPs) while RDAP covers roughly two
+// thirds of BGP-delegated IPs.
+func (w *World) createLeases() {
+	providers := w.leaseProviders()
+	if len(providers) == 0 {
+		return
+	}
+	// Administrative leases: medium-sized blocks, heavy in addresses.
+	for i := 0; i < w.Cfg.AdministrativeLeases; i++ {
+		bits := w.adminLeaseBits()
+		provider := w.pickProvider(providers, bits)
+		if provider == nil {
+			continue
+		}
+		lease := w.carveLease(provider, bits, w.rng.Float64() < 0.45)
+		if lease == nil {
+			continue
+		}
+		lease.InWhois = true
+		lease.Routed = false
+		w.Leases = append(w.Leases, lease)
+	}
+	// Routed leases: small blocks announced by the customer's AS. The
+	// first ~92% predate the routing window (so the delegation count only
+	// grows ~7% over it, as in Figure 6) and later arrivals skew smaller
+	// (the /24 share rises while /20 falls).
+	for i := 0; i < w.Cfg.RoutedLeases; i++ {
+		frac := float64(i) / float64(w.Cfg.RoutedLeases)
+		bits := w.routedLeaseBits(frac)
+		provider := w.pickProvider(providers, bits)
+		if provider == nil {
+			continue
+		}
+		lease := w.carveLease(provider, bits, frac >= 0.85)
+		if lease == nil {
+			continue
+		}
+		lease.Routed = true
+		lease.InWhois = w.rng.Float64() < w.Cfg.RoutedLeaseWhoisProb
+		if w.rng.Float64() < w.Cfg.OnOffProb {
+			lease.OnOff = true
+			lease.onPeriod = 5 + w.rng.Intn(25)
+			// Most off-periods fit inside the 10-day consistency window;
+			// some exceed it (true gaps the rule must not bridge).
+			if w.rng.Float64() < 0.8 {
+				lease.offPeriod = 1 + w.rng.Intn(8)
+			} else {
+				lease.offPeriod = 12 + w.rng.Intn(20)
+			}
+			lease.phase = w.rng.Intn(lease.onPeriod + lease.offPeriod)
+		}
+		w.Leases = append(w.Leases, lease)
+	}
+}
+
+// pickProvider chooses a provider that can still carve a strictly-covered
+// block of the requested size: a few random draws, then a linear scan so
+// capacity is exhausted before leases are dropped.
+func (w *World) pickProvider(providers []*Org, bits int) *Org {
+	fits := func(o *Org) bool {
+		for _, p := range o.sellable {
+			if p.Bits() < bits {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < 6; i++ {
+		o := providers[w.rng.Intn(len(providers))]
+		if fits(o) {
+			return o
+		}
+	}
+	for _, o := range providers {
+		if fits(o) {
+			return o
+		}
+	}
+	return nil
+}
+
+// leaseProviders returns orgs that lease out space: ISPs and hosters with
+// room to spare.
+func (w *World) leaseProviders() []*Org {
+	var out []*Org
+	for _, o := range w.Orgs {
+		if (o.Kind == KindISP || o.Kind == KindHoster) && o.hasSellable() {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+func (w *World) adminLeaseBits() int {
+	r := w.rng.Float64()
+	switch {
+	case r < 0.05:
+		return 17
+	case r < 0.20:
+		return 18
+	case r < 0.40:
+		return 19
+	case r < 0.65:
+		return 20
+	case r < 0.85:
+		return 21
+	default:
+		return 22
+	}
+}
+
+// routedLeaseBits skews later leases (frac → 1) toward /24: the paper
+// observes the /24 share growing from ~66% to ~72% while /20 falls from
+// ~7% to ~3%.
+func (w *World) routedLeaseBits(frac float64) int {
+	p20 := 0.09 - 0.07*frac
+	p21 := 0.05
+	p22 := 0.08
+	p23 := 0.14
+	r := w.rng.Float64()
+	switch {
+	case r < p20:
+		return 20
+	case r < p20+p21:
+		return 21
+	case r < p20+p21+p22:
+		return 22
+	case r < p20+p21+p22+p23:
+		return 23
+	default:
+		return 24
+	}
+}
+
+// carveLease takes a child block out of the provider's space and pairs it
+// with a customer org. inWindow selects whether the lease arrives during
+// the routing window or predates it.
+func (w *World) carveLease(provider *Org, bits int, inWindow bool) *Lease {
+	child, ok := takeSellableStrict(provider, bits)
+	if !ok {
+		return nil
+	}
+	// Find the provider's covering allocation for the parent prefix.
+	parentAlloc, ok := w.Registry.HolderOf(child)
+	if !ok {
+		// Should not happen: sellable space is always allocated.
+		provider.addSellable(child)
+		return nil
+	}
+	customer := w.pickCustomer(provider)
+	if customer == nil {
+		provider.addSellable(child)
+		return nil
+	}
+	// Pre-window leases run long (nearly all survive the window); window
+	// arrivals produce the slow net growth. Large pre-window blocks (/21
+	// and shorter masks) terminate earlier — §6's long-term customers buy
+	// their own space and end the lease — which shrinks the /20 share
+	// over the window while the /24 share grows.
+	var startDay, duration int
+	if inWindow {
+		startDay = w.rng.Intn(w.Cfg.RoutingDays)
+		duration = 300 + w.rng.Intn(2500)
+	} else {
+		startDay = -w.rng.Intn(700) - 1
+		if bits <= 21 {
+			duration = 700 + w.rng.Intn(1000)
+		} else {
+			duration = 1500 + w.rng.Intn(3000)
+		}
+	}
+	if customer.Kind == KindSpammer {
+		duration = 10 + w.rng.Intn(60) // §6: spammers lease short-lived
+	}
+	return &Lease{
+		Provider: provider,
+		Customer: customer,
+		Parent:   parentAlloc.Prefix,
+		Child:    child,
+		StartDay: startDay,
+		EndDay:   startDay + duration,
+	}
+}
+
+func (w *World) pickCustomer(provider *Org) *Org {
+	for attempts := 0; attempts < 10; attempts++ {
+		o := w.Orgs[w.rng.Intn(len(w.Orgs))]
+		if o == provider {
+			continue
+		}
+		switch o.Kind {
+		case KindYoungBusiness, KindVPNProvider, KindSpammer, KindLongTermCustomer, KindHoster:
+			return o
+		}
+	}
+	return nil
+}
+
+// BuildWhoisDB materializes the WHOIS database at the end of the window:
+// every live allocation becomes an ALLOCATED PA object, whois-registered
+// leases become SUB-ALLOCATED PA (medium blocks to ISPs/hosters) or
+// ASSIGNED PA objects, and each LIR carries many sub-/24 customer
+// assignments (the paper: 91.4% of ASSIGNED PA entries are < /24).
+func (w *World) BuildWhoisDB() *whois.DB {
+	db := whois.NewDB()
+	for _, a := range w.Registry.Allocations() {
+		org := w.ByID[a.Org]
+		if org == nil {
+			continue
+		}
+		status := whois.StatusAllocatedPA
+		if a.Status == registry.StatusLegacy {
+			status = whois.StatusLegacy
+		}
+		db.Add(&whois.Inetnum{
+			First:   a.Prefix.First(),
+			Last:    a.Prefix.Last(),
+			Netname: fmt.Sprintf("NET-%s", a.Prefix.Addr()),
+			Country: a.Country,
+			Org:     string(a.Org),
+			AdminC:  adminHandle(a.Org),
+			Status:  status,
+			Created: a.Date,
+		})
+	}
+	for _, l := range w.Leases {
+		if !l.InWhois {
+			continue
+		}
+		status := whois.StatusAssignedPA
+		if l.Customer.Kind == KindISP || l.Customer.Kind == KindHoster {
+			status = whois.StatusSubAllocatedPA
+		}
+		db.Add(&whois.Inetnum{
+			First:   l.Child.First(),
+			Last:    l.Child.Last(),
+			Netname: fmt.Sprintf("LEASE-%s", l.Child.Addr()),
+			Country: l.Customer.Country,
+			Org:     string(l.Customer.ID),
+			AdminC:  adminHandle(l.Customer.ID),
+			Status:  status,
+			Created: w.Cfg.RoutingStart.AddDate(0, 0, maxInt(l.StartDay, 0)),
+		})
+	}
+	// Sub-/24 end-host assignments inside each LIR's space. These carry
+	// the customer's own handle but fall below the paper's query
+	// threshold, so the RDAP survey skips them.
+	custSeq := 0
+	for _, org := range w.Orgs {
+		if org.Kind != KindISP && org.Kind != KindHoster {
+			continue
+		}
+		space := org.sellable
+		if len(space) == 0 {
+			continue
+		}
+		for i := 0; i < w.Cfg.SmallAssignmentsPerLIR; i++ {
+			base := space[w.rng.Intn(len(space))]
+			bits := 25 + w.rng.Intn(5) // /25../29
+			if bits <= base.Bits() {
+				continue
+			}
+			// Pick a random aligned sub-block without materializing the
+			// full split (a /14 holds 2^15 /29s).
+			nSubs := uint64(1) << uint(bits-base.Bits())
+			step := netblock.Addr(1) << (32 - uint(bits))
+			off := netblock.Addr(w.rng.Int63n(int64(nSubs)))
+			p := netblock.NewPrefix(base.Addr()+off*step, bits)
+			db.Add(&whois.Inetnum{
+				First:   p.First(),
+				Last:    p.Last(),
+				Netname: fmt.Sprintf("CUST-%d", custSeq),
+				Country: org.Country,
+				Org:     fmt.Sprintf("ORG-CUST-%d", custSeq),
+				AdminC:  fmt.Sprintf("ADM-CUST-%d", custSeq),
+				Status:  whois.StatusAssignedPA,
+			})
+			custSeq++
+		}
+	}
+	return db
+}
+
+func adminHandle(org registry.OrgID) string { return "ADM-" + string(org) }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

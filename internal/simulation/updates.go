@@ -1,0 +1,26 @@
+package simulation
+
+import (
+	"ipv4market/internal/bgp"
+)
+
+// UpdateStream computes the BGP4MP update records that evolve collector
+// idx's view from `day` to `toDay` — what the collector's update files
+// for those days would contain (withdrawals of vanished routes and
+// attribute-grouped announcements of new or changed ones).
+func (rs *RoutingSim) UpdateStream(day, toDay, idx int) []bgp.UpdateRecord {
+	from := rs.CollectorAt(day, idx)
+	to := rs.CollectorAt(toDay, idx)
+	ts := rs.w.Cfg.RoutingStart.AddDate(0, 0, toDay)
+	var out []bgp.UpdateRecord
+	for p := 0; p < from.NumPeers(); p++ {
+		peer := from.Peer(p)
+		key := bgp.PeerKey{IP: peer.IP, AS: peer.AS}
+		diffs := bgp.DiffUpdates(from.PeerRIB(p), to.PeerRIB(p), key)
+		for i := range diffs {
+			diffs[i].Timestamp = ts
+		}
+		out = append(out, diffs...)
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package simulation
+
+import (
+	"testing"
+
+	"ipv4market/internal/bgp"
+	"ipv4market/internal/netblock"
+)
+
+// TestUpdateStreamEvolvesSnapshot checks the paper's daily workflow:
+// applying the update stream for days d..d+k to the day-d snapshot must
+// reproduce exactly the day-(d+k) snapshot, per peer and per route.
+func TestUpdateStreamEvolvesSnapshot(t *testing.T) {
+	w := buildTestWorld(t)
+	rs := NewRoutingSim(w)
+	const from, to = 5, 9
+
+	for ci := 0; ci < rs.NumCollectors(); ci++ {
+		base := rs.CollectorAt(from, ci)
+		want := rs.CollectorAt(to, ci)
+
+		// Expand the base snapshot into per-peer state and apply the
+		// per-day update streams.
+		var peers []bgp.PeerEntry
+		for p := 0; p < base.NumPeers(); p++ {
+			peers = append(peers, base.Peer(p))
+		}
+		// Expand into per-peer state by replaying each base route as an
+		// announcement.
+		st := bgp.NewSnapshotState(peers, nil)
+		for p := 0; p < base.NumPeers(); p++ {
+			peer := base.Peer(p)
+			key := bgp.PeerKey{IP: peer.IP, AS: peer.AS}
+			for _, r := range base.PeerRIB(p).Routes() {
+				bgp.ApplyUpdate(st.RIBOf(key), &bgp.UpdateRecord{
+					Announced: []netblock.Prefix{r.Prefix}, Path: r.Path,
+					Origin: r.Origin, NextHop: r.NextHop,
+				})
+			}
+		}
+		for d := from; d < to; d++ {
+			ups := rs.UpdateStream(d, d+1, ci)
+			for i := range ups {
+				st.Apply(&ups[i])
+			}
+		}
+
+		for p := 0; p < want.NumPeers(); p++ {
+			peer := want.Peer(p)
+			key := bgp.PeerKey{IP: peer.IP, AS: peer.AS}
+			got := st.RIBOf(key)
+			exp := want.PeerRIB(p)
+			if got.Len() != exp.Len() {
+				t.Fatalf("collector %d peer %d: %d routes, want %d", ci, p, got.Len(), exp.Len())
+			}
+			for _, r := range exp.Routes() {
+				g, ok := got.Get(r.Prefix)
+				if !ok || g.Path.String() != r.Path.String() {
+					t.Fatalf("collector %d peer %d: route %v diverges", ci, p, r.Prefix)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package simulation
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ipv4market/internal/netblock"
+	"ipv4market/internal/registry"
+)
+
+// Waiting-list dynamics (§2): once depleted, an RIR serves approved
+// requests from recovered address space only, so waiting times depend on
+// the recovery rate. The paper reports ARIN waits of up to 130+ days and
+// that the RIPE NCC cleared its whole list with recovered space in
+// November 2019, leaving ~340k addresses in the pool.
+
+func date(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}
+
+// WaitingListScenario parameterizes one RIR's post-depletion regime.
+type WaitingListScenario struct {
+	RIR registry.RIR
+	// Start/End bound the simulated period (Start should be at or after
+	// the RIR's depletion date).
+	Start, End time.Time
+	// RequestsPerWeek is the mean arrival rate of approved requests.
+	RequestsPerWeek float64
+	// RecoveredBlocksPerMonth is the mean number of address blocks
+	// recovered from closed members per month.
+	RecoveredBlocksPerMonth float64
+	// RecoveredBlockBits is the prefix length of recovered blocks.
+	RecoveredBlockBits int
+	// InitialPool seeds the free pool at Start (the RIPE NCC entered
+	// depletion with recovered space already banked).
+	InitialPool uint64
+	Seed        int64
+}
+
+// ARIN2020Scenario models ARIN's regime: steady demand, slow recovery,
+// empty pool.
+func ARIN2020Scenario() WaitingListScenario {
+	return WaitingListScenario{
+		RIR:                     registry.ARIN,
+		Start:                   date(2019, time.July, 1),
+		End:                     date(2020, time.July, 1),
+		RequestsPerWeek:         3.5,
+		RecoveredBlocksPerMonth: 2.4,
+		RecoveredBlockBits:      20,
+		Seed:                    1,
+	}
+}
+
+// RIPE2019Scenario models the RIPE NCC just after run-out: a burst of
+// queued requests served from banked recovered space.
+func RIPE2019Scenario() WaitingListScenario {
+	return WaitingListScenario{
+		RIR:                     registry.RIPENCC,
+		Start:                   date(2019, time.November, 25),
+		End:                     date(2020, time.July, 1),
+		RequestsPerWeek:         4,
+		RecoveredBlocksPerMonth: 5,
+		RecoveredBlockBits:      19,
+		InitialPool:             128_000,
+		Seed:                    1,
+	}
+}
+
+// WaitingListOutcome summarizes the simulated regime.
+type WaitingListOutcome struct {
+	Scenario    WaitingListScenario
+	Requests    int
+	Fulfilled   int
+	Pending     int
+	Rejected    int // waiting list full
+	MaxWaitDays int
+	MeanWait    float64 // days, over fulfilled requests
+	PoolLeft    uint64  // addresses remaining unallocated at End
+}
+
+// SimulateWaitingList runs the scenario through the registry policy
+// engine day by day: requests join the waiting list (the pool is empty or
+// insufficient), recovered blocks rest in quarantine for six months, and
+// the list is served first-come-first-served as space matures.
+func SimulateWaitingList(sc WaitingListScenario) WaitingListOutcome {
+	rng := rand.New(rand.NewSource(sc.Seed))
+	reg := registry.NewRegistry()
+	out := WaitingListOutcome{Scenario: sc}
+
+	// Donor organizations hold the space that will be recovered. Their
+	// blocks are allocated long before depletion and recovered during the
+	// scenario; the six-month quarantine applies, so seed recoveries six
+	// months before Start as well (space already resting when we begin).
+	donor := registry.OrgID("donor")
+	reg.RegisterLIR(donor, sc.RIR, "XX", date(2000, time.January, 1))
+	reg.SeedPool(sc.RIR, netblock.MustParsePrefix("203.0.0.0/10"))
+
+	requested := make(map[registry.OrgID]time.Time)
+	nextOrg := 0
+	newOrg := func(t time.Time) registry.OrgID {
+		nextOrg++
+		id := registry.OrgID(fmt.Sprintf("req-%04d", nextOrg))
+		reg.RegisterLIR(id, sc.RIR, "XX", t)
+		return id
+	}
+
+	// Pre-allocate donor blocks: enough for the whole scenario.
+	months := int(sc.End.Sub(sc.Start).Hours()/24/30) + 8
+	var donorBlocks []netblock.Prefix
+	for i := 0; i < int(sc.RecoveredBlocksPerMonth*float64(months))+8; i++ {
+		a, err := reg.Allocate(sc.RIR, donor, sc.RecoveredBlockBits, date(2001, time.January, 1))
+		if err != nil {
+			break
+		}
+		donorBlocks = append(donorBlocks, a.Prefix)
+	}
+	// Drain whatever free pool remains so the depleted regime is real,
+	// then bank the scenario's initial pool.
+	sink := registry.OrgID("sink")
+	reg.RegisterLIR(sink, sc.RIR, "XX", date(2000, time.January, 1))
+	for {
+		if _, err := reg.Allocate(sc.RIR, sink, 10, date(2001, time.June, 1)); err != nil {
+			break
+		}
+	}
+	for {
+		if _, err := reg.Allocate(sc.RIR, sink, 24, date(2001, time.June, 1)); err != nil {
+			break
+		}
+	}
+	if sc.InitialPool > 0 {
+		// Recover donor blocks early enough that they mature before Start.
+		var banked uint64
+		early := sc.Start.Add(-registry.QuarantinePeriod - 24*time.Hour)
+		for banked < sc.InitialPool && len(donorBlocks) > 0 {
+			b := donorBlocks[0]
+			donorBlocks = donorBlocks[1:]
+			if err := reg.Recover(b, early); err == nil {
+				banked += b.NumAddrs()
+			}
+		}
+	}
+
+	maxBits := registry.MaxAssignmentBits(sc.RIR, sc.Start)
+	dayRequests := sc.RequestsPerWeek / 7
+	dayRecoveries := sc.RecoveredBlocksPerMonth / 30
+
+	// Recovery is an ongoing process: blocks recovered during the six
+	// months before Start mature throughout the window.
+	for t := sc.Start.Add(-registry.QuarantinePeriod); t.Before(sc.Start); t = t.AddDate(0, 0, 1) {
+		for i := 0; i < poisson(rng, dayRecoveries) && len(donorBlocks) > 0; i++ {
+			b := donorBlocks[0]
+			donorBlocks = donorBlocks[1:]
+			_ = reg.Recover(b, t)
+		}
+	}
+
+	for t := sc.Start; t.Before(sc.End); t = t.AddDate(0, 0, 1) {
+		// New approved requests.
+		for i := 0; i < poisson(rng, dayRequests); i++ {
+			org := newOrg(t)
+			_, err := reg.Allocate(sc.RIR, org, maxBits, t)
+			switch {
+			case err == nil:
+				// Pool had matured space: served instantly.
+				out.Requests++
+				out.Fulfilled++
+			case err == registry.ErrWaitingList:
+				out.Requests++
+				requested[org] = t
+			default: // ErrWaitingListFull or policy refusal
+				out.Requests++
+				out.Rejected++
+			}
+		}
+		// Recoveries enter quarantine.
+		for i := 0; i < poisson(rng, dayRecoveries) && len(donorBlocks) > 0; i++ {
+			b := donorBlocks[0]
+			donorBlocks = donorBlocks[1:]
+			_ = reg.Recover(b, t)
+		}
+		// Daily maturation + FIFO service.
+		for _, a := range reg.ProcessQuarantine(sc.RIR, t) {
+			reqAt, ok := requested[a.Org]
+			if !ok {
+				continue
+			}
+			delete(requested, a.Org)
+			wait := int(a.Date.Sub(reqAt).Hours() / 24)
+			out.Fulfilled++
+			out.MeanWait += float64(wait)
+			if wait > out.MaxWaitDays {
+				out.MaxWaitDays = wait
+			}
+		}
+	}
+	out.Pending = len(requested)
+	if served := out.Fulfilled; served > 0 {
+		out.MeanWait /= float64(served)
+	}
+	out.PoolLeft = reg.PoolSize(sc.RIR)
+	return out
+}

@@ -1,0 +1,71 @@
+package simulation
+
+import (
+	"testing"
+	"time"
+
+	"ipv4market/internal/registry"
+)
+
+func TestARINWaitingListScenario(t *testing.T) {
+	out := SimulateWaitingList(ARIN2020Scenario())
+	if out.Requests == 0 {
+		t.Fatal("no requests simulated")
+	}
+	if out.Fulfilled == 0 {
+		t.Fatal("no requests fulfilled")
+	}
+	// §2: ARIN waiting times up to 130 days. With slow recovery and the
+	// six-month quarantine, multi-month waits must appear.
+	if out.MaxWaitDays < 60 {
+		t.Errorf("max wait = %d days; expected multi-month waits", out.MaxWaitDays)
+	}
+	if out.MaxWaitDays > 400 {
+		t.Errorf("max wait = %d days; implausibly long", out.MaxWaitDays)
+	}
+	if out.MeanWait <= 0 || out.MeanWait > float64(out.MaxWaitDays) {
+		t.Errorf("mean wait = %.1f", out.MeanWait)
+	}
+	// Demand exceeds supply: a queue remains.
+	if out.Pending == 0 {
+		t.Error("expected pending requests under ARIN's regime")
+	}
+}
+
+func TestRIPEWaitingListScenario(t *testing.T) {
+	out := SimulateWaitingList(RIPE2019Scenario())
+	if out.Requests == 0 || out.Fulfilled == 0 {
+		t.Fatalf("outcome = %+v", out)
+	}
+	// §2: RIPE cleared its list with recovered space; most requests are
+	// served quickly and the pool retains banked addresses.
+	frac := float64(out.Fulfilled) / float64(out.Requests)
+	if frac < 0.9 {
+		t.Errorf("fulfilled fraction = %.2f; RIPE should clear its list", frac)
+	}
+	if out.MeanWait > 40 {
+		t.Errorf("mean wait = %.1f days; RIPE's waits were short", out.MeanWait)
+	}
+	if out.PoolLeft == 0 {
+		t.Error("RIPE's pool should retain recovered addresses")
+	}
+}
+
+func TestWaitingListDeterminism(t *testing.T) {
+	a := SimulateWaitingList(ARIN2020Scenario())
+	b := SimulateWaitingList(ARIN2020Scenario())
+	if a != b {
+		t.Error("same scenario must be deterministic")
+	}
+}
+
+func TestWaitingListScenarioBounds(t *testing.T) {
+	sc := ARIN2020Scenario()
+	if registry.PhaseAt(sc.RIR, sc.Start) != registry.PhaseDepleted {
+		t.Error("ARIN scenario must start in the depleted phase")
+	}
+	sc2 := RIPE2019Scenario()
+	if !sc2.Start.Equal(time.Date(2019, 11, 25, 0, 0, 0, 0, time.UTC)) {
+		t.Error("RIPE scenario starts at run-out")
+	}
+}

@@ -1,0 +1,617 @@
+package simulation
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"ipv4market/internal/asorg"
+	"ipv4market/internal/market"
+	"ipv4market/internal/netblock"
+	"ipv4market/internal/registry"
+)
+
+// ASN is an autonomous system number.
+type ASN = asorg.ASN
+
+// OrgKind classifies organizations by the market behavior §6 describes.
+type OrgKind int
+
+// Organization kinds.
+const (
+	KindISP OrgKind = iota // buys > /20, leases parts to customers
+	KindHoster
+	KindLongTermCustomer // buys < /20, terminates leases
+	KindYoungBusiness    // leases small, grows, eventually buys
+	KindVPNProvider      // leases continuously, rotates IPs
+	KindSpammer          // short-lived leases of varying size
+)
+
+// String names the kind.
+func (k OrgKind) String() string {
+	switch k {
+	case KindISP:
+		return "isp"
+	case KindHoster:
+		return "hoster"
+	case KindLongTermCustomer:
+		return "long-term-customer"
+	case KindYoungBusiness:
+		return "young-business"
+	case KindVPNProvider:
+		return "vpn-provider"
+	case KindSpammer:
+		return "spammer"
+	}
+	return fmt.Sprintf("OrgKind(%d)", int(k))
+}
+
+// Org is one organization in the world.
+type Org struct {
+	ID      registry.OrgID
+	Kind    OrgKind
+	RIR     registry.RIR
+	Country string
+	ASNs    []ASN
+	// sellable tracks address space the org may still sell or lease out,
+	// as chunks that never span allocation boundaries (a transfer must
+	// stay within one registry allocation).
+	sellable []netblock.Prefix
+}
+
+func (o *Org) addSellable(p netblock.Prefix) { o.sellable = append(o.sellable, p) }
+
+func (o *Org) hasSellable() bool { return len(o.sellable) > 0 }
+
+// PrimaryAS returns the org's first ASN.
+func (o *Org) PrimaryAS() ASN { return o.ASNs[0] }
+
+// World is the generated ground truth.
+type World struct {
+	Cfg       Config
+	Registry  *registry.Registry
+	Orgs      []*Org
+	ByID      map[registry.OrgID]*Org
+	ByAS      map[ASN]*Org
+	OrgSeries *asorg.Series
+	Prices    []market.PriceRecord
+	Leases    []*Lease
+
+	rng *rand.Rand
+}
+
+// Lease is one ground-truth leasing agreement.
+type Lease struct {
+	Provider *Org
+	Customer *Org
+	Parent   netblock.Prefix // the provider's covering block
+	Child    netblock.Prefix
+	// StartDay/EndDay are routing-window day indexes; StartDay may be
+	// negative (lease predates the window) and EndDay may exceed the
+	// window length.
+	StartDay, EndDay int
+	InWhois          bool
+	Routed           bool // child announced in BGP by the customer AS
+	OnOff            bool
+	onPeriod         int
+	offPeriod        int
+	phase            int
+}
+
+// ActiveOn reports whether the lease exists on the routing-window day.
+func (l *Lease) ActiveOn(day int) bool { return day >= l.StartDay && day < l.EndDay }
+
+// AnnouncedOn reports whether the leased child prefix is visible in BGP on
+// the day (active, routed and in the "on" part of its pattern).
+func (l *Lease) AnnouncedOn(day int) bool {
+	if !l.ActiveOn(day) || !l.Routed {
+		return false
+	}
+	if !l.OnOff {
+		return true
+	}
+	cycle := l.onPeriod + l.offPeriod
+	pos := (day + l.phase) % cycle
+	if pos < 0 {
+		pos += cycle
+	}
+	return pos < l.onPeriod
+}
+
+// Build generates the world from the configuration.
+func Build(cfg Config) (*World, error) {
+	w := &World{
+		Cfg:      cfg,
+		Registry: registry.NewRegistry(),
+		ByID:     make(map[registry.OrgID]*Org),
+		ByAS:     make(map[ASN]*Org),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for rir, seeds := range poolSeeds {
+		for _, s := range seeds {
+			w.Registry.SeedPool(rir, netblock.MustParsePrefix(s))
+		}
+	}
+	w.createOrgs()
+	if err := w.createLegacyHolders(); err != nil {
+		return nil, err
+	}
+	w.buildOrgSeries()
+	if err := w.allocateHistory(); err != nil {
+		return nil, err
+	}
+	if err := w.runTransferMarket(); err != nil {
+		return nil, err
+	}
+	w.createLeases()
+	return w, nil
+}
+
+var kindWeights = []struct {
+	kind OrgKind
+	w    int
+}{
+	{KindISP, 25}, {KindHoster, 15}, {KindLongTermCustomer, 25},
+	{KindYoungBusiness, 20}, {KindVPNProvider, 10}, {KindSpammer, 5},
+}
+
+func (w *World) pickKind() OrgKind {
+	total := 0
+	for _, kw := range kindWeights {
+		total += kw.w
+	}
+	n := w.rng.Intn(total)
+	for _, kw := range kindWeights {
+		if n < kw.w {
+			return kw.kind
+		}
+		n -= kw.w
+	}
+	return KindISP
+}
+
+func (w *World) createOrgs() {
+	nextAS := ASN(10000)
+	for _, rir := range registry.AllRIRs() {
+		n := lirShare(rir, w.Cfg.NumLIRs)
+		for i := 0; i < n; i++ {
+			org := &Org{
+				ID:      registry.OrgID(fmt.Sprintf("ORG-%s-%03d", rir.StatsName(), i)),
+				Kind:    w.pickKind(),
+				RIR:     rir,
+				Country: countryFor(rir, i),
+			}
+			// ISPs and hosters often run several ASes of one organization
+			// (the same-org filter must remove their internal delegations).
+			nASes := 1
+			if org.Kind == KindISP || org.Kind == KindHoster {
+				nASes = 1 + w.rng.Intn(3)
+			}
+			for a := 0; a < nASes; a++ {
+				org.ASNs = append(org.ASNs, nextAS)
+				w.ByAS[nextAS] = org
+				nextAS++
+			}
+			w.Orgs = append(w.Orgs, org)
+			w.ByID[org.ID] = org
+			// Members join spread over history; everyone is a member well
+			// before the routing window.
+			joined := w.Cfg.HistoryStart.AddDate(0, w.rng.Intn(96), 0)
+			w.Registry.RegisterLIR(org.ID, rir, org.Country, joined)
+		}
+	}
+}
+
+// buildOrgSeries emits quarterly as2org snapshots over the routing window.
+func (w *World) buildOrgSeries() {
+	var snaps []*asorg.Snapshot
+	for t := w.Cfg.RoutingStart.AddDate(0, -3, 0); t.Before(w.Cfg.MarketEnd); t = t.AddDate(0, 3, 0) {
+		snap := asorg.NewSnapshot(t)
+		for _, org := range w.Orgs {
+			snap.AddOrg(asorg.Org{ID: string(org.ID), Name: string(org.ID), Country: org.Country, Source: org.RIR.StatsName()})
+			for _, a := range org.ASNs {
+				snap.AddAS(a, string(org.ID))
+			}
+		}
+		snaps = append(snaps, snap)
+	}
+	w.OrgSeries = asorg.NewSeries(snaps...)
+}
+
+// legacySeeds maps each major region to address space assigned before the
+// RIR framework existed ("legacy" space, still announced today).
+var legacySeeds = map[registry.RIR]string{
+	registry.ARIN:    "44.0.0.0/8",  // amateur radio, classic US legacy
+	registry.RIPENCC: "51.0.0.0/8",  // UK government legacy
+	registry.APNIC:   "133.0.0.0/8", // Japanese class-B legacy space
+}
+
+// createLegacyHolders registers a few pre-RIR assignments per major
+// region. Legacy holders are ordinary organizations in the world (they
+// announce their space and may lease it), but their blocks carry legacy
+// status in the registry statistics and WHOIS.
+func (w *World) createLegacyHolders() error {
+	nextAS := ASN(64000 - 100) // distinct public range below the member block
+	_ = nextAS
+	for _, rir := range []registry.RIR{registry.ARIN, registry.RIPENCC, registry.APNIC} {
+		base := netblock.MustParsePrefix(legacySeeds[rir])
+		for i := 0; i < 3; i++ {
+			org := &Org{
+				ID:      registry.OrgID(fmt.Sprintf("ORG-legacy-%s-%d", rir.StatsName(), i)),
+				Kind:    KindISP, // legacy holders behave like ISPs (lease/sell)
+				RIR:     rir,
+				Country: countryFor(rir, i),
+			}
+			asn := ASN(9000 + 10*int(rir) + i)
+			org.ASNs = []ASN{asn}
+			w.ByAS[asn] = org
+			w.Orgs = append(w.Orgs, org)
+			w.ByID[org.ID] = org
+			// Legacy holders typically became members later to get support.
+			w.Registry.RegisterLIR(org.ID, rir, org.Country, w.Cfg.HistoryStart)
+			block := netblock.NewPrefix(base.Addr()+netblock.Addr(i)<<16, 16)
+			a, err := w.Registry.RegisterLegacy(rir, org.ID, block, org.Country, date(1985, time.January, 1))
+			if err != nil {
+				return fmt.Errorf("simulation: legacy %v: %w", block, err)
+			}
+			org.addSellable(a.Prefix)
+		}
+	}
+	return nil
+}
+
+// allocationBits returns a plausible allocation size by org kind. ISPs
+// and hosters hold the large blocks that feed both the transfer market
+// and the leasing ecosystem.
+func (w *World) allocationBits(kind OrgKind) int {
+	switch kind {
+	case KindISP:
+		return 12 + w.rng.Intn(4) // /12../15
+	case KindHoster:
+		return 14 + w.rng.Intn(4) // /14../17
+	default:
+		return 20 + w.rng.Intn(3) // /20../22
+	}
+}
+
+func (w *World) allocateHistory() error {
+	for _, org := range w.Orgs {
+		m := registry.MilestonesOf(org.RIR)
+		// Allocation request somewhere between history start and the
+		// region's soft-landing date (all our orgs are pre-exhaustion
+		// members; late joiners are modeled by the waiting-list tests).
+		windowDays := int(m.DownToLastBlock.Sub(w.Cfg.HistoryStart).Hours() / 24)
+		if windowDays < 1 {
+			windowDays = 1
+		}
+		when := w.Cfg.HistoryStart.AddDate(0, 0, w.rng.Intn(windowDays))
+		bits := w.allocationBits(org.Kind)
+		a, err := w.Registry.Allocate(org.RIR, org.ID, bits, when)
+		if err != nil {
+			return fmt.Errorf("simulation: allocate for %s: %w", org.ID, err)
+		}
+		org.addSellable(a.Prefix)
+		// ISPs sometimes hold a second block.
+		if org.Kind == KindISP && w.rng.Float64() < 0.4 {
+			b, err := w.Registry.Allocate(org.RIR, org.ID, bits+2, when.AddDate(1, 0, 0))
+			if err == nil {
+				org.addSellable(b.Prefix)
+			}
+		}
+	}
+	return nil
+}
+
+// PriceLevel returns the market price level ($/address) at time t:
+// ~$10.50 in early 2016, doubling to ~$22.50 by Spring 2019, then flat —
+// the trajectory §3 reports.
+func PriceLevel(t time.Time) float64 {
+	anchor := time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC)
+	plateau := time.Date(2019, 4, 1, 0, 0, 0, 0, time.UTC)
+	const start, end = 10.5, 22.5
+	if !t.After(anchor) {
+		// Slow pre-2016 drift from ~$7.
+		years := anchor.Sub(t).Hours() / 24 / 365
+		v := start - years*0.35
+		if v < 5 {
+			v = 5
+		}
+		return v
+	}
+	if t.After(plateau) {
+		return end
+	}
+	frac := t.Sub(anchor).Hours() / plateau.Sub(anchor).Hours()
+	// Smooth S-curve between the anchors.
+	s := 0.5 - 0.5*math.Cos(frac*math.Pi)
+	return start + (end-start)*s
+}
+
+// sizeFactor prices small blocks at a premium (§3: /24 and /23 cost more;
+// very large blocks, rare, also rise — excluded from the data set).
+func sizeFactor(bits int) float64 {
+	switch {
+	case bits >= 24:
+		return 1.12
+	case bits == 23:
+		return 1.08
+	case bits == 16:
+		return 0.97
+	default:
+		return 1.0
+	}
+}
+
+// meanSizeFactor normalizes the size premium so the market-wide average
+// price tracks PriceLevel (the deal mix is dominated by /24s and /23s).
+const meanSizeFactor = 1.07
+
+// transactionPrice draws a per-address price for a deal at time t.
+func (w *World) transactionPrice(t time.Time, bits int) float64 {
+	noise := 1 + w.rng.NormFloat64()*0.06
+	if noise < 0.7 {
+		noise = 0.7
+	}
+	return PriceLevel(t) * sizeFactor(bits) / meanSizeFactor * noise
+}
+
+// monthlyTransferRate returns the expected number of intra-RIR transfers
+// in the region for the given month, following Figure 2's shape: markets
+// start at the last-/8 date, ramp up, ARIN largest, RIPE with a year-end
+// seasonal bump, AFRINIC/LACNIC negligible.
+func monthlyTransferRate(r registry.RIR, t time.Time) float64 {
+	if !registry.TransferMarketOpen(r, t) {
+		return 0
+	}
+	open := registry.MilestonesOf(r).DownToLastBlock
+	years := t.Sub(open).Hours() / 24 / 365
+	ramp := math.Min(years/3, 1)
+	var base float64
+	switch r {
+	case registry.ARIN:
+		base = 28
+	case registry.RIPENCC:
+		base = 9
+		if t.Month() == time.November || t.Month() == time.December {
+			base *= 1.8 // §3: RIPE's pattern aligns with the end of year
+		}
+	case registry.APNIC:
+		base = 6
+	default:
+		base = 0.3 // AFRINIC, LACNIC: negligible
+	}
+	return base * ramp
+}
+
+// transferBits draws the size of a transferred block (mostly /24../22,
+// occasionally up to /16).
+func (w *World) transferBits() int {
+	r := w.rng.Float64()
+	switch {
+	case r < 0.45:
+		return 24
+	case r < 0.65:
+		return 23
+	case r < 0.82:
+		return 22
+	case r < 0.92:
+		return 20 + w.rng.Intn(2)
+	case r < 0.98:
+		return 17 + w.rng.Intn(3)
+	default:
+		return 16
+	}
+}
+
+// poisson draws a Poisson variate (Knuth's method; rates here are small).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// takeSellable carves a block of the requested size from the org's
+// sellable space, keeping each remaining chunk inside its original
+// allocation.
+func takeSellable(org *Org, bits int) (netblock.Prefix, bool) {
+	return takeSellableMin(org, bits, bits)
+}
+
+// takeSellableStrict carves a block whose source chunk is strictly less
+// specific, guaranteeing the org keeps an announcable covering remainder
+// (lease children must sit strictly inside an allocation fragment, or the
+// delegation could never be observed in BGP).
+func takeSellableStrict(org *Org, bits int) (netblock.Prefix, bool) {
+	return takeSellableMin(org, bits, bits-1)
+}
+
+func takeSellableMin(org *Org, bits, maxChunkBits int) (netblock.Prefix, bool) {
+	for i, p := range org.sellable {
+		if p.Bits() > maxChunkBits {
+			continue
+		}
+		block := netblock.NewPrefix(p.Addr(), bits)
+		rem := netblock.NewSet(p)
+		rem.RemovePrefix(block)
+		rest := rem.Prefixes()
+		org.sellable = append(org.sellable[:i], org.sellable[i+1:]...)
+		org.sellable = append(org.sellable, rest...)
+		return block, true
+	}
+	return netblock.Prefix{}, false
+}
+
+func (w *World) orgsOf(rir registry.RIR) []*Org {
+	var out []*Org
+	for _, o := range w.Orgs {
+		if o.RIR == rir {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+func (w *World) runTransferMarket() error {
+	// Intra-RIR market, monthly steps from the earliest market opening.
+	for _, rir := range registry.AllRIRs() {
+		regionOrgs := w.orgsOf(rir)
+		if len(regionOrgs) < 2 {
+			continue
+		}
+		start := registry.MilestonesOf(rir).DownToLastBlock
+		for t := start; t.Before(w.Cfg.MarketEnd); t = t.AddDate(0, 1, 0) {
+			n := poisson(w.rng, monthlyTransferRate(rir, t))
+			for i := 0; i < n; i++ {
+				if err := w.oneTransfer(rir, regionOrgs, t); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Inter-RIR transfers from 2012, mostly out of ARIN, growing in count
+	// with shrinking blocks (Figure 3).
+	for year := 2012; year < w.Cfg.MarketEnd.Year()+1; year++ {
+		count := 2 + (year-2012)*2
+		maxBits := 17 + (year-2012)/2 // later years: smaller blocks
+		if maxBits > 23 {
+			maxBits = 23
+		}
+		for i := 0; i < count; i++ {
+			from := registry.ARIN
+			if w.rng.Float64() < 0.2 {
+				from = registry.APNIC
+			}
+			var to registry.RIR
+			switch {
+			case from == registry.ARIN && w.rng.Float64() < 0.55:
+				to = registry.RIPENCC
+			case from == registry.ARIN:
+				to = registry.APNIC
+			default:
+				to = registry.RIPENCC
+			}
+			t := time.Date(year, time.Month(1+w.rng.Intn(12)), 1+w.rng.Intn(28), 0, 0, 0, 0, time.UTC)
+			if !t.Before(w.Cfg.MarketEnd) {
+				continue
+			}
+			bits := maxBits + w.rng.Intn(2)
+			if bits > 24 {
+				bits = 24
+			}
+			if err := w.oneInterRIRTransfer(from, to, bits, t); err != nil {
+				return err
+			}
+		}
+	}
+	sort.Slice(w.Prices, func(i, j int) bool { return w.Prices[i].Date.Before(w.Prices[j].Date) })
+	return nil
+}
+
+func (w *World) oneTransfer(rir registry.RIR, regionOrgs []*Org, t time.Time) error {
+	bits := w.transferBits()
+	seller := w.pickSeller(regionOrgs, bits)
+	if seller == nil {
+		return nil // market dried up in this region
+	}
+	buyer := regionOrgs[w.rng.Intn(len(regionOrgs))]
+	if buyer == seller {
+		return nil
+	}
+	block, ok := takeSellable(seller, bits)
+	if !ok {
+		return nil
+	}
+	isMA := w.rng.Float64() < 0.12 // some consolidations ride the logs
+	if isMA {
+		// An acquisition consolidates the acquired company's holdings:
+		// several blocks move between the same organization pair on the
+		// same day — the signature merger-inference heuristics look for.
+		blocks := []netblock.Prefix{block}
+		for i := 0; i < 1+w.rng.Intn(4); i++ {
+			b, ok := takeSellable(seller, bits)
+			if !ok {
+				break
+			}
+			blocks = append(blocks, b)
+		}
+		for _, b := range blocks {
+			if _, err := w.Registry.ExecuteTransfer(b, seller.ID, buyer.ID, rir, registry.TypeMerger, 0, t); err != nil {
+				return fmt.Errorf("simulation: M&A transfer %v: %w", b, err)
+			}
+			buyer.addSellable(b)
+		}
+		return nil
+	}
+	price := w.transactionPrice(t, bits)
+	if _, err := w.Registry.ExecuteTransfer(block, seller.ID, buyer.ID, rir, registry.TypeMarket, price, t); err != nil {
+		return fmt.Errorf("simulation: transfer %v: %w", block, err)
+	}
+	buyer.addSellable(block)
+	if bits >= 16 {
+		// The broker data set covers /16 and more-specific only.
+		w.Prices = append(w.Prices, market.PriceRecord{
+			Date: t, Region: rir, Bits: bits, PricePerAddr: price,
+		})
+	}
+	return nil
+}
+
+func (w *World) oneInterRIRTransfer(from, to registry.RIR, bits int, t time.Time) error {
+	if !registry.TransferMarketOpen(from, t) {
+		return nil // source region not yet in its transfer regime
+	}
+	sellers := w.orgsOf(from)
+	buyers := w.orgsOf(to)
+	if len(sellers) == 0 || len(buyers) == 0 {
+		return nil
+	}
+	seller := w.pickSeller(sellers, bits)
+	if seller == nil {
+		return nil
+	}
+	buyer := buyers[w.rng.Intn(len(buyers))]
+	block, ok := takeSellable(seller, bits)
+	if !ok {
+		return nil
+	}
+	price := w.transactionPrice(t, bits)
+	if _, err := w.Registry.ExecuteTransfer(block, seller.ID, buyer.ID, to, registry.TypeMarket, price, t); err != nil {
+		return fmt.Errorf("simulation: inter-RIR transfer %v: %w", block, err)
+	}
+	buyer.addSellable(block)
+	if bits >= 16 {
+		// Region follows the maintaining RIR, which is now the recipient.
+		w.Prices = append(w.Prices, market.PriceRecord{
+			Date: t, Region: to, Bits: bits, PricePerAddr: price,
+		})
+	}
+	return nil
+}
+
+// pickSeller prefers ISPs and hosters with enough contiguous space.
+func (w *World) pickSeller(orgs []*Org, bits int) *Org {
+	for attempts := 0; attempts < 12; attempts++ {
+		o := orgs[w.rng.Intn(len(orgs))]
+		if o.Kind != KindISP && o.Kind != KindHoster && attempts < 8 {
+			continue
+		}
+		for _, p := range o.sellable {
+			if p.Bits() <= bits {
+				return o
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSamples(n int) []float64 {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*5 + 20
+	}
+	return xs
+}
+
+func BenchmarkSummarize(b *testing.B) {
+	xs := benchSamples(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Summarize(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMannWhitneyU(b *testing.B) {
+	x := benchSamples(200)
+	y := benchSamples(200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MannWhitneyU(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKruskalWallis(b *testing.B) {
+	g1, g2, g3 := benchSamples(150), benchSamples(150), benchSamples(150)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := KruskalWallis(g1, g2, g3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

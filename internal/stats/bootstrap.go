@@ -1,0 +1,55 @@
+package stats
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+)
+
+// Bootstrap confidence intervals for the pricing headline numbers: the
+// paper reports point estimates ("around $22.50 with little variance");
+// resampling quantifies that variance without distributional assumptions.
+
+// Interval is a two-sided confidence interval.
+type Interval struct {
+	Lo, Hi float64
+	Level  float64 // e.g. 0.95
+}
+
+// Contains reports whether v lies inside the interval.
+func (iv Interval) Contains(v float64) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// Width returns Hi - Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// BootstrapCI estimates a percentile confidence interval for the given
+// statistic by resampling xs with replacement `rounds` times. The rng
+// makes the estimate deterministic for a fixed seed.
+func BootstrapCI(rng *rand.Rand, xs []float64, statistic func([]float64) float64, rounds int, level float64) (Interval, error) {
+	if len(xs) < 2 {
+		return Interval{}, ErrNoData
+	}
+	if rounds < 10 || level <= 0 || level >= 1 {
+		return Interval{}, errors.New("stats: invalid bootstrap parameters")
+	}
+	estimates := make([]float64, rounds)
+	resample := make([]float64, len(xs))
+	for r := 0; r < rounds; r++ {
+		for i := range resample {
+			resample[i] = xs[rng.Intn(len(xs))]
+		}
+		estimates[r] = statistic(resample)
+	}
+	sort.Float64s(estimates)
+	alpha := (1 - level) / 2
+	return Interval{
+		Lo:    quantileSorted(estimates, alpha),
+		Hi:    quantileSorted(estimates, 1-alpha),
+		Level: level,
+	}, nil
+}
+
+// BootstrapMeanCI is BootstrapCI specialized to the mean.
+func BootstrapMeanCI(rng *rand.Rand, xs []float64, rounds int, level float64) (Interval, error) {
+	return BootstrapCI(rng, xs, Mean, rounds, level)
+}

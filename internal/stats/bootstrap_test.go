@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBootstrapMeanCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 400)
+	for i := range xs {
+		xs[i] = 22.5 + rng.NormFloat64()*1.5
+	}
+	ci, err := BootstrapMeanCI(rand.New(rand.NewSource(2)), xs, 500, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ci.Contains(22.5) {
+		t.Errorf("CI %+v should contain the true mean", ci)
+	}
+	// Standard error ≈ 1.5/20 = 0.075; a 95% CI is ~0.3 wide.
+	if ci.Width() < 0.1 || ci.Width() > 0.8 {
+		t.Errorf("CI width = %v", ci.Width())
+	}
+	if ci.Lo >= ci.Hi || ci.Level != 0.95 {
+		t.Errorf("CI = %+v", ci)
+	}
+}
+
+func TestBootstrapCIDeterminism(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	a, err := BootstrapMeanCI(rand.New(rand.NewSource(7)), xs, 200, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := BootstrapMeanCI(rand.New(rand.NewSource(7)), xs, 200, 0.9)
+	if a != b {
+		t.Error("same seed must give the same interval")
+	}
+}
+
+func TestBootstrapCIMedianStatistic(t *testing.T) {
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i % 10) // median 4.5
+	}
+	med := func(v []float64) float64 {
+		m, _ := Median(v)
+		return m
+	}
+	ci, err := BootstrapCI(rand.New(rand.NewSource(3)), xs, med, 300, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ci.Contains(4.5) {
+		t.Errorf("median CI %+v should contain 4.5", ci)
+	}
+}
+
+func TestBootstrapCIErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := BootstrapMeanCI(rng, []float64{1}, 100, 0.95); err != ErrNoData {
+		t.Errorf("tiny sample err = %v", err)
+	}
+	if _, err := BootstrapMeanCI(rng, []float64{1, 2}, 5, 0.95); err == nil {
+		t.Error("too few rounds should fail")
+	}
+	if _, err := BootstrapMeanCI(rng, []float64{1, 2}, 100, 1.5); err == nil {
+		t.Error("bad level should fail")
+	}
+}

@@ -1,0 +1,162 @@
+// Package stats provides the statistical machinery the market analyses
+// need: descriptive summaries, five-number box-plot summaries, the
+// Mann-Whitney U and Kruskal-Wallis rank tests used for the paper's
+// "no statistically significant regional price difference" claim, simple
+// linear regression for trend detection, and quarterly time bucketing.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrNoData is returned by summaries over empty samples.
+var ErrNoData = errors.New("stats: no data")
+
+// Mean returns the arithmetic mean. It returns 0 for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (n-1 denominator).
+// Samples of size < 2 have variance 0.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics (type-7, the R/NumPy default).
+// The input need not be sorted. It returns an error for an empty sample
+// or q outside [0, 1].
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrNoData
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, errors.New("stats: quantile out of range")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q), nil
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) (float64, error) { return Quantile(xs, 0.5) }
+
+// BoxPlot is a five-number summary plus outliers, matching what Figure 1
+// of the paper draws for each (prefix size, region, quarter) cell.
+type BoxPlot struct {
+	N        int     // sample size
+	Min      float64 // minimum observation
+	Q1       float64 // first quartile
+	Median   float64
+	Q3       float64 // third quartile
+	Max      float64 // maximum observation
+	Mean     float64
+	LowFence float64 // Q1 - 1.5*IQR (Tukey)
+	HiFence  float64 // Q3 + 1.5*IQR
+	Outliers []float64
+}
+
+// Summarize computes a box-plot summary of xs.
+func Summarize(xs []float64) (BoxPlot, error) {
+	if len(xs) == 0 {
+		return BoxPlot{}, ErrNoData
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	b := BoxPlot{
+		N:      len(sorted),
+		Min:    sorted[0],
+		Q1:     quantileSorted(sorted, 0.25),
+		Median: quantileSorted(sorted, 0.5),
+		Q3:     quantileSorted(sorted, 0.75),
+		Max:    sorted[len(sorted)-1],
+		Mean:   Mean(sorted),
+	}
+	iqr := b.Q3 - b.Q1
+	b.LowFence = b.Q1 - 1.5*iqr
+	b.HiFence = b.Q3 + 1.5*iqr
+	for _, x := range sorted {
+		if x < b.LowFence || x > b.HiFence {
+			b.Outliers = append(b.Outliers, x)
+		}
+	}
+	return b, nil
+}
+
+// IQR returns the interquartile range.
+func (b BoxPlot) IQR() float64 { return b.Q3 - b.Q1 }
+
+// LinearFit is the result of an ordinary least-squares fit y = a + b*x.
+type LinearFit struct {
+	Intercept float64 // a
+	Slope     float64 // b
+	R2        float64 // coefficient of determination
+}
+
+// LinearRegression fits y = a + b*x by least squares. It returns an error
+// if fewer than two points are given or all x are identical.
+func LinearRegression(x, y []float64) (LinearFit, error) {
+	if len(x) != len(y) {
+		return LinearFit{}, errors.New("stats: x and y length mismatch")
+	}
+	if len(x) < 2 {
+		return LinearFit{}, ErrNoData
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, errors.New("stats: degenerate x values")
+	}
+	b := sxy / sxx
+	fit := LinearFit{Intercept: my - b*mx, Slope: b}
+	if syy > 0 {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	} else {
+		fit.R2 = 1 // all y equal: a horizontal line fits perfectly
+	}
+	return fit, nil
+}

@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !almostEqual(m, 5, 1e-12) {
+		t.Errorf("Mean = %v", m)
+	}
+	if v := Variance(xs); !almostEqual(v, 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %v", v)
+	}
+	if s := StdDev(xs); !almostEqual(s, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("StdDev = %v", s)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate cases wrong")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 1.75}, {0.5, 2.5}, {0.75, 3.25}, {1, 4},
+	}
+	for _, c := range cases {
+		got, err := Quantile(xs, c.q)
+		if err != nil || !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, %v; want %v", c.q, got, err, c.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); err != ErrNoData {
+		t.Errorf("empty quantile err = %v", err)
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("q > 1 should fail")
+	}
+	one, err := Quantile([]float64{42}, 0.3)
+	if err != nil || one != 42 {
+		t.Errorf("single-element quantile = %v, %v", one, err)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Quantile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 100} // 100 is an outlier
+	b, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N != 5 || b.Min != 1 || b.Max != 100 || b.Median != 3 {
+		t.Errorf("summary = %+v", b)
+	}
+	if len(b.Outliers) != 1 || b.Outliers[0] != 100 {
+		t.Errorf("outliers = %v", b.Outliers)
+	}
+	if !almostEqual(b.IQR(), b.Q3-b.Q1, 1e-12) {
+		t.Error("IQR inconsistent")
+	}
+	if _, err := Summarize(nil); err != ErrNoData {
+		t.Error("empty Summarize should fail")
+	}
+}
+
+func TestSummarizeProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		b, err := Summarize(xs)
+		if err != nil {
+			return false
+		}
+		return b.Min <= b.Q1 && b.Q1 <= b.Median && b.Median <= b.Q3 && b.Q3 <= b.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearRegression(t *testing.T) {
+	// Perfect line y = 3 + 2x.
+	x := []float64{0, 1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9, 11}
+	fit, err := LinearRegression(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 2, 1e-12) || !almostEqual(fit.Intercept, 3, 1e-12) || !almostEqual(fit.R2, 1, 1e-12) {
+		t.Errorf("fit = %+v", fit)
+	}
+	if _, err := LinearRegression([]float64{1}, []float64{2}); err == nil {
+		t.Error("too few points should fail")
+	}
+	if _, err := LinearRegression([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Error("degenerate x should fail")
+	}
+	if _, err := LinearRegression([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	flat, err := LinearRegression([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil || !almostEqual(flat.Slope, 0, 1e-12) || !almostEqual(flat.R2, 1, 1e-12) {
+		t.Errorf("flat fit = %+v, %v", flat, err)
+	}
+}
+
+func TestLinearRegressionNoisyRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var x, y []float64
+	for i := 0; i < 500; i++ {
+		xi := float64(i) / 10
+		x = append(x, xi)
+		y = append(y, 1.5+0.75*xi+rng.NormFloat64()*0.1)
+	}
+	fit, err := LinearRegression(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 0.75, 0.01) || !almostEqual(fit.Intercept, 1.5, 0.05) {
+		t.Errorf("recovered fit = %+v", fit)
+	}
+	if fit.R2 < 0.99 {
+		t.Errorf("R2 = %v", fit.R2)
+	}
+}

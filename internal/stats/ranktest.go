@@ -1,0 +1,208 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// This file implements the nonparametric rank tests the paper's pricing
+// analysis needs. The Mann-Whitney U test compares two regions' price
+// samples; Kruskal-Wallis extends it to all three regions at once. Both use
+// the normal / chi-squared large-sample approximations with tie correction,
+// which is appropriate at the paper's per-cell sample sizes (8-196).
+
+// RankTestResult reports a two-sided nonparametric test.
+type RankTestResult struct {
+	Statistic float64 // U for Mann-Whitney, H for Kruskal-Wallis
+	Z         float64 // standardized statistic (Mann-Whitney only)
+	PValue    float64 // two-sided p-value
+}
+
+// Significant reports whether the test rejects the null hypothesis of equal
+// distributions at the given significance level (e.g. 0.05).
+func (r RankTestResult) Significant(alpha float64) bool { return r.PValue < alpha }
+
+// midRanks assigns average ranks (1-based) to the pooled sample and returns
+// the ranks in the original order plus the tie-correction term Σ(t³-t).
+func midRanks(pooled []float64) (ranks []float64, tieTerm float64) {
+	type iv struct {
+		v float64
+		i int
+	}
+	idx := make([]iv, len(pooled))
+	for i, v := range pooled {
+		idx[i] = iv{v, i}
+	}
+	sort.Slice(idx, func(a, b int) bool { return idx[a].v < idx[b].v })
+	ranks = make([]float64, len(pooled))
+	for i := 0; i < len(idx); {
+		j := i
+		for j < len(idx) && idx[j].v == idx[i].v {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[idx[k].i] = avg
+		}
+		t := float64(j - i)
+		tieTerm += t*t*t - t
+		i = j
+	}
+	return ranks, tieTerm
+}
+
+// MannWhitneyU performs a two-sided Mann-Whitney U test (Wilcoxon rank-sum)
+// on samples a and b using the normal approximation with tie correction and
+// continuity correction. Both samples need at least 2 observations.
+func MannWhitneyU(a, b []float64) (RankTestResult, error) {
+	n1, n2 := float64(len(a)), float64(len(b))
+	if len(a) < 2 || len(b) < 2 {
+		return RankTestResult{}, errors.New("stats: Mann-Whitney needs ≥2 observations per sample")
+	}
+	pooled := make([]float64, 0, len(a)+len(b))
+	pooled = append(pooled, a...)
+	pooled = append(pooled, b...)
+	ranks, tieTerm := midRanks(pooled)
+
+	var r1 float64
+	for i := range a {
+		r1 += ranks[i]
+	}
+	u1 := r1 - n1*(n1+1)/2
+	u2 := n1*n2 - u1
+	u := math.Min(u1, u2)
+
+	mu := n1 * n2 / 2
+	n := n1 + n2
+	sigma2 := n1 * n2 / 12 * ((n + 1) - tieTerm/(n*(n-1)))
+	if sigma2 <= 0 {
+		// All observations identical: no evidence against the null.
+		return RankTestResult{Statistic: u, Z: 0, PValue: 1}, nil
+	}
+	z := (u - mu + 0.5) / math.Sqrt(sigma2) // continuity correction toward 0
+	if u > mu {
+		z = (u - mu - 0.5) / math.Sqrt(sigma2)
+	}
+	p := 2 * normCDF(-math.Abs(z))
+	if p > 1 {
+		p = 1
+	}
+	return RankTestResult{Statistic: u, Z: z, PValue: p}, nil
+}
+
+// KruskalWallis performs the Kruskal-Wallis H test across k ≥ 2 groups,
+// using the chi-squared approximation with k-1 degrees of freedom and tie
+// correction. Every group needs at least 2 observations.
+func KruskalWallis(groups ...[]float64) (RankTestResult, error) {
+	if len(groups) < 2 {
+		return RankTestResult{}, errors.New("stats: Kruskal-Wallis needs ≥2 groups")
+	}
+	var pooled []float64
+	for _, g := range groups {
+		if len(g) < 2 {
+			return RankTestResult{}, errors.New("stats: Kruskal-Wallis needs ≥2 observations per group")
+		}
+		pooled = append(pooled, g...)
+	}
+	ranks, tieTerm := midRanks(pooled)
+	n := float64(len(pooled))
+
+	var h float64
+	off := 0
+	for _, g := range groups {
+		var rsum float64
+		for i := range g {
+			rsum += ranks[off+i]
+		}
+		ni := float64(len(g))
+		h += rsum * rsum / ni
+		off += len(g)
+	}
+	h = 12/(n*(n+1))*h - 3*(n+1)
+	// Tie correction.
+	c := 1 - tieTerm/(n*n*n-n)
+	if c > 0 {
+		h /= c
+	}
+	df := float64(len(groups) - 1)
+	p := chiSquaredSF(h, df)
+	return RankTestResult{Statistic: h, PValue: p}, nil
+}
+
+// normCDF is the standard normal cumulative distribution function.
+func normCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// chiSquaredSF is the chi-squared survival function P(X > x) with df
+// degrees of freedom, via the regularized upper incomplete gamma function.
+func chiSquaredSF(x, df float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return regularizedGammaQ(df/2, x/2)
+}
+
+// regularizedGammaQ computes Q(a, x) = Γ(a, x)/Γ(a) using the series for
+// x < a+1 and the continued fraction otherwise (Numerical Recipes style).
+func regularizedGammaQ(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - regularizedGammaPSeries(a, x)
+	}
+	return regularizedGammaQCF(a, x)
+}
+
+func regularizedGammaPSeries(a, x float64) float64 {
+	const itMax = 500
+	const eps = 1e-14
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for i := 0; i < itMax; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func regularizedGammaQCF(a, x float64) float64 {
+	const itMax = 500
+	const eps = 1e-14
+	const fpMin = 1e-300
+	b := x + 1 - a
+	c := 1 / fpMin
+	d := 1 / b
+	h := d
+	for i := 1; i <= itMax; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < fpMin {
+			d = fpMin
+		}
+		c = b + an/c
+		if math.Abs(c) < fpMin {
+			c = fpMin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}

@@ -1,0 +1,243 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestMidRanks(t *testing.T) {
+	ranks, tie := midRanks([]float64{3, 1, 4, 1, 5})
+	// sorted: 1,1,3,4,5 → ranks of (1,1)=(1.5,1.5), 3=3, 4=4, 5=5
+	want := []float64{3, 1.5, 4, 1.5, 5}
+	for i, w := range want {
+		if ranks[i] != w {
+			t.Errorf("rank[%d] = %v, want %v", i, ranks[i], w)
+		}
+	}
+	if tie != 6 { // one tie group of size 2: 2³-2 = 6
+		t.Errorf("tieTerm = %v", tie)
+	}
+}
+
+func TestMannWhitneyIdenticalSamples(t *testing.T) {
+	a := []float64{5, 5, 5, 5}
+	r, err := MannWhitneyU(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PValue != 1 {
+		t.Errorf("identical constant samples p = %v, want 1", r.PValue)
+	}
+}
+
+func TestMannWhitneySameDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	rejections := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		a := make([]float64, 40)
+		b := make([]float64, 40)
+		for j := range a {
+			a[j] = rng.NormFloat64()
+			b[j] = rng.NormFloat64()
+		}
+		r, err := MannWhitneyU(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Significant(0.05) {
+			rejections++
+		}
+	}
+	// Under the null, ~5% rejections expected; allow generous slack.
+	if rejections > trials/5 {
+		t.Errorf("too many false rejections: %d/%d", rejections, trials)
+	}
+}
+
+func TestMannWhitneyShiftedDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := make([]float64, 60)
+	b := make([]float64, 60)
+	for j := range a {
+		a[j] = rng.NormFloat64()
+		b[j] = rng.NormFloat64() + 2 // large shift
+	}
+	r, err := MannWhitneyU(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Significant(0.001) {
+		t.Errorf("large shift not detected: p = %v", r.PValue)
+	}
+}
+
+func TestMannWhitneyKnownValue(t *testing.T) {
+	// Small worked example. a = {1,2,3}, b = {4,5,6}: U = 0, extreme.
+	r, err := MannWhitneyU([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Statistic != 0 {
+		t.Errorf("U = %v, want 0", r.Statistic)
+	}
+	if r.PValue >= 0.2 {
+		t.Errorf("p = %v, want small", r.PValue)
+	}
+}
+
+func TestMannWhitneyErrors(t *testing.T) {
+	if _, err := MannWhitneyU([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("tiny sample should fail")
+	}
+}
+
+func TestKruskalWallisNull(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rejections := 0
+	const trials = 150
+	for i := 0; i < trials; i++ {
+		g := make([][]float64, 3)
+		for k := range g {
+			g[k] = make([]float64, 30)
+			for j := range g[k] {
+				g[k][j] = rng.ExpFloat64()
+			}
+		}
+		r, err := KruskalWallis(g...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Significant(0.05) {
+			rejections++
+		}
+	}
+	if rejections > trials/5 {
+		t.Errorf("too many false rejections: %d/%d", rejections, trials)
+	}
+}
+
+func TestKruskalWallisShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g1 := make([]float64, 40)
+	g2 := make([]float64, 40)
+	g3 := make([]float64, 40)
+	for j := 0; j < 40; j++ {
+		g1[j] = rng.NormFloat64()
+		g2[j] = rng.NormFloat64()
+		g3[j] = rng.NormFloat64() + 3
+	}
+	r, err := KruskalWallis(g1, g2, g3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Significant(0.001) {
+		t.Errorf("shifted group not detected: p = %v", r.PValue)
+	}
+}
+
+func TestKruskalWallisErrors(t *testing.T) {
+	if _, err := KruskalWallis([]float64{1, 2}); err == nil {
+		t.Error("single group should fail")
+	}
+	if _, err := KruskalWallis([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("tiny group should fail")
+	}
+}
+
+func TestNormCDF(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.959963985, 0.975},
+		{-1.959963985, 0.025},
+	}
+	for _, c := range cases {
+		if got := normCDF(c.x); !almostEqual(got, c.want, 1e-6) {
+			t.Errorf("normCDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestChiSquaredSF(t *testing.T) {
+	// Known critical values: P(X > 5.991) = 0.05 for df=2;
+	// P(X > 3.841) = 0.05 for df=1; P(X > 9.210) = 0.01 for df=2.
+	cases := []struct{ x, df, want float64 }{
+		{5.991464547, 2, 0.05},
+		{3.841458821, 1, 0.05},
+		{9.210340372, 2, 0.01},
+		{0, 2, 1},
+	}
+	for _, c := range cases {
+		if got := chiSquaredSF(c.x, c.df); !almostEqual(got, c.want, 1e-6) {
+			t.Errorf("chiSquaredSF(%v, %v) = %v, want %v", c.x, c.df, got, c.want)
+		}
+	}
+}
+
+func TestQuarter(t *testing.T) {
+	q := QuarterOf(time.Date(2019, 11, 25, 10, 0, 0, 0, time.UTC))
+	if q != (Quarter{2019, 4}) {
+		t.Errorf("QuarterOf = %v", q)
+	}
+	if q.String() != "2019Q4" {
+		t.Errorf("String = %s", q.String())
+	}
+	if q.Next() != (Quarter{2020, 1}) {
+		t.Errorf("Next = %v", q.Next())
+	}
+	if !q.Before(q.Next()) || q.Next().Before(q) {
+		t.Error("Before wrong")
+	}
+	if q.Start() != time.Date(2019, 10, 1, 0, 0, 0, 0, time.UTC) {
+		t.Errorf("Start = %v", q.Start())
+	}
+	if q.End() != time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC) {
+		t.Errorf("End = %v", q.End())
+	}
+	span := QuartersBetween(Quarter{2019, 3}, Quarter{2020, 2})
+	if len(span) != 4 {
+		t.Errorf("QuartersBetween = %v", span)
+	}
+	if QuartersBetween(Quarter{2020, 1}, Quarter{2019, 1}) != nil {
+		t.Error("reversed QuartersBetween should be nil")
+	}
+	if (Quarter{2019, 4}).Index()+1 != (Quarter{2020, 1}).Index() {
+		t.Error("Index not contiguous across year boundary")
+	}
+}
+
+func TestMonth(t *testing.T) {
+	m := MonthOf(time.Date(2020, 12, 31, 23, 0, 0, 0, time.UTC))
+	if m != (Month{2020, time.December}) {
+		t.Errorf("MonthOf = %v", m)
+	}
+	if m.String() != "2020-12" {
+		t.Errorf("String = %s", m.String())
+	}
+	if m.Next() != (Month{2021, time.January}) {
+		t.Errorf("Next = %v", m.Next())
+	}
+	if !m.Before(m.Next()) {
+		t.Error("Before wrong")
+	}
+	if m.Start().Day() != 1 {
+		t.Error("Start should be first of month")
+	}
+}
+
+func TestRegularizedGammaEdges(t *testing.T) {
+	if !math.IsNaN(regularizedGammaQ(-1, 1)) {
+		t.Error("negative a should be NaN")
+	}
+	if regularizedGammaQ(1, 0) != 1 {
+		t.Error("Q(a, 0) = 1")
+	}
+	// Q(1, x) = exp(-x) analytically.
+	for _, x := range []float64{0.1, 1, 3, 10} {
+		if got := regularizedGammaQ(1, x); !almostEqual(got, math.Exp(-x), 1e-10) {
+			t.Errorf("Q(1, %v) = %v, want %v", x, got, math.Exp(-x))
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Quarter identifies a calendar quarter, the aggregation unit of the
+// paper's Figures 1 and 2 ("aggregated over three months").
+type Quarter struct {
+	Year int
+	Q    int // 1..4
+}
+
+// QuarterOf returns the quarter containing t (in UTC).
+func QuarterOf(t time.Time) Quarter {
+	t = t.UTC()
+	return Quarter{t.Year(), (int(t.Month())-1)/3 + 1}
+}
+
+// String renders e.g. "2019Q3".
+func (q Quarter) String() string { return fmt.Sprintf("%dQ%d", q.Year, q.Q) }
+
+// Start returns the first instant of the quarter.
+func (q Quarter) Start() time.Time {
+	return time.Date(q.Year, time.Month((q.Q-1)*3+1), 1, 0, 0, 0, 0, time.UTC)
+}
+
+// End returns the first instant of the following quarter.
+func (q Quarter) End() time.Time { return q.Next().Start() }
+
+// Next returns the following quarter.
+func (q Quarter) Next() Quarter {
+	if q.Q == 4 {
+		return Quarter{q.Year + 1, 1}
+	}
+	return Quarter{q.Year, q.Q + 1}
+}
+
+// Before reports whether q precedes r.
+func (q Quarter) Before(r Quarter) bool {
+	return q.Year < r.Year || (q.Year == r.Year && q.Q < r.Q)
+}
+
+// Index returns a monotone integer useful as a regression x-coordinate.
+func (q Quarter) Index() int { return q.Year*4 + q.Q - 1 }
+
+// QuartersBetween returns every quarter from first to last inclusive.
+func QuartersBetween(first, last Quarter) []Quarter {
+	if last.Before(first) {
+		return nil
+	}
+	var out []Quarter
+	for q := first; !last.Before(q); q = q.Next() {
+		out = append(out, q)
+	}
+	return out
+}
+
+// SortQuarters sorts quarters chronologically in place.
+func SortQuarters(qs []Quarter) {
+	sort.Slice(qs, func(i, j int) bool { return qs[i].Before(qs[j]) })
+}
+
+// Month identifies a calendar month (for monthly series).
+type Month struct {
+	Year int
+	M    time.Month
+}
+
+// MonthOf returns the month containing t (in UTC).
+func MonthOf(t time.Time) Month {
+	t = t.UTC()
+	return Month{t.Year(), t.Month()}
+}
+
+// String renders e.g. "2020-06".
+func (m Month) String() string { return fmt.Sprintf("%04d-%02d", m.Year, int(m.M)) }
+
+// Start returns the first instant of the month.
+func (m Month) Start() time.Time {
+	return time.Date(m.Year, m.M, 1, 0, 0, 0, 0, time.UTC)
+}
+
+// Next returns the following month.
+func (m Month) Next() Month {
+	if m.M == time.December {
+		return Month{m.Year + 1, time.January}
+	}
+	return Month{m.Year, m.M + 1}
+}
+
+// Before reports whether m precedes n.
+func (m Month) Before(n Month) bool {
+	return m.Year < n.Year || (m.Year == n.Year && m.M < n.M)
+}

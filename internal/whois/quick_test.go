@@ -1,0 +1,74 @@
+package whois
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ipv4market/internal/netblock"
+)
+
+// Property test: WriteTo → ParseSnapshot is the identity on databases of
+// random well-formed objects.
+func TestQuickSnapshotRoundTrip(t *testing.T) {
+	statuses := []Status{StatusAllocatedPA, StatusAssignedPA, StatusSubAllocatedPA, StatusAssignedPI, StatusLegacy}
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := NewDB()
+		var want []*Inetnum
+		for i := 0; i < int(n%24)+1; i++ {
+			first := netblock.Addr(rng.Uint32())
+			span := netblock.Addr(rng.Intn(1 << 12))
+			last := first
+			if uint64(first)+uint64(span) <= 0xffffffff {
+				last = first + span
+			}
+			o := &Inetnum{
+				First:   first,
+				Last:    last,
+				Netname: "NET-Q",
+				Descr:   "quick property object",
+				Country: "DE",
+				Org:     "ORG-Q",
+				AdminC:  "QA1-RIPE",
+				TechC:   "QT1-RIPE",
+				Status:  statuses[rng.Intn(len(statuses))],
+				MntBy:   "MNT-Q",
+				Created: time.Unix(rng.Int63n(1<<31), 0).UTC().Truncate(time.Second),
+			}
+			before := db.Len()
+			db.Add(o)
+			if db.Len() > before {
+				want = append(want, o)
+			}
+		}
+		var buf bytes.Buffer
+		if _, err := db.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := ParseSnapshot(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return false
+		}
+		if got.Len() != db.Len() {
+			return false
+		}
+		for _, o := range want {
+			g, ok := got.Lookup(o.First, o.Last)
+			if !ok {
+				return false
+			}
+			if g.Status != o.Status || g.Org != o.Org || g.AdminC != o.AdminC ||
+				g.TechC != o.TechC || g.MntBy != o.MntBy || g.Country != o.Country ||
+				!g.Created.Equal(o.Created) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

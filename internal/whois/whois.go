@@ -1,0 +1,391 @@
+// Package whois models the RIPE-style WHOIS database restricted to what
+// the paper's RDAP analysis needs: inetnum objects with their delegation-
+// related statuses, an in-memory database with hierarchy (parent/children)
+// lookups, and the RPSL text serialization used by the public split
+// snapshots (ripe.db.inetnum).
+package whois
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"ipv4market/internal/netblock"
+)
+
+// Status is the value of an inetnum's "status:" attribute.
+type Status string
+
+// Inetnum statuses relevant to the leasing analysis (§4): SUB-ALLOCATED PA
+// marks space sub-allocated to another organization; ASSIGNED PA marks
+// space assigned from an LIR to an end host.
+const (
+	StatusAllocatedPA    Status = "ALLOCATED PA"
+	StatusAssignedPA     Status = "ASSIGNED PA"
+	StatusSubAllocatedPA Status = "SUB-ALLOCATED PA"
+	StatusAssignedPI     Status = "ASSIGNED PI"
+	StatusLegacy         Status = "LEGACY"
+)
+
+// Inetnum is one WHOIS inetnum object. Ranges are inclusive and need not
+// align to CIDR boundaries.
+type Inetnum struct {
+	First   netblock.Addr
+	Last    netblock.Addr
+	Netname string
+	Descr   string
+	Country string
+	Org     string // org: attribute — the registrant
+	AdminC  string
+	TechC   string
+	Status  Status
+	MntBy   string
+	Created time.Time
+}
+
+// NumAddrs returns the number of addresses in the range.
+func (in *Inetnum) NumAddrs() uint64 {
+	return uint64(in.Last) - uint64(in.First) + 1
+}
+
+// Range renders the range in WHOIS notation, e.g. "185.0.0.0 - 185.0.0.255".
+func (in *Inetnum) Range() string {
+	return fmt.Sprintf("%s - %s", in.First, in.Last)
+}
+
+// Covers reports whether in's range fully contains other's.
+func (in *Inetnum) Covers(other *Inetnum) bool {
+	return in.First <= other.First && in.Last >= other.Last
+}
+
+// CoversPrefix reports whether in's range fully contains the prefix.
+func (in *Inetnum) CoversPrefix(p netblock.Prefix) bool {
+	return in.First <= p.First() && in.Last >= p.Last()
+}
+
+// AsPrefix returns the range as a single CIDR prefix if it aligns to one.
+func (in *Inetnum) AsPrefix() (netblock.Prefix, bool) {
+	n := in.NumAddrs()
+	if n&(n-1) != 0 {
+		return netblock.Prefix{}, false
+	}
+	bits := 32
+	for m := n; m > 1; m >>= 1 {
+		bits--
+	}
+	p := netblock.NewPrefix(in.First, bits)
+	if p.First() != in.First {
+		return netblock.Prefix{}, false
+	}
+	return p, true
+}
+
+// SmallerThanSlash24 reports whether the range covers fewer than 256
+// addresses — the blocks the paper skips to spare the RDAP interface.
+func (in *Inetnum) SmallerThanSlash24() bool { return in.NumAddrs() < 256 }
+
+// DB is an in-memory inetnum database ordered for hierarchy lookups.
+// It is not safe for concurrent mutation.
+type DB struct {
+	objs   []*Inetnum // sorted by (First asc, size desc)
+	byKey  map[rangeKey]*Inetnum
+	sorted bool
+}
+
+type rangeKey struct{ first, last netblock.Addr }
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{byKey: make(map[rangeKey]*Inetnum), sorted: true} }
+
+// Add inserts an object. Duplicate ranges replace the existing object's
+// contents, matching WHOIS primary-key semantics.
+func (db *DB) Add(in *Inetnum) {
+	k := rangeKey{in.First, in.Last}
+	if existing, ok := db.byKey[k]; ok {
+		*existing = *in
+		return
+	}
+	db.byKey[k] = in
+	db.objs = append(db.objs, in)
+	db.sorted = false
+}
+
+// Len returns the number of objects.
+func (db *DB) Len() int { return len(db.objs) }
+
+func (db *DB) ensureSorted() {
+	if db.sorted {
+		return
+	}
+	sort.Slice(db.objs, func(i, j int) bool {
+		a, b := db.objs[i], db.objs[j]
+		if a.First != b.First {
+			return a.First < b.First
+		}
+		return a.Last > b.Last // larger ranges first: parents before children
+	})
+	db.sorted = true
+}
+
+// Lookup returns the object with exactly the given range.
+func (db *DB) Lookup(first, last netblock.Addr) (*Inetnum, bool) {
+	o, ok := db.byKey[rangeKey{first, last}]
+	return o, ok
+}
+
+// LookupPrefix returns the object whose range equals the prefix.
+func (db *DB) LookupPrefix(p netblock.Prefix) (*Inetnum, bool) {
+	return db.Lookup(p.First(), p.Last())
+}
+
+// Parent returns the smallest object strictly containing in's range, i.e.
+// the object WHOIS would report as the less-specific parent.
+func (db *DB) Parent(in *Inetnum) (*Inetnum, bool) {
+	db.ensureSorted()
+	// Candidates have First <= in.First; scan backwards from in's sort
+	// position keeping the smallest container found.
+	i := sort.Search(len(db.objs), func(i int) bool {
+		o := db.objs[i]
+		return o.First > in.First || (o.First == in.First && o.Last <= in.Last)
+	})
+	var best *Inetnum
+	for j := i - 1; j >= 0; j-- {
+		o := db.objs[j]
+		if o.First == in.First && o.Last == in.Last {
+			continue
+		}
+		if o.Covers(in) {
+			if best == nil || best.NumAddrs() > o.NumAddrs() {
+				best = o
+			}
+			// Ordering puts the smallest container with the same First
+			// nearest; once a container is found, any better one must
+			// still cover in, so keep scanning only while ranges can
+			// still start at or before in.First. They all do; however
+			// the first container encountered scanning backwards is the
+			// one with the greatest First, which is the smallest — stop.
+			break
+		}
+	}
+	if best == nil {
+		return nil, false
+	}
+	return best, true
+}
+
+// Children returns the objects whose ranges are strictly inside in's range
+// and have no intermediate parent between them and in, in address order.
+func (db *DB) Children(in *Inetnum) []*Inetnum {
+	db.ensureSorted()
+	var out []*Inetnum
+	i := sort.Search(len(db.objs), func(i int) bool { return db.objs[i].First >= in.First })
+	var lastEnd netblock.Addr
+	started := false
+	for ; i < len(db.objs); i++ {
+		o := db.objs[i]
+		if o.First > in.Last {
+			break
+		}
+		if o == in || !in.Covers(o) {
+			continue
+		}
+		// Skip grandchildren: any object nested inside an already-selected
+		// direct child.
+		if started && o.First >= outFirst(out) && o.Last <= lastEnd {
+			continue
+		}
+		out = append(out, o)
+		lastEnd = o.Last
+		started = true
+	}
+	return out
+}
+
+func outFirst(out []*Inetnum) netblock.Addr {
+	return out[len(out)-1].First
+}
+
+// All returns every object in address order.
+func (db *DB) All() []*Inetnum {
+	db.ensureSorted()
+	return append([]*Inetnum(nil), db.objs...)
+}
+
+// Census summarizes the database the way §4 of the paper reports it.
+type Census struct {
+	Total              int
+	ByStatus           map[Status]int
+	AssignedPASub24    int     // ASSIGNED PA entries smaller than /24
+	FracAssignedSub24  float64 // fraction of ASSIGNED PA smaller than /24
+	SubAllocatedBlocks int
+}
+
+// TakeCensus computes the paper's §4 input statistics.
+func (db *DB) TakeCensus() Census {
+	c := Census{ByStatus: make(map[Status]int)}
+	assigned := 0
+	for _, o := range db.objs {
+		c.Total++
+		c.ByStatus[o.Status]++
+		switch o.Status {
+		case StatusAssignedPA:
+			assigned++
+			if o.SmallerThanSlash24() {
+				c.AssignedPASub24++
+			}
+		case StatusSubAllocatedPA:
+			c.SubAllocatedBlocks++
+		}
+	}
+	if assigned > 0 {
+		c.FracAssignedSub24 = float64(c.AssignedPASub24) / float64(assigned)
+	}
+	return c
+}
+
+// WriteTo serializes the database as a split snapshot: RPSL objects
+// separated by blank lines, in address order.
+func (db *DB) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	for _, o := range db.All() {
+		s := FormatRPSL(o)
+		c, err := bw.WriteString(s + "\n")
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// FormatRPSL renders one inetnum object in RPSL attribute syntax.
+func FormatRPSL(in *Inetnum) string {
+	var b strings.Builder
+	attr := func(k, v string) {
+		if v != "" {
+			fmt.Fprintf(&b, "%-16s%s\n", k+":", v)
+		}
+	}
+	attr("inetnum", in.Range())
+	attr("netname", in.Netname)
+	attr("descr", in.Descr)
+	attr("country", in.Country)
+	attr("org", in.Org)
+	attr("admin-c", in.AdminC)
+	attr("tech-c", in.TechC)
+	attr("status", string(in.Status))
+	attr("mnt-by", in.MntBy)
+	if !in.Created.IsZero() {
+		attr("created", in.Created.UTC().Format("2006-01-02T15:04:05Z"))
+	}
+	return b.String()
+}
+
+// ErrBadObject reports a malformed RPSL object.
+var ErrBadObject = errors.New("whois: malformed RPSL object")
+
+// ParseSnapshot reads a split snapshot (blank-line separated RPSL objects)
+// into a database. Unknown attributes are ignored; objects without an
+// inetnum attribute are rejected.
+func ParseSnapshot(r io.Reader) (*DB, error) {
+	db := NewDB()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var cur *Inetnum
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		if cur.Last < cur.First {
+			return fmt.Errorf("%w: inverted range %s", ErrBadObject, cur.Range())
+		}
+		db.Add(cur)
+		cur = nil
+		return nil
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		colon := strings.IndexByte(line, ':')
+		if colon < 0 {
+			return nil, fmt.Errorf("%w: line %d: missing colon", ErrBadObject, lineNo)
+		}
+		key := strings.TrimSpace(line[:colon])
+		val := strings.TrimSpace(line[colon+1:])
+		if key == "inetnum" {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			first, last, err := parseRange(val)
+			if err != nil {
+				return nil, fmt.Errorf("whois: line %d: %w", lineNo, err)
+			}
+			cur = &Inetnum{First: first, Last: last}
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("%w: line %d: attribute before inetnum", ErrBadObject, lineNo)
+		}
+		switch key {
+		case "netname":
+			cur.Netname = val
+		case "descr":
+			cur.Descr = val
+		case "country":
+			cur.Country = val
+		case "org":
+			cur.Org = val
+		case "admin-c":
+			cur.AdminC = val
+		case "tech-c":
+			cur.TechC = val
+		case "status":
+			cur.Status = Status(val)
+		case "mnt-by":
+			cur.MntBy = val
+		case "created":
+			t, err := time.Parse("2006-01-02T15:04:05Z", val)
+			if err == nil {
+				cur.Created = t
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("whois: read: %w", err)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func parseRange(s string) (first, last netblock.Addr, err error) {
+	parts := strings.Split(s, "-")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("%w: bad range %q", ErrBadObject, s)
+	}
+	first, err = netblock.ParseAddr(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return 0, 0, err
+	}
+	last, err = netblock.ParseAddr(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return 0, 0, err
+	}
+	return first, last, nil
+}

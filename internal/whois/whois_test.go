@@ -1,0 +1,217 @@
+package whois
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"ipv4market/internal/netblock"
+)
+
+func addr(s string) netblock.Addr { return netblock.MustParseAddr(s) }
+
+func in(first, last string, status Status, org string) *Inetnum {
+	return &Inetnum{
+		First:   addr(first),
+		Last:    addr(last),
+		Netname: "NET-" + first,
+		Country: "DE",
+		Org:     org,
+		Status:  status,
+	}
+}
+
+func TestInetnumBasics(t *testing.T) {
+	o := in("185.0.0.0", "185.0.0.255", StatusAssignedPA, "ORG-A")
+	if o.NumAddrs() != 256 {
+		t.Errorf("NumAddrs = %d", o.NumAddrs())
+	}
+	if o.Range() != "185.0.0.0 - 185.0.0.255" {
+		t.Errorf("Range = %q", o.Range())
+	}
+	if o.SmallerThanSlash24() {
+		t.Error("a /24 is not smaller than /24")
+	}
+	small := in("185.0.0.0", "185.0.0.127", StatusAssignedPA, "ORG-A")
+	if !small.SmallerThanSlash24() {
+		t.Error("a /25 is smaller than /24")
+	}
+	p, ok := o.AsPrefix()
+	if !ok || p != netblock.MustParsePrefix("185.0.0.0/24") {
+		t.Errorf("AsPrefix = %v, %v", p, ok)
+	}
+	// Non-CIDR range.
+	odd := in("185.0.0.1", "185.0.0.255", StatusAssignedPA, "ORG-A")
+	if _, ok := odd.AsPrefix(); ok {
+		t.Error("non-aligned range should not convert to a prefix")
+	}
+	misaligned := in("185.0.0.128", "185.0.1.127", StatusAssignedPA, "ORG-A")
+	if _, ok := misaligned.AsPrefix(); ok {
+		t.Error("power-of-two but misaligned range should not convert")
+	}
+	if !o.CoversPrefix(netblock.MustParsePrefix("185.0.0.0/25")) {
+		t.Error("CoversPrefix failed")
+	}
+}
+
+func newHierarchyDB() (*DB, *Inetnum, *Inetnum, *Inetnum, *Inetnum) {
+	db := NewDB()
+	root := in("185.0.0.0", "185.0.255.255", StatusAllocatedPA, "ORG-LIR") // /16
+	mid := in("185.0.0.0", "185.0.3.255", StatusSubAllocatedPA, "ORG-ISP") // /22
+	leaf := in("185.0.0.0", "185.0.0.255", StatusAssignedPA, "ORG-CUST")   // /24
+	other := in("185.0.16.0", "185.0.16.255", StatusAssignedPA, "ORG-X")   // /24 elsewhere
+	db.Add(root)
+	db.Add(mid)
+	db.Add(leaf)
+	db.Add(other)
+	return db, root, mid, leaf, other
+}
+
+func TestDBLookupAndParent(t *testing.T) {
+	db, root, mid, leaf, other := newHierarchyDB()
+	if got, ok := db.Lookup(addr("185.0.0.0"), addr("185.0.3.255")); !ok || got != mid {
+		t.Errorf("Lookup mid = %v, %v", got, ok)
+	}
+	if _, ok := db.Lookup(addr("185.0.0.0"), addr("185.0.0.1")); ok {
+		t.Error("absent range should miss")
+	}
+	if got, ok := db.LookupPrefix(netblock.MustParsePrefix("185.0.0.0/24")); !ok || got != leaf {
+		t.Errorf("LookupPrefix = %v, %v", got, ok)
+	}
+
+	if p, ok := db.Parent(leaf); !ok || p != mid {
+		t.Errorf("Parent(leaf) = %v, %v; want mid", p, ok)
+	}
+	if p, ok := db.Parent(mid); !ok || p != root {
+		t.Errorf("Parent(mid) = %v, %v; want root", p, ok)
+	}
+	if p, ok := db.Parent(other); !ok || p != root {
+		t.Errorf("Parent(other) = %v, %v; want root", p, ok)
+	}
+	if _, ok := db.Parent(root); ok {
+		t.Error("root should have no parent")
+	}
+}
+
+func TestDBChildren(t *testing.T) {
+	db, root, mid, leaf, other := newHierarchyDB()
+	kids := db.Children(root)
+	if len(kids) != 2 || kids[0] != mid || kids[1] != other {
+		t.Errorf("Children(root) = %v", kids)
+	}
+	kids = db.Children(mid)
+	if len(kids) != 1 || kids[0] != leaf {
+		t.Errorf("Children(mid) = %v", kids)
+	}
+	if kids := db.Children(leaf); len(kids) != 0 {
+		t.Errorf("Children(leaf) = %v", kids)
+	}
+}
+
+func TestDBAddReplacesDuplicate(t *testing.T) {
+	db := NewDB()
+	db.Add(in("185.0.0.0", "185.0.0.255", StatusAssignedPA, "ORG-A"))
+	db.Add(in("185.0.0.0", "185.0.0.255", StatusAssignedPA, "ORG-B"))
+	if db.Len() != 1 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	got, _ := db.Lookup(addr("185.0.0.0"), addr("185.0.0.255"))
+	if got.Org != "ORG-B" {
+		t.Error("duplicate Add should replace")
+	}
+}
+
+func TestTakeCensus(t *testing.T) {
+	db := NewDB()
+	db.Add(in("185.0.0.0", "185.0.255.255", StatusAllocatedPA, "ORG-LIR"))
+	db.Add(in("185.0.0.0", "185.0.3.255", StatusSubAllocatedPA, "ORG-ISP"))
+	db.Add(in("185.0.0.0", "185.0.0.255", StatusAssignedPA, "ORG-C1"))   // /24
+	db.Add(in("185.0.1.0", "185.0.1.127", StatusAssignedPA, "ORG-C2"))   // /25 (< /24)
+	db.Add(in("185.0.1.128", "185.0.1.191", StatusAssignedPA, "ORG-C3")) // /26 (< /24)
+	c := db.TakeCensus()
+	if c.Total != 5 {
+		t.Errorf("Total = %d", c.Total)
+	}
+	if c.ByStatus[StatusAssignedPA] != 3 || c.SubAllocatedBlocks != 1 {
+		t.Errorf("census = %+v", c)
+	}
+	if c.AssignedPASub24 != 2 {
+		t.Errorf("AssignedPASub24 = %d", c.AssignedPASub24)
+	}
+	if c.FracAssignedSub24 < 0.66 || c.FracAssignedSub24 > 0.67 {
+		t.Errorf("FracAssignedSub24 = %v", c.FracAssignedSub24)
+	}
+}
+
+func TestRPSLRoundTrip(t *testing.T) {
+	db, _, _, _, _ := newHierarchyDB()
+	created := time.Date(2019, 5, 1, 12, 0, 0, 0, time.UTC)
+	for _, o := range db.All() {
+		o.Created = created
+		o.MntBy = "MNT-TEST"
+		o.AdminC = "AC1-RIPE"
+	}
+	var buf bytes.Buffer
+	if _, err := db.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != db.Len() {
+		t.Fatalf("round trip Len = %d, want %d", got.Len(), db.Len())
+	}
+	o, ok := got.Lookup(addr("185.0.0.0"), addr("185.0.3.255"))
+	if !ok {
+		t.Fatal("mid object lost")
+	}
+	if o.Status != StatusSubAllocatedPA || o.Org != "ORG-ISP" || !o.Created.Equal(created) ||
+		o.MntBy != "MNT-TEST" || o.AdminC != "AC1-RIPE" || o.Country != "DE" {
+		t.Errorf("round-tripped object = %+v", o)
+	}
+}
+
+func TestParseSnapshotCommentsAndErrors(t *testing.T) {
+	good := `% RIPE database snapshot
+# comment
+
+inetnum:        185.0.0.0 - 185.0.0.255
+netname:        TEST-NET
+status:         ASSIGNED PA
+unknown-attr:   ignored
+`
+	db, err := ParseSnapshot(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 1 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+
+	bad := []string{
+		"netname: ORPHAN\n",                           // attribute before inetnum
+		"inetnum: 185.0.0.255 - 185.0.0.0\n",          // inverted range
+		"inetnum: 185.0.0.0\n",                        // not a range
+		"inetnum: x - y\n",                            // bad addresses
+		"inetnum: 185.0.0.0 - 185.0.0.255\nnocolon\n", // missing colon
+	}
+	for i, b := range bad {
+		if _, err := ParseSnapshot(strings.NewReader(b)); err == nil {
+			t.Errorf("bad[%d]: expected error", i)
+		}
+	}
+}
+
+func TestParseSnapshotBadCreatedIgnored(t *testing.T) {
+	src := "inetnum: 185.0.0.0 - 185.0.0.255\ncreated: not-a-date\n"
+	db, err := ParseSnapshot(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := db.All()[0]
+	if !o.Created.IsZero() {
+		t.Error("unparseable created should stay zero")
+	}
+}
