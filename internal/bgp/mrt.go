@@ -357,7 +357,7 @@ func (c *cursor) nlri() (netblock.Prefix, error) {
 	for i, x := range raw {
 		addr |= uint32(x) << (24 - 8*i)
 	}
-	return netblock.NewPrefix(netblock.Addr(addr), int(bits)), nil
+	return netblock.MustPrefix(netblock.Addr(addr), int(bits)), nil
 }
 
 func decodePeerIndexTable(body []byte) ([]PeerEntry, error) {

@@ -16,7 +16,7 @@ import (
 
 // genRoute draws a random route with a well-formed path.
 func genRoute(rng *rand.Rand) Route {
-	p := netblock.NewPrefix(netblock.Addr(rng.Uint32()), rng.Intn(25)+8)
+	p := netblock.MustPrefix(netblock.Addr(rng.Uint32()), rng.Intn(25)+8)
 	hops := 1 + rng.Intn(6)
 	asns := make([]ASN, hops)
 	for i := range asns {

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// BanSpec is one entry in the bannedcall deny-list. Exactly one of
+// Builtin or Pkg+Func identifies the callee.
+type BanSpec struct {
+	Builtin string // builtin function name, e.g. "panic"
+	Pkg     string // import path, e.g. "os"
+	Func    string // function name, e.g. "Exit"
+
+	AllowInMain    bool   // permitted anywhere in package main
+	AllowMustFuncs bool   // permitted inside functions named Must*
+	Reason         string // appended to the diagnostic
+}
+
+func (s BanSpec) display() string {
+	if s.Builtin != "" {
+		return s.Builtin
+	}
+	return s.Pkg + "." + s.Func
+}
+
+// DefaultBans is the deny-list the shipped ipv4lint enforces: no panics
+// in library code (Must* constructors excepted, matching the stdlib's
+// regexp.MustCompile convention) and no os.Exit outside package main,
+// so library errors surface as errors and deferred cleanup runs.
+func DefaultBans() []BanSpec {
+	return []BanSpec{
+		{
+			Builtin:        "panic",
+			AllowInMain:    true,
+			AllowMustFuncs: true,
+			Reason:         "return an error, or provide a Must* wrapper for known-valid inputs",
+		},
+		{
+			Pkg:         "os",
+			Func:        "Exit",
+			AllowInMain: true,
+			Reason:      "only package main may terminate the process",
+		},
+	}
+}
+
+// BannedCall builds the configurable deny-list analyzer. Test files are
+// never loaded by the framework, so the rules apply to production code
+// only.
+func BannedCall(specs []BanSpec) *Analyzer {
+	return &Analyzer{
+		Name: "bannedcall",
+		Doc:  "deny-list of calls (panic in library code, os.Exit outside main, ...)",
+		Run: func(pass *Pass) {
+			info := pass.Pkg.Info
+			inMain := pass.Pkg.Types.Name() == "main"
+			for _, f := range pass.Pkg.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					isMust := strings.HasPrefix(fd.Name.Name, "Must")
+					ast.Inspect(fd.Body, func(n ast.Node) bool {
+						call, ok := n.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						for _, spec := range specs {
+							if !matchesSpec(info, call, spec) {
+								continue
+							}
+							if spec.AllowInMain && inMain {
+								continue
+							}
+							if spec.AllowMustFuncs && isMust {
+								continue
+							}
+							pass.Reportf(call.Pos(), "call to %s is banned here: %s", spec.display(), spec.Reason)
+						}
+						return true
+					})
+				}
+			}
+		},
+	}
+}
+
+func matchesSpec(info *types.Info, call *ast.CallExpr, spec BanSpec) bool {
+	if spec.Builtin != "" {
+		return isBuiltinCall(info, call, spec.Builtin)
+	}
+	return pkgFuncCall(info, call, spec.Pkg, spec.Func)
+}

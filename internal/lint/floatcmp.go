@@ -1,0 +1,40 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp forbids == and != between floating-point expressions. Price
+// and amortization math (internal/market) and quantile/rank statistics
+// (internal/stats) are all float-valued; exact equality there is almost
+// always a rounding-sensitivity bug. Compare against a tolerance, or
+// restructure the guard as an ordered comparison (x <= 0 instead of
+// x == 0). Intentional exact comparisons (IEEE sentinel checks) take a
+// //lint:ignore floatcmp directive with a reason.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "forbid == and != between floating-point expressions",
+	Run: func(pass *Pass) {
+		inspectFiles(pass, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if isFloatExpr(pass, be.X) || isFloatExpr(pass, be.Y) {
+				pass.Reportf(be.OpPos, "floating-point comparison with %s; use a tolerance or an ordered comparison", be.Op)
+			}
+			return true
+		})
+	},
+}
+
+func isFloatExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.Pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"strings"
+)
+
+// ignoreIndex maps (file, line) to the rule names suppressed there by
+// //lint:ignore directives. A directive suppresses findings of the named
+// rule on its own line and on the line directly below it, so it can sit
+// either at the end of the offending line or on its own line above.
+type ignoreIndex struct {
+	rules map[string]map[int][]string // filename -> line -> rule names
+}
+
+func newIgnoreIndex(pkg *Package) *ignoreIndex {
+	idx := &ignoreIndex{rules: make(map[string]map[int][]string)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rule, ok := parseIgnoreDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := idx.rules[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					idx.rules[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], rule)
+			}
+		}
+	}
+	return idx
+}
+
+// parseIgnoreDirective extracts the rule name from a
+// "//lint:ignore <rule> <reason>" comment. The reason is mandatory:
+// a directive without one is inert, which keeps every suppression
+// self-documenting.
+func parseIgnoreDirective(text string) (rule string, ok bool) {
+	body, found := strings.CutPrefix(text, "//lint:ignore ")
+	if !found {
+		return "", false
+	}
+	fields := strings.Fields(body)
+	if len(fields) < 2 { // rule + at least one word of reason
+		return "", false
+	}
+	return fields[0], true
+}
+
+func (idx *ignoreIndex) suppressed(d Diagnostic) bool {
+	lines := idx.rules[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, rule := range lines[line] {
+			if rule == d.Rule {
+				return true
+			}
+		}
+	}
+	return false
+}

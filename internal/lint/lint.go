@@ -1,0 +1,107 @@
+// Package lint implements a small static-analysis framework over the
+// standard library's go/ast, go/parser, go/token and go/types packages,
+// together with the repo-specific analyzers that guard the measurement
+// pipeline's invariants: deterministic randomness in the synthetic-data
+// generators, safe time and floating-point comparison in the timeline and
+// price code, error-chain preservation, and panic/os.Exit hygiene in
+// library packages.
+//
+// The framework deliberately has no dependencies outside the standard
+// library (the module has none and must stay buildable offline). It is a
+// miniature of golang.org/x/tools/go/analysis: an Analyzer holds a Run
+// function that walks one type-checked package (a Pass) and reports
+// Diagnostics with exact file:line:col positions.
+//
+// A finding can be suppressed with a comment on the offending line or the
+// line directly above it:
+//
+//	//lint:ignore <rule> <reason>
+//
+// The reason is mandatory; a directive without one is inert. Suppressions
+// are deliberately narrow (one rule, one line) so they document each
+// exception rather than disabling a rule wholesale.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one finding: a resolved source position, the rule that
+// fired, and a human-readable message.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the diagnostic in the conventional
+// "file:line:col: message [rule]" form used by the CLI.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Rule)
+}
+
+// Analyzer is one named rule. Run inspects the package held by the Pass
+// and reports findings through it.
+type Analyzer struct {
+	Name string // rule ID, e.g. "floatcmp"; used in output and suppression
+	Doc  string // one-line description shown by ipv4lint -list
+	Run  func(*Pass)
+}
+
+// Pass is the per-(package, analyzer) context handed to Analyzer.Run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos. The position is resolved immediately
+// so diagnostics stay meaningful after the Pass is gone.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies every analyzer to every package, filters findings through
+// the //lint:ignore suppression index, and returns the survivors sorted
+// by file, line, column and rule.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		idx := newIgnoreIndex(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Pkg:      pkg,
+				report: func(d Diagnostic) {
+					if !idx.suppressed(d) {
+						diags = append(diags, d)
+					}
+				},
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}

@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The golden-fixture protocol: a fixture line carries one or more
+// expectations as `// want "regexp" "regexp"`. Every expectation must be
+// matched by a diagnostic of the analyzer under test at exactly that
+// file and line, and every diagnostic must match some expectation.
+var (
+	wantRe   = regexp.MustCompile(`// want (.+)$`)
+	quotedRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
+
+type expectation struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func loadExpectations(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			quotes := quotedRe.FindAllString(m[1], -1)
+			if len(quotes) == 0 {
+				t.Fatalf("%s:%d: malformed want comment %q", e.Name(), i+1, line)
+			}
+			for _, q := range quotes {
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %s: %v", e.Name(), i+1, q, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", e.Name(), i+1, pat, err)
+				}
+				wants = append(wants, &expectation{file: e.Name(), line: i + 1, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+func TestAnalyzersGolden(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		rule     string
+		analyzer *Analyzer
+	}{
+		{"floatcmp", FloatCmp},
+		{"timeeq", TimeEq},
+		{"seededrand", SeededRand},
+		{"wraperr", WrapErr},
+		{"nakedgo", NakedGo},
+		{"bannedcall", BannedCall(DefaultBans())},
+	}
+	for _, c := range cases {
+		t.Run(c.rule, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", c.rule)
+			pkg, err := loader.LoadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags := Run([]*Package{pkg}, []*Analyzer{c.analyzer})
+			wants := loadExpectations(t, dir)
+			for _, d := range diags {
+				if d.Rule != c.rule {
+					t.Errorf("diagnostic from wrong rule: %s", d)
+				}
+				if d.Pos.Column <= 0 || d.Pos.Line <= 0 || d.Pos.Filename == "" {
+					t.Errorf("diagnostic without full position: %s", d)
+				}
+				matched := false
+				for _, w := range wants {
+					if w.file == filepath.Base(d.Pos.Filename) && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+						w.hit = true
+						matched = true
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for _, w := range wants {
+				if !w.hit {
+					t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+				}
+			}
+		})
+	}
+}
+
+func TestParseVerbs(t *testing.T) {
+	cases := []struct {
+		format  string
+		verbs   string // verb runes in order
+		stars   []int
+		indexed bool
+	}{
+		{"plain", "", nil, false},
+		{"%d and %s", "ds", []int{0, 0}, false},
+		{"100%% done: %v", "v", []int{0}, false},
+		{"%*.*f", "f", []int{2}, false},
+		{"%+08.3f|%q", "fq", []int{0, 0}, false},
+		{"%[1]d", "", nil, true},
+	}
+	for _, c := range cases {
+		verbs, indexed := parseVerbs(c.format)
+		if indexed != c.indexed {
+			t.Errorf("parseVerbs(%q) indexed = %v, want %v", c.format, indexed, c.indexed)
+			continue
+		}
+		var got strings.Builder
+		for i, v := range verbs {
+			got.WriteRune(v.verb)
+			if v.stars != c.stars[i] {
+				t.Errorf("parseVerbs(%q) verb %d stars = %d, want %d", c.format, i, v.stars, c.stars[i])
+			}
+		}
+		if got.String() != c.verbs {
+			t.Errorf("parseVerbs(%q) = %q, want %q", c.format, got.String(), c.verbs)
+		}
+	}
+}
+
+func TestParseIgnoreDirective(t *testing.T) {
+	cases := []struct {
+		text string
+		rule string
+		ok   bool
+	}{
+		{"//lint:ignore floatcmp exact sentinel", "floatcmp", true},
+		{"//lint:ignore floatcmp", "", false}, // reason is mandatory
+		{"// lint:ignore floatcmp reason", "", false},
+		{"// ordinary comment", "", false},
+	}
+	for _, c := range cases {
+		rule, ok := parseIgnoreDirective(c.text)
+		if ok != c.ok || rule != c.rule {
+			t.Errorf("parseIgnoreDirective(%q) = %q, %v; want %q, %v", c.text, rule, ok, c.rule, c.ok)
+		}
+	}
+}

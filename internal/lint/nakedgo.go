@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// NakedGo flags `go func(){...}()` statements whose body shows no sign of
+// coordinating with the rest of the program: no deferred cleanup or
+// recover, no channel send/close, no select, and no WaitGroup-style
+// Done/Add/Wait call. Such a goroutine can neither report failure nor be
+// waited for, so a panic inside it kills the process and a hang leaks it
+// silently — a guardrail for the parallel-pipeline work the roadmap
+// plans. The check is a syntactic heuristic: any of the signals above
+// marks the goroutine as coordinated.
+var NakedGo = &Analyzer{
+	Name: "nakedgo",
+	Doc:  "flag goroutine literals with no recover, channel, or WaitGroup coordination",
+	Run: func(pass *Pass) {
+		info := pass.Pkg.Info
+		inspectFiles(pass, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			fl, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			coordinated := false
+			ast.Inspect(fl.Body, func(m ast.Node) bool {
+				if coordinated {
+					return false
+				}
+				switch m := m.(type) {
+				case *ast.DeferStmt, *ast.SendStmt, *ast.SelectStmt:
+					coordinated = true
+				case *ast.CallExpr:
+					if isBuiltinCall(info, m, "recover") || isBuiltinCall(info, m, "close") {
+						coordinated = true
+					}
+					if sel, ok := m.Fun.(*ast.SelectorExpr); ok {
+						switch sel.Sel.Name {
+						case "Done", "Add", "Wait":
+							coordinated = true
+						}
+					}
+				}
+				return !coordinated
+			})
+			if !coordinated {
+				pass.Reportf(g.Pos(), "naked goroutine: body has no recover, channel send/close, select, or WaitGroup call")
+			}
+			return true
+		})
+	},
+}

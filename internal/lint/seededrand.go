@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// SeededRand forbids calling top-level math/rand (and math/rand/v2)
+// functions such as rand.Intn or rand.Float64 in non-test code. The
+// reproduction is only checkable because synthetic datasets are
+// deterministic functions of an explicit seed; the package-level
+// generator is shared mutable global state that any import can perturb.
+// All randomness must flow through an explicitly seeded *rand.Rand.
+// Constructors (rand.New, rand.NewSource, rand.NewZipf, rand.NewPCG, ...)
+// are the sanctioned entry points and stay allowed.
+//
+// Test files are never loaded by the framework, so the rule applies to
+// every production file in the module.
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc:  "forbid top-level math/rand functions; randomness must use a seeded *rand.Rand",
+	Run: func(pass *Pass) {
+		inspectFiles(pass, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if !selectsPackage(pass.Pkg.Info, sel, "math/rand") &&
+				!selectsPackage(pass.Pkg.Info, sel, "math/rand/v2") {
+				return true
+			}
+			if strings.HasPrefix(sel.Sel.Name, "New") {
+				return true // constructors for explicitly seeded generators
+			}
+			pass.Reportf(call.Pos(), "top-level rand.%s uses the shared global generator; draw from an explicitly seeded *rand.Rand", sel.Sel.Name)
+			return true
+		})
+	},
+}

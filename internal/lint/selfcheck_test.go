@@ -1,0 +1,33 @@
+package lint
+
+import (
+	"testing"
+)
+
+// TestSelfCheck runs the full analyzer suite over the repository's own
+// source tree, making plain `go test ./...` (the tier-1 gate) fail on
+// any new violation. Fix the finding, or — for an intentional exception —
+// add `//lint:ignore <rule> <reason>` on or above the offending line.
+func TestSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages from the module")
+	}
+	diags := Run(pkgs, All())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Logf("self-check failed with %d finding(s); fix them or suppress with //lint:ignore <rule> <reason>", len(diags))
+	}
+}

@@ -1,0 +1,25 @@
+// Package bannedcallfix is a golden fixture for the bannedcall analyzer.
+package bannedcallfix
+
+import (
+	"fmt"
+	"os"
+)
+
+// Validate is library code: it may neither panic nor kill the process.
+func Validate(v int) {
+	if v < 0 {
+		panic("negative") // want "call to panic is banned"
+	}
+	if v > 100 {
+		os.Exit(1) // want "call to os.Exit is banned"
+	}
+}
+
+// MustValidate follows the Must* convention and may panic.
+func MustValidate(v int) int {
+	if v < 0 {
+		panic(fmt.Sprintf("negative %d", v))
+	}
+	return v
+}

@@ -1,0 +1,20 @@
+// Package floatcmpfix is a golden fixture for the floatcmp analyzer.
+package floatcmpfix
+
+func compare(a, b float64, c float32, i int, s string) bool {
+	if a == b { // want "floating-point comparison with =="
+		return true
+	}
+	if c != 2.5 { // want "floating-point comparison with !="
+		return true
+	}
+	ok := 1.5 == 2.5 // want "floating-point comparison with =="
+	if i == 3 || s == "x" {
+		return ok
+	}
+	//lint:ignore floatcmp fixture demonstrating an intentional exact comparison
+	if a == 0 {
+		return false
+	}
+	return a < b
+}

@@ -1,0 +1,23 @@
+// Package nakedgofix is a golden fixture for the nakedgo analyzer.
+package nakedgofix
+
+import "sync"
+
+func spawn(done chan struct{}, wg *sync.WaitGroup, results chan<- int) {
+	go func() { // want "naked goroutine"
+		println("fire and forget")
+	}()
+	go func() { // WaitGroup coordination
+		defer wg.Done()
+		println("ok")
+	}()
+	go func() { // channel send
+		results <- 1
+	}()
+	go func() { // deferred close signals completion
+		defer close(done)
+	}()
+	go namedWorker() // named functions are out of scope for the heuristic
+}
+
+func namedWorker() {}

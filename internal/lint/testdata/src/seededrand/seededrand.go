@@ -1,0 +1,13 @@
+// Package seededrandfix is a golden fixture for the seededrand analyzer.
+package seededrandfix
+
+import "math/rand"
+
+func draws(seed int64) []float64 {
+	r := rand.New(rand.NewSource(seed)) // constructors are the sanctioned entry points
+	xs := []float64{r.Float64()}        // methods on a seeded *rand.Rand are fine
+	xs = append(xs, rand.Float64())     // want "top-level rand.Float64"
+	n := rand.Intn(10)                  // want "top-level rand.Intn"
+	rand.Shuffle(n, func(i, j int) {})  // want "top-level rand.Shuffle"
+	return xs
+}

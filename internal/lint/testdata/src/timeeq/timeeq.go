@@ -1,0 +1,17 @@
+// Package timeeqfix is a golden fixture for the timeeq analyzer.
+package timeeqfix
+
+import "time"
+
+func compare(t, u time.Time, p *time.Time) bool {
+	if t == u { // want "time.Time compared with =="
+		return true
+	}
+	if t != u { // want "time.Time compared with !="
+		return true
+	}
+	if p == nil { // pointer identity is fine
+		return false
+	}
+	return t.Equal(u) || t.Month() == time.December
+}

@@ -1,0 +1,21 @@
+// Package wraperrfix is a golden fixture for the wraperr analyzer.
+package wraperrfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+func wrap(err error, n int) []error {
+	return []error{
+		fmt.Errorf("context: %w", err),
+		fmt.Errorf("context: %v", err), // want "formatted with %v"
+		fmt.Errorf("context: %s", err), // want "formatted with %s"
+		fmt.Errorf("%w: %s", errBase, err.Error()),
+		fmt.Errorf("%w: %w", errBase, err),
+		fmt.Errorf("%*d%% done: %v", 5, n, err), // want "formatted with %v"
+		fmt.Errorf("plain %d, no error", n),
+	}
+}

@@ -1,0 +1,34 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// TimeEq forbids comparing time.Time values with == or !=. Two Times can
+// describe the same instant yet differ in wall-clock representation,
+// monotonic reading, or location — exactly the trap for transfer-log and
+// delegation-timeline code that mixes parsed dates with computed ones.
+// Use t.Equal(u) (or t.IsZero()) instead. Pointer comparisons are fine
+// and not flagged.
+var TimeEq = &Analyzer{
+	Name: "timeeq",
+	Doc:  "forbid == and != between time.Time values (use Equal)",
+	Run: func(pass *Pass) {
+		inspectFiles(pass, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if isTimeExpr(pass, be.X) || isTimeExpr(pass, be.Y) {
+				pass.Reportf(be.OpPos, "time.Time compared with %s; use Equal (or IsZero)", be.Op)
+			}
+			return true
+		})
+	},
+}
+
+func isTimeExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.Pkg.Info.TypeOf(e)
+	return t != nil && isNamedType(t, "time", "Time")
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// inspectFiles walks every file of the pass's package with fn.
+func inspectFiles(pass *Pass, fn func(ast.Node) bool) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// pkgFuncCall reports whether call invokes the function named fn from the
+// package with the given import path (e.g. "fmt", "Errorf"), resolving
+// the receiver identifier through the type checker so local shadowing and
+// import renaming are handled correctly.
+func pkgFuncCall(info *types.Info, call *ast.CallExpr, pkgPath, fn string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != fn {
+		return false
+	}
+	return selectsPackage(info, sel, pkgPath)
+}
+
+// selectsPackage reports whether sel.X is an identifier naming an import
+// of pkgPath.
+func selectsPackage(info *types.Info, sel *ast.SelectorExpr, pkgPath string) bool {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}
+
+// isBuiltinCall reports whether call invokes the builtin with the given
+// name (panic, close, recover, ...), i.e. the identifier is not shadowed
+// by a local declaration.
+func isBuiltinCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// isNamedType reports whether t is the named type pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// errorType is the universe's error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// isErrorValue reports whether an expression of type t can carry an
+// error: it is the error interface itself or any type assignable to it.
+func isErrorValue(t types.Type) bool {
+	return t != nil && types.AssignableTo(t, errorType)
+}

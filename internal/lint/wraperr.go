@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+)
+
+// WrapErr requires fmt.Errorf calls that embed an error value to use the
+// %w verb. Formatting an error with %v or %s flattens it to text, which
+// breaks errors.Is/errors.As matching against sentinel errors like
+// registry.ErrPolicy — the idiom the pipeline uses everywhere to classify
+// failures. Multiple %w verbs are fine (Go ≥ 1.20).
+var WrapErr = &Analyzer{
+	Name: "wraperr",
+	Doc:  "require %w in fmt.Errorf when an argument is an error",
+	Run: func(pass *Pass) {
+		info := pass.Pkg.Info
+		inspectFiles(pass, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !pkgFuncCall(info, call, "fmt", "Errorf") || len(call.Args) < 2 {
+				return true
+			}
+			tv, ok := info.Types[call.Args[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				return true // non-constant format: cannot analyze
+			}
+			format := constant.StringVal(tv.Value)
+			verbs, indexed := parseVerbs(format)
+			if indexed {
+				// Explicit argument indexes (%[1]s) are rare; fall back to
+				// a conservative check: any error argument with no %w verb
+				// at all in the format string.
+				if !strings.Contains(format, "%w") {
+					for _, arg := range call.Args[1:] {
+						if isErrorValue(info.TypeOf(arg)) {
+							pass.Reportf(arg.Pos(), "error argument formatted without %%w; use %%w to preserve the error chain")
+						}
+					}
+				}
+				return true
+			}
+			argIdx := 1
+			for _, v := range verbs {
+				argIdx += v.stars // '*' width/precision each consume an argument
+				if argIdx >= len(call.Args) {
+					break
+				}
+				arg := call.Args[argIdx]
+				if v.verb != 'w' && isErrorValue(info.TypeOf(arg)) {
+					pass.Reportf(arg.Pos(), "error argument formatted with %%%c; use %%w to preserve the error chain", v.verb)
+				}
+				argIdx++
+			}
+			return true
+		})
+	},
+}
+
+// verbSpec is one formatting verb and the number of '*' width/precision
+// arguments it consumes before its operand.
+type verbSpec struct {
+	verb  rune
+	stars int
+}
+
+// parseVerbs scans a Printf-style format string and returns the
+// argument-consuming verbs in order. %% consumes nothing. If the format
+// uses explicit argument indexes ("%[1]d"), indexed is true and the
+// caller should fall back to a coarser check.
+func parseVerbs(format string) (verbs []verbSpec, indexed bool) {
+	runes := []rune(format)
+	i := 0
+	for i < len(runes) {
+		if runes[i] != '%' {
+			i++
+			continue
+		}
+		i++
+		if i < len(runes) && runes[i] == '%' {
+			i++
+			continue
+		}
+		stars := 0
+		for i < len(runes) {
+			c := runes[i]
+			if c == '[' {
+				return nil, true
+			}
+			if c == '*' {
+				stars++
+				i++
+				continue
+			}
+			if strings.ContainsRune("+-# 0123456789.", c) {
+				i++
+				continue
+			}
+			verbs = append(verbs, verbSpec{verb: c, stars: stars})
+			i++
+			break
+		}
+	}
+	return verbs, false
+}

@@ -110,7 +110,7 @@ func GrowthFactor(records []PriceRecord, earlyFrom, earlyTo, laterFrom, laterTo 
 	if err != nil {
 		return 0, err
 	}
-	if early == 0 {
+	if early <= 0 {
 		return 0, errors.New("market: zero early-period price")
 	}
 	return later / early, nil

@@ -75,7 +75,7 @@ func FetchQuote(client *http.Client, baseURL string) (PriceQuote, error) {
 	}
 	var q PriceQuote
 	if err := json.Unmarshal(body, &q); err != nil {
-		return PriceQuote{}, fmt.Errorf("%w: %v", ErrBadQuote, err)
+		return PriceQuote{}, fmt.Errorf("%w: %w", ErrBadQuote, err)
 	}
 	if q.Provider == "" || q.PricePerIPMonth <= 0 {
 		return PriceQuote{}, fmt.Errorf("%w: missing fields", ErrBadQuote)

@@ -9,7 +9,7 @@ func benchPrefixes(n int) []Prefix {
 	rng := rand.New(rand.NewSource(1))
 	ps := make([]Prefix, n)
 	for i := range ps {
-		ps[i] = NewPrefix(Addr(rng.Uint32()), 8+rng.Intn(17))
+		ps[i] = MustPrefix(Addr(rng.Uint32()), 8+rng.Intn(17))
 	}
 	return ps
 }

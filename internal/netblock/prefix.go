@@ -8,6 +8,7 @@
 package netblock
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -67,14 +68,25 @@ type Prefix struct {
 	bits uint8
 }
 
-// NewPrefix builds a canonical prefix from an address and mask length,
-// zeroing any host bits. It panics if bits > 32 (a programming error, not
-// an input error; use ParsePrefix for untrusted input).
-func NewPrefix(addr Addr, bits int) Prefix {
+// PrefixFrom builds a canonical prefix from an address and mask length,
+// zeroing any host bits. It returns an error if bits is outside [0, 32];
+// use ParsePrefix for untrusted textual input.
+func PrefixFrom(addr Addr, bits int) (Prefix, error) {
 	if bits < 0 || bits > 32 {
-		panic(fmt.Sprintf("netblock: invalid prefix length %d", bits))
+		return Prefix{}, fmt.Errorf("netblock: invalid prefix length %d", bits)
 	}
-	return Prefix{addr & maskFor(bits), uint8(bits)}
+	return Prefix{addr & maskFor(bits), uint8(bits)}, nil
+}
+
+// MustPrefix is PrefixFrom that panics on error. It is for tests and for
+// call sites whose mask length is a constant or already validated to be
+// in [0, 32]; code handling untrusted lengths should use PrefixFrom.
+func MustPrefix(addr Addr, bits int) Prefix {
+	p, err := PrefixFrom(addr, bits)
+	if err != nil {
+		panic(err)
+	}
+	return p
 }
 
 func maskFor(bits int) Addr {
@@ -166,18 +178,20 @@ func (p Prefix) Parent() Prefix {
 	if p.bits == 0 {
 		return p
 	}
-	return NewPrefix(p.addr, int(p.bits)-1)
+	b := int(p.bits) - 1
+	return Prefix{p.addr & maskFor(b), uint8(b)}
 }
 
-// Children splits the prefix into its two halves. It panics on a /32.
-func (p Prefix) Children() (Prefix, Prefix) {
+// Children splits the prefix into its two halves. It returns an error on
+// a /32, which has no halves.
+func (p Prefix) Children() (Prefix, Prefix, error) {
 	if p.bits == 32 {
-		panic("netblock: cannot split a /32")
+		return Prefix{}, Prefix{}, errors.New("netblock: cannot split a /32")
 	}
-	b := int(p.bits) + 1
-	lo := NewPrefix(p.addr, b)
-	hi := NewPrefix(p.addr|Addr(1)<<(32-uint(b)), b)
-	return lo, hi
+	b := uint(p.bits) + 1
+	lo := Prefix{p.addr, uint8(b)}
+	hi := Prefix{p.addr | Addr(1)<<(32-b), uint8(b)}
+	return lo, hi, nil
 }
 
 // Split divides the prefix into subprefixes of the given length. It returns

@@ -73,7 +73,7 @@ func TestParsePrefix(t *testing.T) {
 func TestPrefixStringRoundTrip(t *testing.T) {
 	f := func(v uint32, b uint8) bool {
 		bits := int(b % 33)
-		p := NewPrefix(Addr(v), bits)
+		p := MustPrefix(Addr(v), bits)
 		q, err := ParsePrefix(p.String())
 		return err == nil && q == p
 	}
@@ -129,9 +129,12 @@ func TestPrefixParentChildrenSibling(t *testing.T) {
 	if got := p.Parent(); got != MustParsePrefix("10.0.0.0/8") {
 		t.Errorf("Parent = %v", got)
 	}
-	lo, hi := MustParsePrefix("10.0.0.0/8").Children()
-	if lo != MustParsePrefix("10.0.0.0/9") || hi != MustParsePrefix("10.128.0.0/9") {
-		t.Errorf("Children = %v, %v", lo, hi)
+	lo, hi, err := MustParsePrefix("10.0.0.0/8").Children()
+	if err != nil || lo != MustParsePrefix("10.0.0.0/9") || hi != MustParsePrefix("10.128.0.0/9") {
+		t.Errorf("Children = %v, %v, %v", lo, hi, err)
+	}
+	if _, _, err := MustParsePrefix("192.0.2.1/32").Children(); err == nil {
+		t.Error("Children(/32) should fail")
 	}
 	if got := lo.Sibling(); got != hi {
 		t.Errorf("Sibling(%v) = %v, want %v", lo, got, hi)
@@ -145,9 +148,9 @@ func TestPrefixParentChildrenSibling(t *testing.T) {
 func TestPrefixChildrenProperty(t *testing.T) {
 	f := func(v uint32, b uint8) bool {
 		bits := int(b % 32) // exclude /32
-		p := NewPrefix(Addr(v), bits)
-		lo, hi := p.Children()
-		return p.Covers(lo) && p.Covers(hi) && !lo.Overlaps(hi) &&
+		p := MustPrefix(Addr(v), bits)
+		lo, hi, err := p.Children()
+		return err == nil && p.Covers(lo) && p.Covers(hi) && !lo.Overlaps(hi) &&
 			lo.NumAddrs()+hi.NumAddrs() == p.NumAddrs() &&
 			lo.Parent() == p && hi.Parent() == p
 	}

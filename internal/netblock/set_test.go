@@ -146,7 +146,7 @@ func TestSetAgainstReferenceModel(t *testing.T) {
 		for op := 0; op < 60; op++ {
 			bits := 20 + rng.Intn(13) // /20 .. /32 within universe
 			off := rng.Intn(universe)
-			p := NewPrefix(Addr(base+off), bits)
+			p := MustPrefix(Addr(base+off), bits)
 			if p.Addr() < base || uint64(p.Addr())+p.NumAddrs() > base+universe {
 				continue
 			}
@@ -195,7 +195,7 @@ func TestSetPrefixesRoundTrip(t *testing.T) {
 		s := NewSet()
 		for _, v := range seeds {
 			bits := int(v%17) + 16 // /16../32
-			s.AddPrefix(NewPrefix(Addr(v), bits))
+			s.AddPrefix(MustPrefix(Addr(v), bits))
 		}
 		rebuilt := NewSet(s.Prefixes()...)
 		return rebuilt.Equal(s) && rebuilt.Size() == s.Size() && s.DebugCheck() == nil

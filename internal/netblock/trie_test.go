@@ -130,13 +130,13 @@ func TestTrieAgainstLinearScan(t *testing.T) {
 		tr := NewTrie[int]()
 		var all []Prefix
 		for i := 0; i < 100; i++ {
-			p := NewPrefix(Addr(rng.Uint32()), 8+rng.Intn(25))
+			p := MustPrefix(Addr(rng.Uint32()), 8+rng.Intn(25))
 			if tr.Insert(p, i) {
 				all = append(all, p)
 			}
 		}
 		for q := 0; q < 50; q++ {
-			query := NewPrefix(Addr(rng.Uint32()), 8+rng.Intn(25))
+			query := MustPrefix(Addr(rng.Uint32()), 8+rng.Intn(25))
 
 			// Brute-force longest match.
 			var bestP Prefix

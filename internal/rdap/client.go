@@ -233,7 +233,7 @@ func rangeAsPrefix(first, last netblock.Addr) (netblock.Prefix, bool) {
 	for m := n; m > 1; m >>= 1 {
 		bits--
 	}
-	p := netblock.NewPrefix(first, bits)
+	p := netblock.MustPrefix(first, bits)
 	if p.First() != first {
 		return netblock.Prefix{}, false
 	}

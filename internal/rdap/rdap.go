@@ -137,7 +137,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "invalid prefix length", "")
 			return
 		}
-		p := netblock.NewPrefix(addr, bits)
+		p := netblock.MustPrefix(addr, bits)
 		first, last = p.First(), p.Last()
 	}
 	obj, ok := s.lookup(first, last)

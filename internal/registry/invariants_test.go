@@ -49,7 +49,7 @@ func TestRegistryInvariantsUnderRandomOps(t *testing.T) {
 				if bits > 24 {
 					bits = a.Prefix.Bits()
 				}
-				sub := netblock.NewPrefix(a.Prefix.Addr(), bits)
+				sub := netblock.MustPrefix(a.Prefix.Addr(), bits)
 				buyer := orgs[rng.Intn(len(orgs))]
 				if buyer == org {
 					continue

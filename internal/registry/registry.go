@@ -135,7 +135,7 @@ func takeBlock(pool *netblock.Set, bits int) (netblock.Prefix, bool) {
 	for _, p := range pool.Prefixes() {
 		if p.Bits() <= bits {
 			// Carve the lowest /bits out of p.
-			block := netblock.NewPrefix(p.Addr(), bits)
+			block := netblock.MustPrefix(p.Addr(), bits)
 			pool.RemovePrefix(block)
 			return block, true
 		}

@@ -179,7 +179,7 @@ func TestExecuteTransferSplitsAllocation(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Transfer only a /24 slice of the /16.
-	sub := netblock.NewPrefix(a.Prefix.Addr(), 24)
+	sub := netblock.MustPrefix(a.Prefix.Addr(), 24)
 	if _, err := r.ExecuteTransfer(sub, "seller", "buyer", RIPENCC, TypeMarket, 22.5, date(2019, 6, 1)); err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +270,7 @@ func TestHolderOfLongestMatch(t *testing.T) {
 	r := newTestRegistry()
 	r.RegisterLIR("acme", RIPENCC, "DE", date(2005, 1, 1))
 	a, _ := r.Allocate(RIPENCC, "acme", 16, date(2005, 6, 1))
-	sub := netblock.NewPrefix(a.Prefix.Addr(), 24)
+	sub := netblock.MustPrefix(a.Prefix.Addr(), 24)
 	got, ok := r.HolderOf(sub)
 	if !ok || got != a {
 		t.Errorf("HolderOf(%v) = %+v, %v", sub, got, ok)
@@ -309,7 +309,7 @@ func TestRegisterLegacy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.RegisterLegacy(RIPENCC, "x", netblock.NewPrefix(alloc.Prefix.Addr(), 24), "DE", date(1981, 1, 1)); !errors.Is(err, ErrPolicy) {
+	if _, err := r.RegisterLegacy(RIPENCC, "x", netblock.MustPrefix(alloc.Prefix.Addr(), 24), "DE", date(1981, 1, 1)); !errors.Is(err, ErrPolicy) {
 		t.Errorf("overlap err = %v", err)
 	}
 	if _, err := r.RegisterLegacy(ARIN, "x", pfx("44.0.0.0/8"), "US", date(1981, 1, 1)); !errors.Is(err, ErrPolicy) {

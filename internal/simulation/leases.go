@@ -286,7 +286,7 @@ func (w *World) BuildWhoisDB() *whois.DB {
 			nSubs := uint64(1) << uint(bits-base.Bits())
 			step := netblock.Addr(1) << (32 - uint(bits))
 			off := netblock.Addr(w.rng.Int63n(int64(nSubs)))
-			p := netblock.NewPrefix(base.Addr()+off*step, bits)
+			p := netblock.MustPrefix(base.Addr()+off*step, bits)
 			db.Add(&whois.Inetnum{
 				First:   p.First(),
 				Last:    p.Last(),

@@ -132,7 +132,7 @@ func NewRoutingSim(w *World) *RoutingSim {
 			continue
 		}
 		off := netblock.Addr(rng.Int63n(1 << uint(24-victim.prefix.Bits())))
-		child := netblock.NewPrefix(victim.prefix.Addr()+off<<8, 24)
+		child := netblock.MustPrefix(victim.prefix.Addr()+off<<8, 24)
 		from := rng.Intn(w.Cfg.RoutingDays)
 		sc := scrubbers[rng.Intn(len(scrubbers))]
 		rs.scrubEvents = append(rs.scrubEvents, scrubEvent{
@@ -256,7 +256,7 @@ func (rs *RoutingSim) hijacks(rng *rand.Rand) []announcement {
 		}
 		// A random /24 inside the victim block.
 		off := netblock.Addr(rng.Int63n(1 << uint(24-victim.prefix.Bits())))
-		child := netblock.NewPrefix(victim.prefix.Addr()+off<<8, 24)
+		child := netblock.MustPrefix(victim.prefix.Addr()+off<<8, 24)
 		attacker := rs.w.Orgs[rng.Intn(len(rs.w.Orgs))].PrimaryAS()
 		if attacker == victim.origin {
 			continue

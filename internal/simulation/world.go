@@ -251,7 +251,7 @@ func (w *World) createLegacyHolders() error {
 			w.ByID[org.ID] = org
 			// Legacy holders typically became members later to get support.
 			w.Registry.RegisterLIR(org.ID, rir, org.Country, w.Cfg.HistoryStart)
-			block := netblock.NewPrefix(base.Addr()+netblock.Addr(i)<<16, 16)
+			block := netblock.MustPrefix(base.Addr()+netblock.Addr(i)<<16, 16)
 			a, err := w.Registry.RegisterLegacy(rir, org.ID, block, org.Country, date(1985, time.January, 1))
 			if err != nil {
 				return fmt.Errorf("simulation: legacy %v: %w", block, err)
@@ -442,7 +442,7 @@ func takeSellableMin(org *Org, bits, maxChunkBits int) (netblock.Prefix, bool) {
 		if p.Bits() > maxChunkBits {
 			continue
 		}
-		block := netblock.NewPrefix(p.Addr(), bits)
+		block := netblock.MustPrefix(p.Addr(), bits)
 		rem := netblock.NewSet(p)
 		rem.RemovePrefix(block)
 		rest := rem.Prefixes()

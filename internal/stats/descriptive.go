@@ -148,7 +148,7 @@ func LinearRegression(x, y []float64) (LinearFit, error) {
 		sxy += dx * dy
 		syy += dy * dy
 	}
-	if sxx == 0 {
+	if sxx <= 0 {
 		return LinearFit{}, errors.New("stats: degenerate x values")
 	}
 	b := sxy / sxx

@@ -38,6 +38,7 @@ func midRanks(pooled []float64) (ranks []float64, tieTerm float64) {
 	ranks = make([]float64, len(pooled))
 	for i := 0; i < len(idx); {
 		j := i
+		//lint:ignore floatcmp rank ties are defined by exact value equality
 		for j < len(idx) && idx[j].v == idx[i].v {
 			j++
 		}
@@ -150,7 +151,7 @@ func regularizedGammaQ(a, x float64) float64 {
 	if x < 0 || a <= 0 {
 		return math.NaN()
 	}
-	if x == 0 {
+	if x <= 0 { // x < 0 was handled above; only exact zero reaches here
 		return 1
 	}
 	if x < a+1 {

@@ -77,7 +77,7 @@ func (in *Inetnum) AsPrefix() (netblock.Prefix, bool) {
 	for m := n; m > 1; m >>= 1 {
 		bits--
 	}
-	p := netblock.NewPrefix(in.First, bits)
+	p := netblock.MustPrefix(in.First, bits)
 	if p.First() != in.First {
 		return netblock.Prefix{}, false
 	}

@@ -1,0 +1,29 @@
+#!/bin/sh
+# check.sh — the pre-PR verification gate: the race-enabled superset of
+# the tier-1 check (`go build ./... && go test ./...`).
+#
+#   1. go build          — everything compiles
+#   2. go vet            — the standard-library analyzers stay green
+#   3. ipv4lint          — the repo-specific invariant analyzers
+#                          (internal/lint) stay green
+#   4. go test -race     — the full test suite, including the lint
+#                          self-check, under the race detector
+#
+# Run from anywhere inside the repository.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go run ./cmd/ipv4lint ./..."
+go run ./cmd/ipv4lint ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "check.sh: all gates passed"
