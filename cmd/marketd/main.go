@@ -1,0 +1,203 @@
+// Command marketd serves the full study — tables, figures, price cells,
+// transfer statistics, delegation lookups, leasing summaries — as an
+// HTTP API backed by immutable precomputed snapshots.
+//
+//	marketd -listen 127.0.0.1:8090 -seed 42
+//
+// The study runs exactly once at startup (and again on SIGHUP or
+// POST /admin/rebuild when -admin is set); every request after that is
+// served from the pre-encoded snapshot, so query latency is independent
+// of simulation cost. See internal/serve for the architecture.
+//
+//	GET /v1/table1            exhaustion timeline        (JSON, CSV)
+//	GET /v1/figures/{1..4}    the paper's figures        (JSON, CSV)
+//	GET /v1/prices            price cells, filterable    (JSON, CSV)
+//	GET /v1/transfers         transfer log + stats       (JSON)
+//	GET /v1/delegations       lease index, ?prefix=CIDR  (JSON)
+//	GET /v1/leasing           leasing market summary     (JSON)
+//	GET /v1/headline          §3 headline statistics     (JSON)
+//	GET /healthz /readyz /varz
+//
+// -selfcheck boots the server on a loopback port, queries the key
+// endpoints through a real HTTP client, and exits; scripts/check.sh uses
+// it as the smoke test.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ipv4market/internal/serve"
+	"ipv4market/internal/simulation"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "marketd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("marketd", flag.ContinueOnError)
+	var (
+		listen    = fs.String("listen", "127.0.0.1:8090", "listen address")
+		seed      = fs.Int64("seed", 0, "simulation seed (overrides config default when nonzero)")
+		lirs      = fs.Int("lirs", 0, "number of LIR organizations (0: config default)")
+		days      = fs.Int("days", 0, "routing window length in days (0: config default)")
+		timeout   = fs.Duration("timeout", 10*time.Second, "per-request handler timeout")
+		drain     = fs.Duration("drain", 5*time.Second, "graceful-shutdown drain window")
+		admin     = fs.Bool("admin", false, "expose POST /admin/rebuild")
+		selfcheck = fs.Bool("selfcheck", false, "boot on a loopback port, smoke-query the API, exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := simulation.DefaultConfig()
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *lirs > 0 {
+		cfg.NumLIRs = *lirs
+	}
+	if *days > 0 {
+		cfg.RoutingDays = *days
+	}
+
+	opts := serve.Options{Timeout: *timeout, EnableAdmin: *admin || *selfcheck}
+
+	build := time.Now()
+	fmt.Fprintf(w, "marketd: building snapshot (seed=%d lirs=%d days=%d)...\n", cfg.Seed, cfg.NumLIRs, cfg.RoutingDays)
+	srv, err := serve.New(cfg, opts)
+	if err != nil {
+		return err
+	}
+	snap := srv.Snapshot()
+	fmt.Fprintf(w, "marketd: snapshot ready in %v: %d transfers, %d price cells, %d delegations\n",
+		time.Since(build).Round(time.Millisecond), len(snap.Transfers), len(snap.PriceCells), snap.Delegations.Len())
+
+	if *selfcheck {
+		return runSelfcheck(w, srv, *drain)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return fmt.Errorf("marketd: listen: %w", err)
+	}
+	fmt.Fprintf(w, "marketd: serving on http://%s\n", ln.Addr())
+
+	watchHUP(ctx, w, srv, cfg)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	if err := serve.Serve(ctx, httpSrv, ln, *drain); err != nil {
+		return err
+	}
+	srv.Wait() // let an in-flight SIGHUP rebuild finish before exiting
+	fmt.Fprintln(w, "marketd: shut down cleanly")
+	return nil
+}
+
+// watchHUP triggers a same-config rebuild on each SIGHUP until ctx ends.
+// Readers keep the old snapshot until the new one swaps in.
+func watchHUP(ctx context.Context, w io.Writer, srv *serve.Server, cfg simulation.Config) {
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() { // coordinated: exits when ctx is done, signal handler released
+		defer signal.Stop(hup)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-hup:
+				if srv.RebuildAsync(cfg) {
+					fmt.Fprintln(w, "marketd: SIGHUP: rebuild started")
+				} else {
+					fmt.Fprintln(w, "marketd: SIGHUP: rebuild already in flight")
+				}
+			}
+		}
+	}()
+}
+
+// selfcheckPaths are the endpoints the -selfcheck smoke test must serve
+// with 200 OK.
+var selfcheckPaths = []string{
+	"/healthz",
+	"/readyz",
+	"/varz",
+	"/v1/table1",
+	"/v1/table1?format=csv",
+	"/v1/figures/1",
+	"/v1/figures/2",
+	"/v1/figures/3",
+	"/v1/figures/4",
+	"/v1/prices",
+	"/v1/prices?size=/16",
+	"/v1/transfers",
+	"/v1/delegations",
+	"/v1/leasing",
+	"/v1/headline",
+}
+
+// runSelfcheck serves on an ephemeral loopback port, exercises every
+// endpoint through a real HTTP client, and reports pass/fail. It is the
+// full boot-listen-query-shutdown cycle in one process, so CI needs no
+// curl or background job control.
+func runSelfcheck(w io.Writer, srv *serve.Server, drain time.Duration) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("marketd: selfcheck listen: %w", err)
+	}
+	base := "http://" + ln.Addr().String()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { // coordinated: result drained below after cancel
+		done <- serve.Serve(ctx, httpSrv, ln, drain)
+	}()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	var checkErr error
+	for _, path := range selfcheckPaths {
+		resp, err := client.Get(base + path)
+		if err != nil {
+			checkErr = fmt.Errorf("marketd: selfcheck %s: %w", path, err)
+			break
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			checkErr = fmt.Errorf("marketd: selfcheck %s: read: %w", path, err)
+			break
+		}
+		if resp.StatusCode != http.StatusOK {
+			checkErr = fmt.Errorf("marketd: selfcheck %s: status %d", path, resp.StatusCode)
+			break
+		}
+		fmt.Fprintf(w, "marketd: selfcheck %-28s %d (%d bytes)\n", path, resp.StatusCode, len(body))
+	}
+
+	cancel()
+	if err := <-done; err != nil && checkErr == nil {
+		checkErr = err
+	}
+	srv.Wait()
+	if checkErr != nil {
+		return checkErr
+	}
+	fmt.Fprintf(w, "marketd: selfcheck passed (%d endpoints)\n", len(selfcheckPaths))
+	return nil
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+var smallWorld = []string{"-lirs", "14", "-days", "40"}
+
+func TestSelfcheckPasses(t *testing.T) {
+	var buf bytes.Buffer
+	args := append([]string{"-selfcheck"}, smallWorld...)
+	if err := run(&buf, args); err != nil {
+		t.Fatalf("selfcheck failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "selfcheck passed") {
+		t.Errorf("output lacks pass marker:\n%s", out)
+	}
+	for _, path := range selfcheckPaths {
+		if !strings.Contains(out, path+" ") && !strings.Contains(out, path+"\n") {
+			t.Errorf("selfcheck did not report %s", path)
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-nosuchflag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestBadListenAddress(t *testing.T) {
+	var buf bytes.Buffer
+	args := append([]string{"-listen", "256.0.0.1:http"}, smallWorld...)
+	if err := run(&buf, args); err == nil {
+		t.Error("invalid listen address accepted")
+	}
+}

@@ -11,15 +11,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"ipv4market/internal/netblock"
 	"ipv4market/internal/rdap"
+	"ipv4market/internal/serve"
 	"ipv4market/internal/whois"
 )
 
@@ -37,6 +42,8 @@ func run(w io.Writer, args []string) error {
 		listen   = fs.String("listen", "127.0.0.1:8080", "server listen address")
 		query    = fs.String("query", "", "client mode: RDAP base URL to query")
 		prefix   = fs.String("prefix", "", "client mode: prefix to look up (e.g. 185.0.0.0/24)")
+		timeout  = fs.Duration("timeout", 10*time.Second, "per-request handler timeout")
+		drain    = fs.Duration("drain", 5*time.Second, "graceful-shutdown drain window")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,10 +89,21 @@ func run(w io.Writer, args []string) error {
 	if err != nil {
 		return err
 	}
+	db.Freeze() // reads are concurrency-safe from here on
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "rdapd: serving %d inetnum objects on http://%s (GET /ip/<addr>[/<len>])\n", db.Len(), ln.Addr())
-	return http.Serve(ln, rdap.NewServer(db))
+
+	// The same middleware stack marketd uses (internal/serve): recovery,
+	// per-request timeouts, graceful shutdown on SIGINT/SIGTERM.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Handler: serve.Wrap(rdap.NewServer(db), nil, "/ip/", *timeout)}
+	if err := serve.Serve(ctx, srv, ln, *drain); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "rdapd: shut down cleanly")
+	return nil
 }

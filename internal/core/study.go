@@ -24,6 +24,15 @@ import (
 )
 
 // Study holds the generated world and the measurement pipelines.
+//
+// A Study is read-only after NewStudy returns: every accessor (Table1,
+// Figure1-6, Headline, Coverage, Census, ...) derives its result from the
+// constructed world without mutating shared state — randomized analyses
+// draw from their own seed-derived RNGs, never from a shared stream.
+// Repeated calls with the same receiver therefore return equal results,
+// and any number of goroutines may call any accessors concurrently (the
+// serving layer in internal/serve depends on this; TestStudyReadOnly
+// enforces it under the race detector).
 type Study struct {
 	Cfg     simulation.Config
 	World   *simulation.World

@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// BenchmarkSnapshotServe measures the fast path: requests against a
+// prebuilt snapshot, in parallel (RunParallel mirrors a concurrent
+// client population). The snapshot builds once, outside the timer — the
+// point of the architecture is that request cost is decoupled from
+// study cost, and these numbers are the request cost. Baselines live in
+// BENCH_serve.json.
+func BenchmarkSnapshotServe(b *testing.B) {
+	srv, err := New(testConfig(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := srv.Handler()
+
+	bench := func(path string, header http.Header) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					req := httptest.NewRequest(http.MethodGet, path, nil)
+					for k, vs := range header {
+						req.Header[k] = vs
+					}
+					rec := httptest.NewRecorder()
+					h.ServeHTTP(rec, req)
+					if rec.Code != http.StatusOK && rec.Code != http.StatusNotModified {
+						b.Fatalf("%s: status %d", path, rec.Code)
+					}
+				}
+			})
+		}
+	}
+
+	b.Run("table1", bench("/v1/table1", nil))
+	b.Run("prices_full", bench("/v1/prices", nil))
+	b.Run("prices_filtered", bench("/v1/prices?size=/16&region=ARIN", nil))
+	b.Run("delegation_lookup", bench("/v1/delegations?prefix=185.0.0.0/16", nil))
+	b.Run("varz", bench("/varz", nil))
+
+	// The 304 path: client revalidation against a warm ETag.
+	art, ok := srv.Snapshot().staticArtifact("table1")
+	if !ok {
+		b.Fatal("no table1 artifact")
+	}
+	b.Run("table1_304", bench("/v1/table1", http.Header{"If-None-Match": {art.jsonETag}}))
+}

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"sync"
+)
+
+// queryCache memoizes the rendered artifacts of filtered queries for one
+// snapshot generation, with singleflight collapsing: concurrent requests
+// for the same key block on a single computation instead of each
+// rendering the response themselves. The Server allocates a fresh cache
+// per snapshot swap, so entries can never outlive the data they were
+// rendered from.
+type queryCache struct {
+	mu      sync.Mutex
+	entries map[string]*artifact
+	flights map[string]*flight
+	max     int // entry cap; an arbitrary entry is evicted at the cap
+}
+
+// flight is one in-progress computation other callers can wait on.
+type flight struct {
+	done chan struct{}
+	art  *artifact
+	err  error
+}
+
+func newQueryCache(max int) *queryCache {
+	if max < 1 {
+		max = 1
+	}
+	return &queryCache{
+		entries: make(map[string]*artifact),
+		flights: make(map[string]*flight),
+		max:     max,
+	}
+}
+
+// do returns the artifact for key, computing it at most once per key:
+// cached results are returned immediately, and concurrent misses for the
+// same key collapse onto one compute call. The three counters (hit,
+// collapsed, miss) feed /varz; any may be nil.
+func (c *queryCache) do(key string, m *Metrics, compute func() (*artifact, error)) (*artifact, error) {
+	c.mu.Lock()
+	if art, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		if m != nil {
+			m.cacheHits.Add(1)
+		}
+		return art, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		if m != nil {
+			m.cacheCollapsed.Add(1)
+		}
+		<-f.done
+		return f.art, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	if m != nil {
+		m.cacheMisses.Add(1)
+	}
+	f.art, f.err = compute()
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	if f.err == nil {
+		if len(c.entries) >= c.max {
+			for k := range c.entries { // evict an arbitrary entry
+				delete(c.entries, k)
+				break
+			}
+		}
+		c.entries[key] = f.art
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.art, f.err
+}
+
+// len returns the number of cached entries.
+func (c *queryCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

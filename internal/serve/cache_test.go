@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSingleflightCollapse proves the cache's central guarantee: any
+// number of concurrent requests for one key run the compute function
+// exactly once; everyone else blocks on the flight and shares its
+// result.
+func TestSingleflightCollapse(t *testing.T) {
+	c := newQueryCache(16)
+	m := NewMetrics()
+
+	var computes atomic.Int64
+	release := make(chan struct{})
+	const callers = 16
+
+	var wg sync.WaitGroup
+	results := make([]*artifact, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) { // coordinated: wg.Done + wg.Wait below
+			defer wg.Done()
+			art, err := c.do("k", m, func() (*artifact, error) {
+				computes.Add(1)
+				<-release // hold the flight open so the others pile up
+				return newArtifact(map[string]int{"v": 1}, nil)
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = art
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("compute ran %d times, want exactly 1", got)
+	}
+	for i, art := range results {
+		if art != results[0] {
+			t.Fatalf("caller %d got a different artifact pointer", i)
+		}
+	}
+	if hits, misses, collapsed := m.cacheHits.Load(), m.cacheMisses.Load(), m.cacheCollapsed.Load(); misses != 1 || hits+collapsed != callers-1 {
+		t.Errorf("counters: hits=%d misses=%d collapsed=%d, want misses=1 and hits+collapsed=%d",
+			hits, misses, collapsed, callers-1)
+	}
+
+	// Later calls are pure cache hits.
+	hitsBefore := m.cacheHits.Load()
+	if _, err := c.do("k", m, func() (*artifact, error) {
+		t.Error("compute re-ran for a cached key")
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m.cacheHits.Load() != hitsBefore+1 {
+		t.Error("cached call not counted as a hit")
+	}
+}
+
+// TestCacheErrorNotCached checks that failed computations are shared with
+// the in-flight waiters but not cached: the next call retries.
+func TestCacheErrorNotCached(t *testing.T) {
+	c := newQueryCache(16)
+	boom := errors.New("boom")
+	calls := 0
+	if _, err := c.do("k", nil, func() (*artifact, error) { calls++; return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, err := c.do("k", nil, func() (*artifact, error) { calls++; return newArtifact(1, nil) }); err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("compute calls = %d, want 2 (error must not be cached)", calls)
+	}
+	if c.size() != 1 {
+		t.Fatalf("cache size = %d, want 1", c.size())
+	}
+}
+
+// TestCacheEviction checks the entry cap holds.
+func TestCacheEviction(t *testing.T) {
+	c := newQueryCache(4)
+	for i := 0; i < 10; i++ {
+		key := string(rune('a' + i))
+		if _, err := c.do(key, nil, func() (*artifact, error) { return newArtifact(i, nil) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.size(); got > 4 {
+		t.Fatalf("cache size = %d, want <= 4", got)
+	}
+}

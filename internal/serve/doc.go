@@ -1,0 +1,33 @@
+// Package serve is the analytics serving layer for the reproduction: it
+// materializes an entire core.Study into an immutable, precomputed
+// Snapshot — every table, figure, price cell, transfer record, the
+// leasing price book, and a radix-trie delegation index for per-prefix
+// lookups — and serves the snapshot over HTTP.
+//
+// The design splits the system into a slow write path and a fast read
+// path:
+//
+//   - BuildSnapshot runs every study pipeline exactly once and encodes
+//     the static artifacts (JSON and CSV bodies, ETags) up front. All of
+//     the simulation's randomness is confined to this build step.
+//   - Server holds the current Snapshot behind an atomic pointer.
+//     Handlers only read: a request never runs a study pipeline, so
+//     serving is race-free and O(response size). Background rebuilds
+//     (triggered by SIGHUP or POST /admin/rebuild) construct a fresh
+//     Snapshot off to the side and swap it in atomically — readers are
+//     never blocked and always see a complete, consistent study.
+//   - Filtered queries (/v1/prices, /v1/transfers, /v1/delegations) are
+//     answered from a per-snapshot result cache with singleflight
+//     collapsing, so a thundering herd on one filter computes it once.
+//
+// Endpoints: /v1/table1, /v1/figures/{1..4}, /v1/prices, /v1/transfers,
+// /v1/delegations, /v1/leasing, /v1/headline, plus /healthz, /readyz and
+// /varz. Responses carry strong ETags and honor If-None-Match; append
+// ?format=csv where a CSV emitter exists (the figure and price series,
+// reusing the core package's encoders).
+//
+// The middleware stack (panic recovery, per-request timeouts, per-route
+// metrics) and the graceful Serve runner are exported separately so other
+// daemons in this repository (cmd/rdapd) share them instead of
+// duplicating the code.
+package serve

@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"ipv4market/internal/stats"
+)
+
+// artifact is one fully rendered response: the JSON body, an optional
+// CSV body, and their strong ETags. Artifacts are immutable once built —
+// for the static study endpoints they are produced at snapshot-build
+// time, for filtered queries on first use (then cached).
+type artifact struct {
+	json     []byte
+	csv      []byte // nil: endpoint has no CSV encoding
+	jsonETag string
+	csvETag  string
+}
+
+// newArtifact marshals v as the JSON body and, when csvFn is non-nil,
+// renders the CSV body through it (the core package's CSV emitters plug
+// in here unchanged).
+func newArtifact(v any, csvFn func(io.Writer) error) (*artifact, error) {
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("serve: encode: %w", err)
+	}
+	body = append(body, '\n')
+	art := &artifact{json: body, jsonETag: etagOf(body)}
+	if csvFn != nil {
+		var buf bytes.Buffer
+		if err := csvFn(&buf); err != nil {
+			return nil, fmt.Errorf("serve: encode csv: %w", err)
+		}
+		art.csv = buf.Bytes()
+		art.csvETag = etagOf(art.csv)
+	}
+	return art, nil
+}
+
+// etagOf returns a strong entity tag for a response body.
+func etagOf(b []byte) string {
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%q", strconv.FormatUint(h.Sum64(), 16))
+}
+
+// wantCSV reports whether the request asks for the CSV encoding, via
+// ?format=csv or an Accept header preferring text/csv.
+func wantCSV(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "csv":
+		return true
+	case "json", "":
+	default:
+		return false
+	}
+	return strings.Contains(r.Header.Get("Accept"), "text/csv") &&
+		r.URL.Query().Get("format") == ""
+}
+
+// writeArtifact serves one encoding of the artifact with ETag handling:
+// a matching If-None-Match short-circuits to 304 Not Modified.
+func writeArtifact(w http.ResponseWriter, r *http.Request, art *artifact) {
+	body, etag, ctype := art.json, art.jsonETag, "application/json"
+	if wantCSV(r) {
+		if art.csv == nil {
+			writeError(w, http.StatusBadRequest, "no CSV encoding for this endpoint")
+			return
+		}
+		body, etag, ctype = art.csv, art.csvETag, "text/csv; charset=utf-8"
+	}
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "no-cache")
+	if matchesETag(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", ctype)
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.Write(body)
+}
+
+// matchesETag implements the If-None-Match comparison for strong tags.
+func matchesETag(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	for _, c := range strings.Split(header, ",") {
+		c = strings.TrimSpace(c)
+		c = strings.TrimPrefix(c, "W/")
+		if c == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// errorBody is the JSON error document every non-2xx response carries.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeError emits the JSON error document with the given status.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	body, err := json.Marshal(errorBody{Error: msg})
+	if err != nil {
+		return // marshal of a plain string cannot fail
+	}
+	w.Write(append(body, '\n'))
+}
+
+// writeJSON marshals v directly (uncached endpoints: /readyz, /varz).
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(body, '\n'))
+}
+
+// parseQuarter parses the "2019Q2" form used in query filters and CSV
+// output.
+func parseQuarter(s string) (stats.Quarter, error) {
+	i := strings.IndexByte(s, 'Q')
+	if i < 0 {
+		return stats.Quarter{}, fmt.Errorf("serve: quarter %q: want YYYYQn", s)
+	}
+	year, err := strconv.Atoi(s[:i])
+	if err != nil {
+		return stats.Quarter{}, fmt.Errorf("serve: quarter %q: bad year", s)
+	}
+	q, err := strconv.Atoi(s[i+1:])
+	if err != nil || q < 1 || q > 4 {
+		return stats.Quarter{}, fmt.Errorf("serve: quarter %q: bad quarter index", s)
+	}
+	return stats.Quarter{Year: year, Q: q}, nil
+}

@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"ipv4market/internal/market"
+	"ipv4market/internal/netblock"
+	"ipv4market/internal/registry"
+)
+
+// routes wires every endpoint through the shared middleware stack. Each
+// pattern is registered once, at construction; the mux is read-only
+// afterwards.
+func (s *Server) routes() {
+	static := func(key string) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			art, ok := s.current().snap.staticArtifact(key)
+			if !ok {
+				writeError(w, http.StatusNotFound, "unknown artifact "+key)
+				return
+			}
+			writeArtifact(w, r, art)
+		}
+	}
+
+	s.handle("GET /v1/table1", static("table1"))
+	s.handle("GET /v1/figures/{id}", s.handleFigure)
+	s.handle("GET /v1/prices", s.handlePrices)
+	s.handle("GET /v1/transfers", static("transfers"))
+	s.handle("GET /v1/delegations", s.handleDelegations)
+	s.handle("GET /v1/leasing", static("leasing"))
+	s.handle("GET /v1/headline", static("headline"))
+
+	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /readyz", s.handleReadyz)
+	s.handle("GET /varz", s.handleVarz)
+	if s.opts.EnableAdmin {
+		s.handle("POST /admin/rebuild", s.handleRebuild)
+	}
+}
+
+// handle registers pattern with the full middleware stack applied.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.mux.Handle(pattern, Wrap(h, s.metrics, pattern, s.opts.Timeout))
+}
+
+// handleFigure serves /v1/figures/{id} for the paper's figures 1-4.
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	switch id {
+	case "1", "2", "3", "4":
+	default:
+		writeError(w, http.StatusNotFound, "unknown figure "+id+" (have 1-4)")
+		return
+	}
+	art, ok := s.current().snap.staticArtifact("fig" + id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "figure "+id+" not materialized")
+		return
+	}
+	writeArtifact(w, r, art)
+}
+
+// priceFilter is the parsed /v1/prices query.
+type priceFilter struct {
+	bits    int // 0: any
+	region  registry.RIR
+	hasRIR  bool
+	quarter string // canonical "2019Q2", "": any
+}
+
+// parsePriceFilter validates the size/region/quarter query parameters.
+func parsePriceFilter(r *http.Request) (priceFilter, error) {
+	var f priceFilter
+	q := r.URL.Query()
+	if v := q.Get("size"); v != "" {
+		bits, err := strconv.Atoi(strings.TrimPrefix(v, "/"))
+		if err != nil || bits < 0 || bits > 32 {
+			return f, fmt.Errorf("size %q: want a prefix length such as /16", v)
+		}
+		f.bits = bits
+	}
+	if v := q.Get("region"); v != "" {
+		rir, err := registry.ParseRIR(v)
+		if err != nil {
+			return f, fmt.Errorf("region %q: %w", v, err)
+		}
+		f.region, f.hasRIR = rir, true
+	}
+	if v := q.Get("quarter"); v != "" {
+		qt, err := parseQuarter(strings.ToUpper(v))
+		if err != nil {
+			return f, fmt.Errorf("quarter %q: want YYYYQn", v)
+		}
+		f.quarter = qt.String()
+	}
+	return f, nil
+}
+
+// key is the canonical cache key for the filter (same filter, same key,
+// regardless of parameter spelling or order).
+func (f priceFilter) key() string {
+	region := ""
+	if f.hasRIR {
+		region = f.region.String()
+	}
+	return fmt.Sprintf("prices|bits=%d|region=%s|quarter=%s", f.bits, region, f.quarter)
+}
+
+func (f priceFilter) empty() bool {
+	return f.bits == 0 && !f.hasRIR && f.quarter == ""
+}
+
+func (f priceFilter) match(c market.PriceCell) bool {
+	if f.bits != 0 && c.Bits != f.bits {
+		return false
+	}
+	if f.hasRIR && c.Region != f.region {
+		return false
+	}
+	if f.quarter != "" && c.Quarter.String() != f.quarter {
+		return false
+	}
+	return true
+}
+
+// handlePrices serves /v1/prices. Unfiltered requests hit the snapshot's
+// pre-encoded artifact; filtered ones are rendered once per snapshot
+// generation through the singleflight query cache.
+func (s *Server) handlePrices(w http.ResponseWriter, r *http.Request) {
+	f, err := parsePriceFilter(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	st := s.current()
+	if f.empty() {
+		if art, ok := st.snap.staticArtifact("prices"); ok {
+			writeArtifact(w, r, art)
+			return
+		}
+	}
+	art, err := st.cache.do(f.key(), s.metrics, func() (*artifact, error) {
+		cells := filterPriceCells(st.snap.PriceCells, f.match)
+		return newArtifact(viewPriceCells(cells), priceCellsCSV(cells))
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeArtifact(w, r, art)
+}
+
+// handleDelegations serves /v1/delegations: without a prefix parameter,
+// the snapshot's pre-encoded summary; with one, a trie lookup (exact,
+// covering, covered) rendered through the query cache.
+func (s *Server) handleDelegations(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("prefix")
+	st := s.current()
+	if raw == "" {
+		if art, ok := st.snap.staticArtifact("delegations"); ok {
+			writeArtifact(w, r, art)
+			return
+		}
+	}
+	p, err := netblock.ParsePrefix(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("prefix %q: %v", raw, err))
+		return
+	}
+	key := "delegations|prefix=" + p.String()
+	art, err := st.cache.do(key, s.metrics, func() (*artifact, error) {
+		lk := st.snap.Delegations.Lookup(p)
+		view := delegationLookupView{
+			Prefix:   p.String(),
+			Date:     fmtDate(st.snap.Delegations.Date()),
+			Exact:    viewDelegations(lk.Exact),
+			Covering: viewDelegations(lk.Covering),
+			Covered:  viewDelegations(lk.Covered),
+		}
+		return newArtifact(view, nil)
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeArtifact(w, r, art)
+}
+
+// handleHealthz is the liveness probe: the process is up.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is the readiness probe: a snapshot is being served.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	snap := s.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ready",
+		"seq":         snap.Seq,
+		"seed":        snap.Cfg.Seed,
+		"built_at":    snap.BuiltAt.UTC().Format(time.RFC3339),
+		"age_seconds": snap.Age(time.Now()).Seconds(),
+	})
+}
+
+// handleVarz serves the counter document.
+func (s *Server) handleVarz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.varz(time.Now()))
+}
+
+// handleRebuild triggers a background rebuild (POST /admin/rebuild,
+// optional ?seed=N to reseed). It answers 202 immediately: the new
+// snapshot swaps in when the build finishes, readers are never blocked.
+func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
+	var (
+		seed   int64
+		reseed bool
+	)
+	if v := r.URL.Query().Get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("seed %q: %v", v, err))
+			return
+		}
+		seed, reseed = n, true
+	}
+	if !s.RebuildAsync(s.rebuildConfig(seed, reseed)) {
+		writeError(w, http.StatusConflict, "rebuild already in flight")
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"status":      "rebuilding",
+		"serving_seq": s.Snapshot().Seq,
+	})
+}

@@ -1,0 +1,229 @@
+package serve
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketMS are the upper bounds (milliseconds) of the request
+// latency histogram; the final implicit bucket is +Inf.
+var latencyBucketMS = [numLatencyBuckets]float64{0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 1000}
+
+const numLatencyBuckets = 10
+
+// Metrics aggregates the serving counters exported on /varz. All fields
+// are atomics; routes are registered up front (the map is read-only once
+// serving starts), so recording is lock-free on the request path.
+type Metrics struct {
+	start time.Time
+
+	panics         atomic.Int64
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	cacheCollapsed atomic.Int64
+	rebuilds       atomic.Int64
+	rebuildErrors  atomic.Int64
+
+	routes map[string]*routeStats
+}
+
+// routeStats holds one route's counters.
+type routeStats struct {
+	requests atomic.Int64
+	byClass  [6]atomic.Int64 // status/100: 0 is "unknown"
+	totalNS  atomic.Int64
+	hist     [numLatencyBuckets + 1]atomic.Int64
+}
+
+// NewMetrics returns an empty metrics registry started now.
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now(), routes: make(map[string]*routeStats)}
+}
+
+// Register adds a route label. It must be called before serving begins;
+// afterwards the route map is read-only.
+func (m *Metrics) Register(route string) {
+	if _, ok := m.routes[route]; !ok {
+		m.routes[route] = &routeStats{}
+	}
+}
+
+// record accounts one finished request.
+func (m *Metrics) record(route string, status int, elapsed time.Duration) {
+	rs, ok := m.routes[route]
+	if !ok {
+		return
+	}
+	rs.requests.Add(1)
+	class := status / 100
+	if class < 0 || class >= len(rs.byClass) {
+		class = 0
+	}
+	rs.byClass[class].Add(1)
+	rs.totalNS.Add(int64(elapsed))
+	ms := float64(elapsed) / float64(time.Millisecond)
+	b := len(latencyBucketMS)
+	for i, ub := range latencyBucketMS {
+		if ms <= ub {
+			b = i
+			break
+		}
+	}
+	rs.hist[b].Add(1)
+}
+
+// instrument wraps a handler to record per-route counters and latency.
+func (m *Metrics) instrument(route string, h http.Handler) http.Handler {
+	m.Register(route)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		begin := time.Now()
+		h.ServeHTTP(sw, r)
+		m.record(route, sw.status(), time.Since(begin))
+	})
+}
+
+// statusWriter captures the response status for accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if !sw.wrote {
+		sw.code, sw.wrote = code, true
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if !sw.wrote {
+		sw.code, sw.wrote = http.StatusOK, true
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+func (sw *statusWriter) status() int {
+	if !sw.wrote {
+		return http.StatusOK
+	}
+	return sw.code
+}
+
+// Varz types: the JSON document served on /varz.
+
+type varzRoute struct {
+	Requests      int64            `json:"requests"`
+	ByStatusClass map[string]int64 `json:"by_status_class,omitempty"`
+	MeanLatencyMS float64          `json:"mean_latency_ms"`
+	LatencyMS     map[string]int64 `json:"latency_hist_ms,omitempty"`
+}
+
+type varzSnapshot struct {
+	Seq          uint64  `json:"seq"`
+	Seed         int64   `json:"seed"`
+	BuiltAt      string  `json:"built_at"`
+	AgeSeconds   float64 `json:"age_seconds"`
+	BuildSeconds float64 `json:"build_seconds"`
+	Delegations  int     `json:"delegations"`
+	Transfers    int     `json:"transfers"`
+}
+
+type varzCache struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Collapsed int64 `json:"collapsed"`
+	Entries   int   `json:"entries"`
+}
+
+type varzRebuilds struct {
+	Total    int64 `json:"total"`
+	Errors   int64 `json:"errors"`
+	InFlight bool  `json:"in_flight"`
+}
+
+type varzView struct {
+	UptimeSeconds float64              `json:"uptime_seconds"`
+	Panics        int64                `json:"panics"`
+	Snapshot      varzSnapshot         `json:"snapshot"`
+	Cache         varzCache            `json:"cache"`
+	Rebuilds      varzRebuilds         `json:"rebuilds"`
+	Routes        map[string]varzRoute `json:"routes"`
+}
+
+// varz renders the full counter document.
+func (m *Metrics) varz(now time.Time) varzView {
+	v := varzView{
+		UptimeSeconds: now.Sub(m.start).Seconds(),
+		Panics:        m.panics.Load(),
+		Cache: varzCache{
+			Hits:      m.cacheHits.Load(),
+			Misses:    m.cacheMisses.Load(),
+			Collapsed: m.cacheCollapsed.Load(),
+		},
+		Rebuilds: varzRebuilds{
+			Total:  m.rebuilds.Load(),
+			Errors: m.rebuildErrors.Load(),
+		},
+		Routes: make(map[string]varzRoute, len(m.routes)),
+	}
+	for route, rs := range m.routes {
+		n := rs.requests.Load()
+		vr := varzRoute{Requests: n}
+		if n > 0 {
+			vr.ByStatusClass = make(map[string]int64)
+			for c := range rs.byClass {
+				if cnt := rs.byClass[c].Load(); cnt > 0 {
+					vr.ByStatusClass[statusClassLabel(c)] = cnt
+				}
+			}
+			vr.MeanLatencyMS = float64(rs.totalNS.Load()) / float64(n) / 1e6
+			vr.LatencyMS = make(map[string]int64)
+			for i := range rs.hist {
+				if cnt := rs.hist[i].Load(); cnt > 0 {
+					vr.LatencyMS[bucketLabel(i)] = cnt
+				}
+			}
+		}
+		v.Routes[route] = vr
+	}
+	return v
+}
+
+func statusClassLabel(class int) string {
+	switch class {
+	case 1, 2, 3, 4, 5:
+		return string(rune('0'+class)) + "xx"
+	default:
+		return "unknown"
+	}
+}
+
+func bucketLabel(i int) string {
+	if i >= len(latencyBucketMS) {
+		return "+inf"
+	}
+	// Render 0.5 as "0.5", 10 as "10".
+	ub := latencyBucketMS[i]
+	if ub == float64(int64(ub)) { //lint:ignore floatcmp integral-bound test on constant bucket bounds
+		return "le_" + itoa(int64(ub))
+	}
+	return "le_0.5"
+}
+
+func itoa(v int64) string {
+	const digits = "0123456789"
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = digits[v%10]
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Wrap layers the shared serving middleware around a handler:
+//
+//	instrument(recovery(timeout(h)))
+//
+// Instrumentation is outermost so it observes the final status (including
+// 500s from the recovery layer and 503s from the timeout layer); recovery
+// sits outside the timeout handler because http.TimeoutHandler re-panics
+// handler panics on the caller's goroutine. A non-positive timeout
+// disables the timeout layer (needed for streaming or admin endpoints).
+//
+// cmd/marketd and cmd/rdapd share this stack; neither duplicates it.
+func Wrap(h http.Handler, m *Metrics, route string, timeout time.Duration) http.Handler {
+	if timeout > 0 {
+		h = http.TimeoutHandler(h, timeout, `{"error":"request timed out"}`+"\n")
+	}
+	h = recovery(m, h)
+	if m != nil {
+		h = m.instrument(route, h)
+	}
+	return h
+}
+
+// recovery converts handler panics into 500 responses instead of killing
+// the connection, and counts them. http.ErrAbortHandler is re-raised: it
+// is the sanctioned way to abort a response and net/http handles it.
+func recovery(m *Metrics, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if err, ok := rec.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+				panic(rec) //lint:ignore bannedcall re-raising http.ErrAbortHandler is the contract net/http expects
+			}
+			if m != nil {
+				m.panics.Add(1)
+			}
+			writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// Serve runs srv on ln until ctx is cancelled, then shuts down
+// gracefully, giving in-flight requests up to drain to finish. It returns
+// nil on a clean shutdown and the serve or shutdown error otherwise.
+func Serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration) error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- srv.Serve(ln) // coordinated: result drained via errc below
+	}()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return fmt.Errorf("serve: %w", err)
+		}
+		return nil
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	<-errc // always http.ErrServerClosed after Shutdown
+	return nil
+}

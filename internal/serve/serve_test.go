@@ -1,0 +1,452 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ipv4market/internal/simulation"
+)
+
+// testConfig is a deliberately small world: every endpoint has data, but
+// a snapshot builds in well under a second.
+func testConfig() simulation.Config {
+	cfg := simulation.DefaultConfig()
+	cfg.NumLIRs = 14
+	cfg.RoutingDays = 40
+	cfg.AdministrativeLeases = 120
+	cfg.RoutedLeases = 50
+	cfg.MonitorsPerCollector = 4
+	cfg.SmallAssignmentsPerLIR = 10
+	return cfg
+}
+
+var (
+	sharedOnce sync.Once
+	sharedSrv  *Server
+	sharedErr  error
+)
+
+// sharedServer returns one admin-enabled server reused by all read-only
+// tests; tests that mutate serving state build their own.
+func sharedServer(t *testing.T) *Server {
+	t.Helper()
+	sharedOnce.Do(func() {
+		sharedSrv, sharedErr = New(testConfig(), Options{EnableAdmin: true})
+	})
+	if sharedErr != nil {
+		t.Fatal(sharedErr)
+	}
+	return sharedSrv
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return resp, body
+}
+
+// TestEndpoints drives every served route over real HTTP and checks
+// status, content type, and that JSON bodies decode.
+func TestEndpoints(t *testing.T) {
+	ts := httptest.NewServer(sharedServer(t).Handler())
+	defer ts.Close()
+
+	jsonPaths := []string{
+		"/readyz", "/varz",
+		"/v1/table1",
+		"/v1/figures/1", "/v1/figures/2", "/v1/figures/3", "/v1/figures/4",
+		"/v1/prices",
+		"/v1/prices?size=/16",
+		"/v1/prices?region=RIPE%20NCC",
+		"/v1/prices?quarter=2019Q2",
+		"/v1/prices?size=16&region=ARIN&quarter=2019Q4",
+		"/v1/transfers",
+		"/v1/delegations",
+		"/v1/delegations?prefix=185.0.0.0/16",
+		"/v1/leasing",
+		"/v1/headline",
+	}
+	for _, path := range jsonPaths {
+		resp, body := get(t, ts, path)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d, body %s", path, resp.StatusCode, body)
+			continue
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("%s: content type %q", path, ct)
+		}
+		var doc any
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Errorf("%s: invalid JSON: %v", path, err)
+		}
+	}
+
+	csvPaths := []string{
+		"/v1/table1?format=csv",
+		"/v1/figures/1?format=csv",
+		"/v1/figures/2?format=csv",
+		"/v1/figures/3?format=csv",
+		"/v1/figures/4?format=csv",
+		"/v1/prices?format=csv",
+		"/v1/prices?size=/16&format=csv",
+	}
+	for _, path := range csvPaths {
+		resp, body := get(t, ts, path)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+			continue
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/csv") {
+			t.Errorf("%s: content type %q", path, ct)
+		}
+		if !strings.Contains(string(body), ",") {
+			t.Errorf("%s: body does not look like CSV", path)
+		}
+	}
+
+	resp, body := get(t, ts, "/healthz")
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+		t.Errorf("/healthz: status %d body %q", resp.StatusCode, body)
+	}
+}
+
+// TestETagNotModified verifies the conditional-request flow: a second GET
+// with If-None-Match set to the returned ETag answers 304 with no body.
+func TestETagNotModified(t *testing.T) {
+	ts := httptest.NewServer(sharedServer(t).Handler())
+	defer ts.Close()
+
+	for _, path := range []string{"/v1/table1", "/v1/prices?size=/16", "/v1/table1?format=csv"} {
+		resp, _ := get(t, ts, path)
+		etag := resp.Header.Get("ETag")
+		if etag == "" {
+			t.Fatalf("%s: no ETag", path)
+		}
+		req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("If-None-Match", etag)
+		resp2, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp2.Body)
+		resp2.Body.Close()
+		if resp2.StatusCode != http.StatusNotModified {
+			t.Errorf("%s with If-None-Match: status %d, want 304", path, resp2.StatusCode)
+		}
+		if len(body) != 0 {
+			t.Errorf("%s: 304 carried a %d-byte body", path, len(body))
+		}
+	}
+}
+
+// TestBadRequests checks the 4xx surface: malformed prefixes, filters,
+// figure IDs, and unsupported methods.
+func TestBadRequests(t *testing.T) {
+	ts := httptest.NewServer(sharedServer(t).Handler())
+	defer ts.Close()
+
+	for path, want := range map[string]int{
+		"/v1/delegations?prefix=banana":      http.StatusBadRequest,
+		"/v1/delegations?prefix=10.0.0.0/33": http.StatusBadRequest,
+		"/v1/prices?size=huge":               http.StatusBadRequest,
+		"/v1/prices?region=MARS":             http.StatusBadRequest,
+		"/v1/prices?quarter=then":            http.StatusBadRequest,
+		"/v1/figures/9":                      http.StatusNotFound,
+		"/v1/figures/banana":                 http.StatusNotFound,
+		"/v1/transfers?format=csv":           http.StatusBadRequest, // no CSV encoding
+	} {
+		resp, body := get(t, ts, path)
+		if resp.StatusCode != want {
+			t.Errorf("%s: status %d, want %d (body %s)", path, resp.StatusCode, want, body)
+			continue
+		}
+		var doc errorBody
+		if err := json.Unmarshal(body, &doc); err != nil || doc.Error == "" {
+			t.Errorf("%s: error body %q not the JSON error document", path, body)
+		}
+	}
+
+	if resp, _ := get(t, ts, "/v1/nosuch"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/v1/nosuch: status %d, want 404", resp.StatusCode)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/v1/table1", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/table1: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestFilteredPricesSubset checks that filters actually filter, and that
+// the filtered response is consistent with the unfiltered cell set.
+func TestFilteredPricesSubset(t *testing.T) {
+	ts := httptest.NewServer(sharedServer(t).Handler())
+	defer ts.Close()
+
+	var all, filtered priceCellsView
+	_, body := get(t, ts, "/v1/prices")
+	if err := json.Unmarshal(body, &all); err != nil {
+		t.Fatal(err)
+	}
+	_, body = get(t, ts, "/v1/prices?size=/16")
+	if err := json.Unmarshal(body, &filtered); err != nil {
+		t.Fatal(err)
+	}
+	if filtered.N == 0 {
+		t.Fatal("size=/16 filter matched nothing; test world too small?")
+	}
+	if filtered.N >= all.N {
+		t.Errorf("filtered N=%d not a strict subset of all N=%d", filtered.N, all.N)
+	}
+	for _, c := range filtered.Cells {
+		if c.Bits != 16 {
+			t.Errorf("size=/16 returned a /%d cell", c.Bits)
+		}
+	}
+}
+
+// TestQueryCacheServes verifies that repeated filtered queries are served
+// from the per-snapshot cache: the /varz hit counter advances and the
+// miss counter does not.
+func TestQueryCacheServes(t *testing.T) {
+	srv, err := New(testConfig(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const path = "/v1/prices?size=/18&region=APNIC"
+	get(t, ts, path) // miss: renders and caches
+	missesAfterFirst := srv.metrics.cacheMisses.Load()
+	hitsBefore := srv.metrics.cacheHits.Load()
+	for i := 0; i < 5; i++ {
+		resp, _ := get(t, ts, path)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("repeat %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if got := srv.metrics.cacheMisses.Load(); got != missesAfterFirst {
+		t.Errorf("repeated query recomputed: misses %d -> %d", missesAfterFirst, got)
+	}
+	if got := srv.metrics.cacheHits.Load(); got < hitsBefore+5 {
+		t.Errorf("cache hits %d, want >= %d", got, hitsBefore+5)
+	}
+}
+
+// TestRebuildWhileQuerying hammers the read path while background
+// rebuilds swap snapshots underneath it. Run under -race (scripts/
+// check.sh does), this is the no-torn-reads proof: every response must
+// be complete and internally consistent, never a mix of generations.
+func TestRebuildWhileQuerying(t *testing.T) {
+	srv, err := New(testConfig(), Options{EnableAdmin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	paths := []string{
+		"/v1/table1", "/v1/prices?size=/16", "/v1/delegations?prefix=185.0.0.0/16",
+		"/v1/transfers", "/varz",
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) { // coordinated: wg.Done + stop channel
+			defer wg.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				path := paths[(i+n)%len(paths)]
+				resp, err := ts.Client().Get(ts.URL + path)
+				if err != nil {
+					t.Errorf("reader %d: %v", i, err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					t.Errorf("reader %d: %s status %d err %v", i, path, resp.StatusCode, err)
+					return
+				}
+				var doc any
+				if err := json.Unmarshal(body, &doc); err != nil {
+					t.Errorf("reader %d: %s: torn body: %v", i, path, err)
+					return
+				}
+			}
+		}(i)
+	}
+
+	// Drive rebuilds with changing seeds while the readers run.
+	startSeq := srv.Snapshot().Seq
+	rebuilds := 0
+	for seed := int64(100); rebuilds < 2 && seed < 150; seed++ {
+		resp, err := ts.Client().Post(fmt.Sprintf("%s/admin/rebuild?seed=%d", ts.URL, seed), "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			rebuilds++
+			for srv.Rebuilding() {
+				time.Sleep(5 * time.Millisecond)
+			}
+		case http.StatusConflict:
+			time.Sleep(5 * time.Millisecond)
+		default:
+			t.Fatalf("rebuild: status %d", resp.StatusCode)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	srv.Wait()
+
+	if got := srv.Snapshot().Seq; got != startSeq+uint64(rebuilds) {
+		t.Errorf("snapshot seq = %d, want %d after %d rebuilds", got, startSeq+uint64(rebuilds), rebuilds)
+	}
+	if srv.Snapshot().Cfg.Seed == testConfig().Seed {
+		t.Error("rebuild did not adopt the new seed")
+	}
+}
+
+// TestRebuildConflict checks that concurrent rebuild triggers cannot
+// stack: while one build is in flight, further triggers answer 409.
+func TestRebuildConflict(t *testing.T) {
+	srv, err := New(testConfig(), Options{EnableAdmin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	startSeq := srv.Snapshot().Seq
+	if !srv.RebuildAsync(cfg) {
+		t.Fatal("first RebuildAsync declined")
+	}
+	// A build takes orders of magnitude longer than these calls; every
+	// immediate re-trigger must be declined by the in-flight guard.
+	for i := 0; i < 16; i++ {
+		if srv.RebuildAsync(cfg) {
+			t.Fatalf("re-trigger %d stacked a second build", i)
+		}
+	}
+	srv.Wait()
+	if got := srv.Snapshot().Seq; got != startSeq+1 {
+		t.Errorf("snapshot seq = %d, want %d (exactly one rebuild)", got, startSeq+1)
+	}
+}
+
+// TestSnapshotDeterminism pins the serving layer to the study contract:
+// two snapshots of the same config serve byte-identical artifacts.
+func TestSnapshotDeterminism(t *testing.T) {
+	a, err := BuildSnapshot(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildSnapshot(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, art := range a.static {
+		other, ok := b.staticArtifact(key)
+		if !ok {
+			t.Errorf("second snapshot lacks artifact %q", key)
+			continue
+		}
+		if art.jsonETag != other.jsonETag {
+			t.Errorf("artifact %q: JSON differs across identical builds", key)
+		}
+		if art.csvETag != other.csvETag {
+			t.Errorf("artifact %q: CSV differs across identical builds", key)
+		}
+	}
+}
+
+// TestPanicRecovery confirms the recovery middleware turns a handler
+// panic into a 500 JSON error and counts it, without killing the server.
+func TestPanicRecovery(t *testing.T) {
+	m := NewMetrics()
+	h := Wrap(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom") //lint:ignore bannedcall test fixture exercising the recovery middleware
+	}), m, "/panic", time.Second)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "boom") {
+		t.Errorf("body %q does not mention the panic", body)
+	}
+	if m.panics.Load() != 1 {
+		t.Errorf("panic counter = %d, want 1", m.panics.Load())
+	}
+	// The server must still answer after the panic.
+	resp2, err := ts.Client().Get(ts.URL + "/panic")
+	if err != nil {
+		t.Fatalf("server dead after panic: %v", err)
+	}
+	resp2.Body.Close()
+}
+
+// TestVarzShape decodes /varz and spot-checks the counter document.
+func TestVarzShape(t *testing.T) {
+	srv, err := New(testConfig(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get(t, ts, "/v1/table1")
+	get(t, ts, "/v1/table1")
+	_, body := get(t, ts, "/varz")
+	var v varzView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Snapshot.Seq != 1 || v.Snapshot.Seed != testConfig().Seed {
+		t.Errorf("snapshot identity = %+v", v.Snapshot)
+	}
+	if v.Snapshot.BuildSeconds <= 0 {
+		t.Error("build_seconds not recorded")
+	}
+	rt, ok := v.Routes["GET /v1/table1"]
+	if !ok {
+		t.Fatalf("routes lack GET /v1/table1: %v", v.Routes)
+	}
+	if rt.Requests != 2 || rt.ByStatusClass["2xx"] != 2 {
+		t.Errorf("table1 route stats = %+v", rt)
+	}
+}

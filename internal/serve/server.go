@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ipv4market/internal/simulation"
+)
+
+// Options tunes a Server. The zero value picks sensible defaults.
+type Options struct {
+	// Timeout bounds each request's handler time (default 10s).
+	Timeout time.Duration
+	// CacheSize caps the per-snapshot filtered-query cache (default 256).
+	CacheSize int
+	// EnableAdmin exposes POST /admin/rebuild when set.
+	EnableAdmin bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Timeout <= 0 {
+		o.Timeout = 10 * time.Second
+	}
+	if o.CacheSize <= 0 {
+		o.CacheSize = 256
+	}
+	return o
+}
+
+// state pairs a snapshot with the query cache rendered from it. They swap
+// together so a cached response can never describe a different snapshot
+// generation than the one being served.
+type state struct {
+	snap  *Snapshot
+	cache *queryCache
+}
+
+// Server serves one Snapshot at a time over HTTP. Reads are wait-free on
+// the snapshot pointer: handlers load the current state once and use it
+// for the whole request, so a concurrent swap never mixes generations.
+// Rebuilds happen on a background goroutine and only the finished
+// snapshot is swapped in; readers are never blocked by a build.
+type Server struct {
+	opts    Options
+	metrics *Metrics
+	mux     *http.ServeMux
+
+	st       atomic.Pointer[state]
+	seq      atomic.Uint64
+	building atomic.Bool
+	wg       sync.WaitGroup
+}
+
+// New builds the initial snapshot for cfg synchronously (so a listening
+// server is always ready) and returns the serving layer around it.
+func New(cfg simulation.Config, opts Options) (*Server, error) {
+	s := &Server{
+		opts:    opts.withDefaults(),
+		metrics: NewMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	snap, err := BuildSnapshot(cfg)
+	if err != nil {
+		return nil, err
+	}
+	snap.Seq = s.seq.Add(1)
+	s.st.Store(&state{snap: snap, cache: newQueryCache(s.opts.CacheSize)})
+	s.routes()
+	return s, nil
+}
+
+// Handler returns the fully wired HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the server's counter registry (shared with /varz).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Snapshot returns the currently served snapshot.
+func (s *Server) Snapshot() *Snapshot { return s.st.Load().snap }
+
+// current returns the full serving state for one request's lifetime.
+func (s *Server) current() *state { return s.st.Load() }
+
+// swap publishes a freshly built snapshot together with an empty query
+// cache sized from the options. Readers holding the old state keep using
+// it untouched.
+func (s *Server) swap(snap *Snapshot) {
+	snap.Seq = s.seq.Add(1)
+	s.st.Store(&state{snap: snap, cache: newQueryCache(s.opts.CacheSize)})
+}
+
+// Rebuilding reports whether a background rebuild is in flight.
+func (s *Server) Rebuilding() bool { return s.building.Load() }
+
+// RebuildAsync starts a background rebuild with cfg and reports whether
+// it was started; it declines (returning false) while another rebuild is
+// already in flight, so concurrent triggers cannot stack builds. The
+// result is published via swap on success and counted on failure either
+// way; Wait blocks until all started rebuilds finish.
+func (s *Server) RebuildAsync(cfg simulation.Config) bool {
+	if !s.building.CompareAndSwap(false, true) {
+		return false
+	}
+	s.wg.Add(1)
+	go func() { // coordinated: wg.Done + building flag released in defer
+		defer s.wg.Done()
+		defer s.building.Store(false)
+		s.metrics.rebuilds.Add(1)
+		snap, err := BuildSnapshot(cfg)
+		if err != nil {
+			s.metrics.rebuildErrors.Add(1)
+			return
+		}
+		s.swap(snap)
+	}()
+	return true
+}
+
+// Wait blocks until every in-flight background rebuild has finished. Call
+// it during shutdown after the listener has drained.
+func (s *Server) Wait() { s.wg.Wait() }
+
+// varz assembles the full counter document, including snapshot identity
+// and cache occupancy from the current generation.
+func (s *Server) varz(now time.Time) varzView {
+	v := s.metrics.varz(now)
+	st := s.current()
+	v.Snapshot = varzSnapshot{
+		Seq:          st.snap.Seq,
+		Seed:         st.snap.Cfg.Seed,
+		BuiltAt:      st.snap.BuiltAt.UTC().Format(time.RFC3339),
+		AgeSeconds:   st.snap.Age(now).Seconds(),
+		BuildSeconds: st.snap.BuildTime.Seconds(),
+		Delegations:  st.snap.Delegations.Len(),
+		Transfers:    len(st.snap.Transfers),
+	}
+	v.Cache.Entries = st.cache.size()
+	v.Rebuilds.InFlight = s.building.Load()
+	return v
+}
+
+// rebuildConfig derives the config for an admin-triggered rebuild: the
+// current snapshot's config, optionally reseeded.
+func (s *Server) rebuildConfig(seed int64, reseed bool) simulation.Config {
+	cfg := s.Snapshot().Cfg
+	if reseed {
+		cfg.Seed = seed
+	}
+	return cfg
+}
+
+// String identifies the server's snapshot generation (used in logs).
+func (s *Server) String() string {
+	snap := s.Snapshot()
+	return fmt.Sprintf("serve.Server{seq=%d seed=%d}", snap.Seq, snap.Cfg.Seed)
+}

@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"ipv4market/internal/core"
+	"ipv4market/internal/delegation"
+	"ipv4market/internal/market"
+	"ipv4market/internal/registry"
+	"ipv4market/internal/simulation"
+)
+
+// Snapshot is one immutable, fully materialized serving state: every
+// artifact of the study precomputed and pre-encoded. Nothing in a
+// Snapshot mutates after BuildSnapshot returns, so a Snapshot may be
+// read by any number of goroutines while a replacement is built.
+type Snapshot struct {
+	Cfg       simulation.Config
+	Seq       uint64 // rebuild sequence number, assigned by the Server
+	BuiltAt   time.Time
+	BuildTime time.Duration
+
+	Table1         []core.Table1Row
+	PriceCells     []market.PriceCell
+	TransferCounts map[registry.RIR][]market.QuarterCount
+	InterRIRFlows  []market.InterRIRFlow
+	LeasingPoints  []core.Figure4Point
+	Leasing        market.LeasingSnapshot
+	PriceChanges   []market.PriceChange
+	Headline       core.HeadlineStats
+	Transfers      []registry.Transfer
+	Delegations    *DelegationIndex
+
+	// static maps endpoint keys ("table1", "fig1", ...) to their
+	// pre-encoded bodies.
+	static map[string]*artifact
+}
+
+// leasingObservationEnd is the last advertised-price observation date of
+// the paper (§5); the /v1/leasing summary is evaluated there regardless
+// of the configured routing window, because the price book is calendar-
+// fixed.
+var leasingObservationEnd = time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)
+
+// BuildSnapshot constructs the study for cfg and materializes every
+// served artifact. This is the only place the serving layer runs study
+// pipelines — and the only place the simulation's randomness executes —
+// so handlers never recompute anything.
+func BuildSnapshot(cfg simulation.Config) (*Snapshot, error) {
+	start := time.Now()
+	study, err := core.NewStudy(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("serve: build study: %w", err)
+	}
+
+	snap := &Snapshot{
+		Cfg:            cfg,
+		BuiltAt:        start,
+		Table1:         study.Table1(),
+		PriceCells:     study.Figure1(),
+		TransferCounts: study.Figure2(),
+		InterRIRFlows:  study.Figure3(),
+		LeasingPoints:  study.Figure4(),
+		PriceChanges:   market.PriceChanges(market.PaperProviders()),
+		Transfers:      study.World.Registry.Transfers(),
+	}
+	if snap.Headline, err = study.Headline(); err != nil {
+		return nil, fmt.Errorf("serve: headline: %w", err)
+	}
+	if snap.Leasing, err = market.SnapshotAt(market.PaperProviders(), leasingObservationEnd); err != nil {
+		return nil, fmt.Errorf("serve: leasing snapshot: %w", err)
+	}
+
+	// The delegation index: extended inference on the window's final day.
+	day := cfg.RoutingDays - 1
+	if day < 0 {
+		return nil, fmt.Errorf("serve: empty routing window (RoutingDays=%d)", cfg.RoutingDays)
+	}
+	date := cfg.RoutingStart.AddDate(0, 0, day)
+	inf := delegation.DefaultInference(study.World.OrgSeries)
+	snap.Delegations = newDelegationIndex(date, inf.FromSurvey(date, study.Routing.SurveyAt(day)))
+
+	if err := snap.encodeStatic(study); err != nil {
+		return nil, err
+	}
+	snap.BuildTime = time.Since(start)
+	return snap, nil
+}
+
+// encodeStatic pre-renders the JSON and CSV bodies of every static
+// endpoint. The CSV encodings of the figures reuse the core package's
+// emitters verbatim; study is still in scope here, and only here.
+func (s *Snapshot) encodeStatic(study *core.Study) error {
+	targets := []struct {
+		key   string
+		view  any
+		csvFn func(io.Writer) error
+	}{
+		{"table1", viewTable1(s.Table1), s.table1CSV},
+		{"fig1", viewPriceCells(s.PriceCells), study.Figure1CSV},
+		{"fig2", viewTransferSeries(s.TransferCounts), study.Figure2CSV},
+		{"fig3", viewInterRIRFlows(s.InterRIRFlows), study.Figure3CSV},
+		{"fig4", viewLeasingPoints(s.LeasingPoints), study.Figure4CSV},
+		{"prices", viewPriceCells(s.PriceCells), study.Figure1CSV},
+		{"transfers", viewTransfers(s.Transfers), nil},
+		{"delegations", viewDelegationSummary(s.Delegations), nil},
+		{"leasing", viewLeasing(s.Leasing, s.PriceChanges), nil},
+		{"headline", viewHeadline(s.Headline), nil},
+	}
+	s.static = make(map[string]*artifact, len(targets))
+	for _, t := range targets {
+		art, err := newArtifact(t.view, t.csvFn)
+		if err != nil {
+			return fmt.Errorf("serve: %s: %w", t.key, err)
+		}
+		s.static[t.key] = art
+	}
+	return nil
+}
+
+// Static returns the pre-encoded artifact for an endpoint key, if any.
+func (s *Snapshot) staticArtifact(key string) (*artifact, bool) {
+	art, ok := s.static[key]
+	return art, ok
+}
+
+// Age returns how long ago the snapshot was built.
+func (s *Snapshot) Age(now time.Time) time.Duration { return now.Sub(s.BuiltAt) }
+
+// table1CSV renders the exhaustion timeline as CSV (the core package has
+// renderers for the figures only).
+func (s *Snapshot) table1CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"rir", "down_to_last_block", "depleted", "phase_2020", "max_assignment_bits", "waiting_list"}); err != nil {
+		return err
+	}
+	for _, r := range s.Table1 {
+		err := cw.Write([]string{
+			r.RIR.String(), fmtDate(r.DownToLastBlock), fmtDate(r.Depleted),
+			r.Phase2020.String(), strconv.Itoa(r.MaxAssignment), strconv.Itoa(r.WaitingList),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// filterPriceCells returns the cells matching the (optional) filters; a
+// nil filter component matches everything.
+func filterPriceCells(cells []market.PriceCell, match func(market.PriceCell) bool) []market.PriceCell {
+	out := make([]market.PriceCell, 0, len(cells))
+	for _, c := range cells {
+		if match(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// priceCellsCSV renders filtered price cells in the Figure1CSV column
+// layout so filtered and unfiltered responses share a schema.
+func priceCellsCSV(cells []market.PriceCell) func(io.Writer) error {
+	return func(w io.Writer) error {
+		cw := csv.NewWriter(w)
+		if err := cw.Write([]string{"quarter", "prefix_bits", "region", "n", "min", "q1", "median", "q3", "max", "mean"}); err != nil {
+			return err
+		}
+		f2 := func(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+		for _, c := range cells {
+			err := cw.Write([]string{
+				c.Quarter.String(), strconv.Itoa(c.Bits), c.Region.String(),
+				strconv.Itoa(c.Box.N), f2(c.Box.Min), f2(c.Box.Q1), f2(c.Box.Median),
+				f2(c.Box.Q3), f2(c.Box.Max), f2(c.Box.Mean),
+			})
+			if err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		return cw.Error()
+	}
+}

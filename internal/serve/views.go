@@ -1,0 +1,359 @@
+package serve
+
+import (
+	"strconv"
+	"time"
+
+	"ipv4market/internal/core"
+	"ipv4market/internal/delegation"
+	"ipv4market/internal/market"
+	"ipv4market/internal/registry"
+)
+
+// The view types give every endpoint a stable, human-readable JSON
+// schema: regions and phases as display strings, dates as YYYY-MM-DD,
+// prefixes in CIDR notation. They decouple the wire format from the
+// internal analysis types.
+
+func fmtDate(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.Format("2006-01-02")
+}
+
+// ---- /v1/table1 ----
+
+type table1RowView struct {
+	RIR             string `json:"rir"`
+	DownToLastBlock string `json:"down_to_last_block"`
+	Depleted        string `json:"depleted,omitempty"`
+	Phase2020       string `json:"phase_2020"`
+	MaxAssignment   int    `json:"max_assignment_bits"`
+	WaitingList     int    `json:"waiting_list"`
+}
+
+type table1View struct {
+	Rows []table1RowView `json:"rows"`
+}
+
+func viewTable1(rows []core.Table1Row) table1View {
+	out := table1View{Rows: make([]table1RowView, 0, len(rows))}
+	for _, r := range rows {
+		out.Rows = append(out.Rows, table1RowView{
+			RIR:             r.RIR.String(),
+			DownToLastBlock: fmtDate(r.DownToLastBlock),
+			Depleted:        fmtDate(r.Depleted),
+			Phase2020:       r.Phase2020.String(),
+			MaxAssignment:   r.MaxAssignment,
+			WaitingList:     r.WaitingList,
+		})
+	}
+	return out
+}
+
+// ---- /v1/figures/1 and /v1/prices ----
+
+type priceCellView struct {
+	Quarter string  `json:"quarter"`
+	Bits    int     `json:"bits"`
+	Region  string  `json:"region"`
+	N       int     `json:"n"`
+	Min     float64 `json:"min"`
+	Q1      float64 `json:"q1"`
+	Median  float64 `json:"median"`
+	Q3      float64 `json:"q3"`
+	Max     float64 `json:"max"`
+	Mean    float64 `json:"mean"`
+}
+
+type priceCellsView struct {
+	Cells []priceCellView `json:"cells"`
+	N     int             `json:"n"`
+}
+
+func viewPriceCells(cells []market.PriceCell) priceCellsView {
+	out := priceCellsView{Cells: make([]priceCellView, 0, len(cells)), N: len(cells)}
+	for _, c := range cells {
+		out.Cells = append(out.Cells, priceCellView{
+			Quarter: c.Quarter.String(),
+			Bits:    c.Bits,
+			Region:  c.Region.String(),
+			N:       c.Box.N,
+			Min:     c.Box.Min,
+			Q1:      c.Box.Q1,
+			Median:  c.Box.Median,
+			Q3:      c.Box.Q3,
+			Max:     c.Box.Max,
+			Mean:    c.Box.Mean,
+		})
+	}
+	return out
+}
+
+// ---- /v1/figures/2 ----
+
+type quarterCountView struct {
+	Quarter string `json:"quarter"`
+	Count   int    `json:"count"`
+}
+
+type transferSeriesView struct {
+	Series map[string][]quarterCountView `json:"series"`
+}
+
+func viewTransferSeries(counts map[registry.RIR][]market.QuarterCount) transferSeriesView {
+	out := transferSeriesView{Series: make(map[string][]quarterCountView, len(counts))}
+	for rir, series := range counts {
+		vs := make([]quarterCountView, 0, len(series))
+		for _, qc := range series {
+			vs = append(vs, quarterCountView{Quarter: qc.Quarter.String(), Count: qc.Count})
+		}
+		out.Series[rir.String()] = vs
+	}
+	return out
+}
+
+// ---- /v1/figures/3 ----
+
+type interRIRFlowView struct {
+	Year      int    `json:"year"`
+	From      string `json:"from"`
+	To        string `json:"to"`
+	Count     int    `json:"count"`
+	Addresses uint64 `json:"addresses"`
+}
+
+type interRIRFlowsView struct {
+	Flows []interRIRFlowView `json:"flows"`
+}
+
+func viewInterRIRFlows(flows []market.InterRIRFlow) interRIRFlowsView {
+	out := interRIRFlowsView{Flows: make([]interRIRFlowView, 0, len(flows))}
+	for _, f := range flows {
+		out.Flows = append(out.Flows, interRIRFlowView{
+			Year: f.Year, From: f.From.String(), To: f.To.String(),
+			Count: f.Count, Addresses: f.Addresses,
+		})
+	}
+	return out
+}
+
+// ---- /v1/figures/4 ----
+
+type leasingPointView struct {
+	Provider string  `json:"provider"`
+	Bundled  bool    `json:"bundled"`
+	Date     string  `json:"date"`
+	Price    float64 `json:"price_per_ip_month"`
+}
+
+type leasingPointsView struct {
+	Points []leasingPointView `json:"points"`
+}
+
+func viewLeasingPoints(points []core.Figure4Point) leasingPointsView {
+	out := leasingPointsView{Points: make([]leasingPointView, 0, len(points))}
+	for _, p := range points {
+		out.Points = append(out.Points, leasingPointView{
+			Provider: p.Provider, Bundled: p.Bundled,
+			Date: fmtDate(p.Date), Price: p.Price,
+		})
+	}
+	return out
+}
+
+// ---- /v1/leasing ----
+
+type priceChangeView struct {
+	Provider string  `json:"provider"`
+	Date     string  `json:"date"`
+	From     float64 `json:"from"`
+	To       float64 `json:"to"`
+}
+
+type leasingView struct {
+	Date        string            `json:"date"`
+	Providers   int               `json:"providers"`
+	Min         float64           `json:"min"`
+	Max         float64           `json:"max"`
+	Mean        float64           `json:"mean"`
+	PureMean    float64           `json:"pure_mean"`
+	BundledMean float64           `json:"bundled_mean"`
+	Changes     []priceChangeView `json:"changes"`
+}
+
+func viewLeasing(snap market.LeasingSnapshot, changes []market.PriceChange) leasingView {
+	out := leasingView{
+		Date:      fmtDate(snap.Date),
+		Providers: snap.Providers,
+		Min:       snap.Min, Max: snap.Max, Mean: snap.Mean,
+		PureMean: snap.PureMean, BundledMean: snap.BundledMean,
+		Changes: make([]priceChangeView, 0, len(changes)),
+	}
+	for _, c := range changes {
+		out.Changes = append(out.Changes, priceChangeView{
+			Provider: c.Provider, Date: fmtDate(c.Date), From: c.From, To: c.To,
+		})
+	}
+	return out
+}
+
+// ---- /v1/transfers ----
+
+type transferView struct {
+	Prefix       string  `json:"prefix"`
+	From         string  `json:"from"`
+	To           string  `json:"to"`
+	FromRIR      string  `json:"from_rir"`
+	ToRIR        string  `json:"to_rir"`
+	Type         string  `json:"type"`
+	Date         string  `json:"date"`
+	PricePerAddr float64 `json:"price_per_addr,omitempty"`
+}
+
+type yearCountView struct {
+	Year      int    `json:"year"`
+	Count     int    `json:"count"`
+	Addresses uint64 `json:"addresses"`
+}
+
+type transfersView struct {
+	Total     int             `json:"total"`
+	Market    int             `json:"market"`
+	Mergers   int             `json:"mergers"`
+	InterRIR  int             `json:"inter_rir"`
+	ByYear    []yearCountView `json:"by_year"`
+	Transfers []transferView  `json:"transfers"`
+}
+
+func viewTransfers(transfers []registry.Transfer) transfersView {
+	out := transfersView{
+		Total:     len(transfers),
+		Transfers: make([]transferView, 0, len(transfers)),
+	}
+	byYear := make(map[int]*yearCountView)
+	minYear, maxYear := 0, 0
+	for _, t := range transfers {
+		switch t.Type {
+		case registry.TypeMerger:
+			out.Mergers++
+		default:
+			out.Market++
+		}
+		if t.IsInterRIR() {
+			out.InterRIR++
+		}
+		y := t.Date.UTC().Year()
+		if byYear[y] == nil {
+			byYear[y] = &yearCountView{Year: y}
+		}
+		byYear[y].Count++
+		byYear[y].Addresses += t.Prefix.NumAddrs()
+		if minYear == 0 || y < minYear {
+			minYear = y
+		}
+		if y > maxYear {
+			maxYear = y
+		}
+		out.Transfers = append(out.Transfers, transferView{
+			Prefix:       t.Prefix.String(),
+			From:         string(t.From),
+			To:           string(t.To),
+			FromRIR:      t.FromRIR.String(),
+			ToRIR:        t.ToRIR.String(),
+			Type:         string(t.Type),
+			Date:         fmtDate(t.Date),
+			PricePerAddr: t.PricePerAddr,
+		})
+	}
+	for y := minYear; y <= maxYear && minYear != 0; y++ {
+		if v := byYear[y]; v != nil {
+			out.ByYear = append(out.ByYear, *v)
+		}
+	}
+	return out
+}
+
+// ---- /v1/delegations ----
+
+type delegationView struct {
+	Parent string `json:"parent"`
+	Child  string `json:"child"`
+	From   uint32 `json:"from_as"`
+	To     uint32 `json:"to_as"`
+}
+
+func viewDelegations(ds []delegation.Delegation) []delegationView {
+	out := make([]delegationView, 0, len(ds))
+	for _, d := range ds {
+		out = append(out, delegationView{
+			Parent: d.Parent.String(),
+			Child:  d.Child.String(),
+			From:   uint32(d.From),
+			To:     uint32(d.To),
+		})
+	}
+	return out
+}
+
+type delegationSummaryView struct {
+	Date          string             `json:"date"`
+	Delegations   int                `json:"delegations"`
+	Addresses     uint64             `json:"addresses"`
+	SizeHistogram map[string]float64 `json:"size_histogram"`
+}
+
+func viewDelegationSummary(ix *DelegationIndex) delegationSummaryView {
+	out := delegationSummaryView{
+		Date:          fmtDate(ix.Date()),
+		Delegations:   ix.Len(),
+		Addresses:     ix.Addrs(),
+		SizeHistogram: make(map[string]float64, len(ix.hist)),
+	}
+	for _, bits := range ix.sizeBits() {
+		out.SizeHistogram["/"+strconv.Itoa(bits)] = ix.hist[bits]
+	}
+	return out
+}
+
+type delegationLookupView struct {
+	Prefix   string           `json:"prefix"`
+	Date     string           `json:"date"`
+	Exact    []delegationView `json:"exact"`
+	Covering []delegationView `json:"covering"`
+	Covered  []delegationView `json:"covered"`
+}
+
+// ---- /v1/headline ----
+
+type headlineView struct {
+	MeanPrice2020  float64 `json:"mean_price_2020"`
+	MeanPriceCILo  float64 `json:"mean_price_ci_lo"`
+	MeanPriceCIHi  float64 `json:"mean_price_ci_hi"`
+	GrowthFactor   float64 `json:"growth_factor"`
+	RegionDiffers  bool    `json:"region_differs"`
+	RegionPValue   float64 `json:"region_p_value"`
+	SizePremium    float64 `json:"size_premium"`
+	Consolidated   bool    `json:"consolidated"`
+	ConsolidatedAt string  `json:"consolidated_since,omitempty"`
+	PricedRecords  int     `json:"priced_records"`
+}
+
+func viewHeadline(h core.HeadlineStats) headlineView {
+	out := headlineView{
+		MeanPrice2020: h.MeanPrice2020,
+		MeanPriceCILo: h.MeanPriceCI.Lo,
+		MeanPriceCIHi: h.MeanPriceCI.Hi,
+		GrowthFactor:  h.GrowthFactor,
+		RegionDiffers: h.RegionDiffers,
+		RegionPValue:  h.RegionTest.PValue,
+		SizePremium:   h.SizePremium,
+		Consolidated:  h.Consolidated,
+		PricedRecords: h.PricedRecords,
+	}
+	if h.Consolidated {
+		out.ConsolidatedAt = h.Consolidation.Since.String()
+	}
+	return out
+}

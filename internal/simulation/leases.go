@@ -2,6 +2,7 @@ package simulation
 
 import (
 	"fmt"
+	"math/rand"
 
 	"ipv4market/internal/netblock"
 	"ipv4market/internal/registry"
@@ -222,7 +223,14 @@ func (w *World) pickCustomer(provider *Org) *Org {
 // leases become SUB-ALLOCATED PA (medium blocks to ISPs/hosters) or
 // ASSIGNED PA objects, and each LIR carries many sub-/24 customer
 // assignments (the paper: 91.4% of ASSIGNED PA entries are < /24).
+//
+// BuildWhoisDB is a pure derivation: it draws from its own seed-derived
+// RNG (never the world's shared stream), so calling it any number of
+// times — concurrently or not — yields identical databases and leaves
+// the World untouched. The returned DB is frozen and therefore safe for
+// concurrent reads.
 func (w *World) BuildWhoisDB() *whois.DB {
+	rng := rand.New(rand.NewSource(w.Cfg.Seed ^ 0x3b015)) // private stream: keeps this a read-only derivation
 	db := whois.NewDB()
 	for _, a := range w.Registry.Allocations() {
 		org := w.ByID[a.Org]
@@ -276,8 +284,8 @@ func (w *World) BuildWhoisDB() *whois.DB {
 			continue
 		}
 		for i := 0; i < w.Cfg.SmallAssignmentsPerLIR; i++ {
-			base := space[w.rng.Intn(len(space))]
-			bits := 25 + w.rng.Intn(5) // /25../29
+			base := space[rng.Intn(len(space))]
+			bits := 25 + rng.Intn(5) // /25../29
 			if bits <= base.Bits() {
 				continue
 			}
@@ -285,7 +293,7 @@ func (w *World) BuildWhoisDB() *whois.DB {
 			// full split (a /14 holds 2^15 /29s).
 			nSubs := uint64(1) << uint(bits-base.Bits())
 			step := netblock.Addr(1) << (32 - uint(bits))
-			off := netblock.Addr(w.rng.Int63n(int64(nSubs)))
+			off := netblock.Addr(rng.Int63n(int64(nSubs)))
 			p := netblock.MustPrefix(base.Addr()+off*step, bits)
 			db.Add(&whois.Inetnum{
 				First:   p.First(),
@@ -299,6 +307,7 @@ func (w *World) BuildWhoisDB() *whois.DB {
 			custSeq++
 		}
 	}
+	db.Freeze()
 	return db
 }
 

@@ -89,7 +89,8 @@ func (in *Inetnum) AsPrefix() (netblock.Prefix, bool) {
 func (in *Inetnum) SmallerThanSlash24() bool { return in.NumAddrs() < 256 }
 
 // DB is an in-memory inetnum database ordered for hierarchy lookups.
-// It is not safe for concurrent mutation.
+// It is not safe for concurrent mutation; once frozen (see Freeze) it is
+// safe for concurrent reads.
 type DB struct {
 	objs   []*Inetnum // sorted by (First asc, size desc)
 	byKey  map[rangeKey]*Inetnum
@@ -116,6 +117,13 @@ func (db *DB) Add(in *Inetnum) {
 
 // Len returns the number of objects.
 func (db *DB) Len() int { return len(db.objs) }
+
+// Freeze sorts the object index eagerly. Parent, Children, and All sort
+// lazily on first use, which is a hidden write; after Freeze (and until
+// the next Add) every read method is mutation-free and the DB is safe
+// for unlimited concurrent readers. Builders call Freeze once
+// construction is complete.
+func (db *DB) Freeze() { db.ensureSorted() }
 
 func (db *DB) ensureSorted() {
 	if db.sorted {

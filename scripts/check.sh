@@ -8,6 +8,11 @@
 #                          (internal/lint) stay green
 #   4. go test -race     — the full test suite, including the lint
 #                          self-check, under the race detector
+#   5. marketd smoke     — build the serving daemon, boot it on an
+#                          ephemeral loopback port, and query every
+#                          endpoint through a real HTTP client
+#                          (marketd -selfcheck does the full cycle
+#                          in-process; no curl or job control needed)
 #
 # Run from anywhere inside the repository.
 set -eu
@@ -25,5 +30,10 @@ go run ./cmd/ipv4lint ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> marketd smoke test"
+mkdir -p "${TMPDIR:-/tmp}/ipv4market-check"
+go build -o "${TMPDIR:-/tmp}/ipv4market-check/marketd" ./cmd/marketd
+"${TMPDIR:-/tmp}/ipv4market-check/marketd" -selfcheck -lirs 14 -days 40
 
 echo "check.sh: all gates passed"
