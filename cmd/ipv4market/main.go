@@ -31,12 +31,13 @@ func main() {
 func run(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("ipv4market", flag.ContinueOnError)
 	var (
-		figure = fs.String("figure", "all", "which artifact to print: table1, fig1..fig6, coverage, census, headline, amortization, waitinglist, reputation, mergers, combined, or all")
-		seed   = fs.Int64("seed", 1, "world seed")
-		lirs   = fs.Int("lirs", 40, "LIRs per major region")
-		days   = fs.Int("days", 882, "routing window length in days (paper: 882)")
-		sample = fs.Int("sample", 7, "sampling stride in days for the BGP time series")
-		csvDir = fs.String("csv", "", "also export every figure's data series as CSV files into this directory")
+		figure  = fs.String("figure", "all", "which artifact to print: table1, fig1..fig6, coverage, census, headline, amortization, waitinglist, reputation, mergers, combined, or all")
+		seed    = fs.Int64("seed", 1, "world seed")
+		lirs    = fs.Int("lirs", 40, "LIRs per major region")
+		days    = fs.Int("days", 882, "routing window length in days (paper: 882)")
+		sample  = fs.Int("sample", 7, "sampling stride in days for the BGP time series")
+		csvDir  = fs.String("csv", "", "also export every figure's data series as CSV files into this directory")
+		workers = fs.Int("buildworkers", 0, "worker count for the per-date inference fan-out in fig6 (0: NumCPU); output is identical at any count")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,7 +70,7 @@ func run(w io.Writer, args []string) error {
 		{"fig5", "Figure 5: consistency-rule fail rates on RPKI delegations", func() error {
 			return study.RenderFigure5(w, []int{2, 5, 10, 20, 40, 60, 80, 100}, []int{0, 1, 2, 3, 5, 10})
 		}},
-		{"fig6", "Figure 6: BGP delegations, baseline vs extended", func() error { return study.RenderFigure6(w, *sample) }},
+		{"fig6", "Figure 6: BGP delegations, baseline vs extended", func() error { return study.RenderFigure6Workers(w, *sample, *workers) }},
 		{"coverage", "S1: BGP-delegations vs RDAP-delegations", func() error { return study.RenderCoverage(w) }},
 		{"census", "S2: WHOIS input space", func() error { return study.RenderCensus(w) }},
 		{"headline", "S3: pricing headline statistics", func() error { return study.RenderHeadline(w) }},

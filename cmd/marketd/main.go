@@ -7,7 +7,10 @@
 // The study runs exactly once at startup (and again on SIGHUP or
 // POST /admin/rebuild when -admin is set); every request after that is
 // served from the pre-encoded snapshot, so query latency is independent
-// of simulation cost. See internal/serve for the architecture.
+// of simulation cost. Independent snapshot artifacts build concurrently;
+// -buildworkers caps the fan-out (0 means NumCPU) and any value yields a
+// byte-identical snapshot. See internal/serve and ARCHITECTURE.md for
+// the pipeline.
 //
 //	GET /v1/table1            exhaustion timeline        (JSON, CSV)
 //	GET /v1/figures/{1..4}    the paper's figures        (JSON, CSV)
@@ -57,6 +60,7 @@ func run(w io.Writer, args []string) error {
 		drain     = fs.Duration("drain", 5*time.Second, "graceful-shutdown drain window")
 		admin     = fs.Bool("admin", false, "expose POST /admin/rebuild")
 		selfcheck = fs.Bool("selfcheck", false, "boot on a loopback port, smoke-query the API, exit")
+		workers   = fs.Int("buildworkers", 0, "snapshot build-stage worker count (0: NumCPU); output is identical at any count")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,7 +77,14 @@ func run(w io.Writer, args []string) error {
 		cfg.RoutingDays = *days
 	}
 
-	opts := serve.Options{Timeout: *timeout, EnableAdmin: *admin || *selfcheck}
+	opts := serve.Options{
+		Timeout:      *timeout,
+		EnableAdmin:  *admin || *selfcheck,
+		BuildWorkers: *workers,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(w, format+"\n", args...)
+		},
+	}
 
 	build := time.Now()
 	fmt.Fprintf(w, "marketd: building snapshot (seed=%d lirs=%d days=%d)...\n", cfg.Seed, cfg.NumLIRs, cfg.RoutingDays)
@@ -82,8 +93,8 @@ func run(w io.Writer, args []string) error {
 		return err
 	}
 	snap := srv.Snapshot()
-	fmt.Fprintf(w, "marketd: snapshot ready in %v: %d transfers, %d price cells, %d delegations\n",
-		time.Since(build).Round(time.Millisecond), len(snap.Transfers), len(snap.PriceCells), snap.Delegations.Len())
+	fmt.Fprintf(w, "marketd: snapshot ready in %v (%d workers): %d transfers, %d price cells, %d delegations\n",
+		time.Since(build).Round(time.Millisecond), snap.Workers, len(snap.Transfers), len(snap.PriceCells), snap.Delegations.Len())
 
 	if *selfcheck {
 		return runSelfcheck(w, srv, *drain)

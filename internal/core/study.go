@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"time"
 
+	"ipv4market/internal/bgp"
 	"ipv4market/internal/delegation"
 	"ipv4market/internal/market"
 	"ipv4market/internal/netblock"
@@ -101,6 +102,14 @@ func (s *Study) Figure2() map[registry.RIR][]market.QuarterCount {
 	return market.QuarterlyCounts(market.FilterMarketTransfers(s.World.Registry.Transfers()))
 }
 
+// Figure2Workers is Figure2 with the per-RIR aggregation fanned out
+// across at most the given number of workers (<= 0: NumCPU). The result
+// is always equal to Figure2's — per-RIR series are merged by RIR index,
+// not completion order.
+func (s *Study) Figure2Workers(workers int) (map[registry.RIR][]market.QuarterCount, error) {
+	return market.QuarterlyCountsWorkers(market.FilterMarketTransfers(s.World.Registry.Transfers()), workers)
+}
+
 // Figure3 returns the inter-RIR transfer flows by year.
 func (s *Study) Figure3() []market.InterRIRFlow {
 	return market.InterRIRFlows(s.World.Registry.Transfers())
@@ -170,8 +179,20 @@ type Figure6Result struct {
 // Figure6 runs both inference algorithms over the routing window, sampling
 // every sampleEvery days (1 = daily, as in the paper; larger strides trade
 // temporal resolution for speed). The extended pipeline applies the 10-day
-// consistency rule, scaled to the stride.
+// consistency rule, scaled to the stride. The per-date inference fans out
+// across NumCPU workers; Figure6Workers exposes the knob.
 func (s *Study) Figure6(sampleEvery int) (Figure6Result, error) {
+	return s.Figure6Workers(sampleEvery, 0)
+}
+
+// Figure6Workers is Figure6 with an explicit worker count (<= 0: NumCPU)
+// for the per-date survey construction and delegation inference — the
+// study's dominant cost, and embarrassingly parallel because each day's
+// survey is an independent pure function of the world. Day results are
+// merged into the timelines in day order regardless of completion order,
+// so the result is byte-identical at any worker count (enforced by
+// TestFigure6WorkersDeterministic).
+func (s *Study) Figure6Workers(sampleEvery, workers int) (Figure6Result, error) {
 	if sampleEvery < 1 {
 		return Figure6Result{}, fmt.Errorf("core: sampleEvery must be ≥ 1")
 	}
@@ -183,12 +204,25 @@ func (s *Study) Figure6(sampleEvery int) (Figure6Result, error) {
 	extTL := delegation.NewTimeline(s.Cfg.RoutingStart, days)
 	inf := delegation.DefaultInference(s.World.OrgSeries)
 
+	// Fan out per sampled day: SurveyAt is a pure derivation of the
+	// read-only world (safe concurrently), and each day's inference
+	// touches nothing shared. The timelines are filled serially below,
+	// in day order, because Timeline mutation is not concurrency-safe.
+	daySurveys := make([]delegation.DaySurvey, days)
 	for i := 0; i < days; i++ {
 		day := i * sampleEvery
-		survey := s.Routing.SurveyAt(day)
-		date := s.Cfg.RoutingStart.AddDate(0, 0, day)
-		baseTL.AddDay(i, delegation.Baseline(survey))
-		extTL.AddDay(i, inf.FromSurvey(date, survey))
+		daySurveys[i] = delegation.DaySurvey{
+			Date:   s.Cfg.RoutingStart.AddDate(0, 0, day),
+			Survey: func() *bgp.OriginSurvey { return s.Routing.SurveyAt(day) },
+		}
+	}
+	inferred, err := inf.InferDays(workers, daySurveys)
+	if err != nil {
+		return Figure6Result{}, fmt.Errorf("core: per-date inference: %w", err)
+	}
+	for i, di := range inferred {
+		baseTL.AddDay(i, di.Baseline)
+		extTL.AddDay(i, di.Extended)
 	}
 	// Extension (v): the 10-day rule, in sample units.
 	window := 10 / sampleEvery

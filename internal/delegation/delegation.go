@@ -11,15 +11,23 @@
 //	      as2org, next available snapshot),
 //	(v)   compensate for on-off announcement patterns with the 10-day
 //	      consistency rule validated on RPKI data (Appendix A).
+//
+// Inference over a single survey is a pure function, so the per-date
+// fan-out (InferDays) runs the baseline and extended algorithms for many
+// dates concurrently and merges results by date index — the output is
+// identical at any worker count. The Timeline accumulator, by contrast,
+// mutates shared maps and must be filled serially (see AddDay).
 package delegation
 
 import (
+	"context"
 	"sort"
 	"time"
 
 	"ipv4market/internal/asorg"
 	"ipv4market/internal/bgp"
 	"ipv4market/internal/netblock"
+	"ipv4market/internal/parallel"
 )
 
 // ASN is an autonomous system number.
@@ -132,6 +140,43 @@ func (inf Inference) FromSurvey(date time.Time, survey *bgp.OriginSurvey) []Dele
 	}
 	sortDelegations(out)
 	return out
+}
+
+// DaySurvey is one day's input to the batched inference helper: the
+// observation date (needed for the as2org "next available snapshot"
+// lookup) and a function producing that day's survey. The survey is
+// built lazily inside the worker so that survey construction — usually
+// the dominant cost — parallelizes along with the inference itself, and
+// is built exactly once per day, shared by both algorithms.
+type DaySurvey struct {
+	Date   time.Time
+	Survey func() *bgp.OriginSurvey
+}
+
+// DayInference bundles both algorithms' output for one day.
+type DayInference struct {
+	Date     time.Time
+	Baseline []Delegation
+	Extended []Delegation
+}
+
+// InferDays runs the baseline and the extended inference for every day
+// across at most the given number of workers (<= 0: NumCPU). The days
+// are independent — the paper's per-date pipeline is embarrassingly
+// parallel — but results are collected by day index, never by completion
+// order, so out[i] is exactly what a serial loop over days would produce
+// for days[i]. Byte-identical output at any worker count is the
+// deterministic-merge contract the parallel build pipeline is tested
+// against. The only possible error is a recovered worker panic.
+func (inf Inference) InferDays(workers int, days []DaySurvey) ([]DayInference, error) {
+	return parallel.Map(context.Background(), workers, len(days), func(_ context.Context, i int) (DayInference, error) {
+		survey := days[i].Survey()
+		return DayInference{
+			Date:     days[i].Date,
+			Baseline: Baseline(survey),
+			Extended: inf.FromSurvey(days[i].Date, survey),
+		}, nil
+	})
 }
 
 // DelegatedAddrs returns the number of distinct addresses covered by the

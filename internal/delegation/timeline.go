@@ -61,7 +61,9 @@ func (tl *Timeline) DateOf(day int) time.Time {
 }
 
 // AddDay records the delegations inferred for one day. Out-of-range days
-// are ignored.
+// are ignored. AddDay mutates shared maps and is not safe for concurrent
+// use: callers that infer days in parallel (see InferDays) must fill the
+// timeline serially, in day order, from the collected results.
 func (tl *Timeline) AddDay(day int, ds []Delegation) {
 	if day < 0 || day >= tl.days {
 		return

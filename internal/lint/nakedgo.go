@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 )
 
 // NakedGo flags `go func(){...}()` statements whose body shows no sign of
@@ -9,9 +10,13 @@ import (
 // recover, no channel send/close, no select, and no WaitGroup-style
 // Done/Add/Wait call. Such a goroutine can neither report failure nor be
 // waited for, so a panic inside it kills the process and a hang leaks it
-// silently — a guardrail for the parallel-pipeline work the roadmap
-// plans. The check is a syntactic heuristic: any of the signals above
-// marks the goroutine as coordinated.
+// silently. The check is mostly a syntactic heuristic: any of the signals
+// above marks the goroutine as coordinated. One exemption is type-aware:
+// a body that hands its work to internal/parallel's Group via the Go
+// method is supervised (the Group recovers panics, propagates the first
+// error, and is waited on), so it is coordinated even though none of the
+// syntactic signals appear. The receiver type is resolved through the
+// checker, so an unrelated local type with a Go method is still flagged.
 var NakedGo = &Analyzer{
 	Name: "nakedgo",
 	Doc:  "flag goroutine literals with no recover, channel, or WaitGroup coordination",
@@ -42,6 +47,10 @@ var NakedGo = &Analyzer{
 						switch sel.Sel.Name {
 						case "Done", "Add", "Wait":
 							coordinated = true
+						case "Go":
+							if isParallelGroup(info, sel.X) {
+								coordinated = true
+							}
 						}
 					}
 				}
@@ -53,4 +62,18 @@ var NakedGo = &Analyzer{
 			return true
 		})
 	},
+}
+
+// isParallelGroup reports whether expr's type (after one pointer deref)
+// is internal/parallel's Group — the supervised errgroup whose Go method
+// recovers panics and collects errors.
+func isParallelGroup(info *types.Info, expr ast.Expr) bool {
+	t := info.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return isNamedType(t, "ipv4market/internal/parallel", "Group")
 }

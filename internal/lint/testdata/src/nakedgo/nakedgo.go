@@ -1,7 +1,11 @@
 // Package nakedgofix is a golden fixture for the nakedgo analyzer.
 package nakedgofix
 
-import "sync"
+import (
+	"sync"
+
+	"ipv4market/internal/parallel"
+)
 
 func spawn(done chan struct{}, wg *sync.WaitGroup, results chan<- int) {
 	go func() { // want "naked goroutine"
@@ -21,3 +25,24 @@ func spawn(done chan struct{}, wg *sync.WaitGroup, results chan<- int) {
 }
 
 func namedWorker() {}
+
+// supervised hands its work to a parallel.Group: the Group recovers
+// panics and surfaces the first error at Wait, so the launching
+// goroutine is coordinated even without a syntactic signal.
+func supervised(g *parallel.Group, work func() error) {
+	go func() {
+		g.Go(work)
+	}()
+}
+
+// launcher has a Go method but is not parallel.Group; the exemption is
+// type-aware, so handing work to it is still a naked goroutine.
+type launcher struct{}
+
+func (launcher) Go(func() error) {}
+
+func decoy(l launcher) {
+	go func() { // want "naked goroutine"
+		l.Go(func() error { return nil })
+	}()
+}

@@ -1,0 +1,216 @@
+// Package parallel provides the repo's only concurrency-orchestration
+// primitives: a supervised Group in the style of x/sync/errgroup (the
+// module takes no dependencies, so it is reimplemented here on the
+// standard library) and index-deterministic fan-out helpers (ForEach,
+// Map) built on it.
+//
+// The package exists to keep two invariants that ad-hoc goroutines break
+// easily:
+//
+//   - Supervision. Every goroutine launched through a Group is tracked:
+//     Wait blocks until all of them return, the first error cancels the
+//     group's context so siblings can stop early, and a panic inside a
+//     task is recovered into an error instead of killing the process —
+//     a build failure in a background snapshot rebuild must surface as a
+//     diagnosable error, never as a crash. The ipv4lint nakedgo analyzer
+//     recognizes Group-launched work as coordinated for the same reason.
+//
+//   - Determinism. ForEach and Map dispatch work by index and collect
+//     results by index, never by completion order. Callers that merge
+//     Map results in index order therefore produce byte-identical output
+//     regardless of worker count or scheduling — the contract the
+//     parallel snapshot build (internal/serve) and the per-date
+//     delegation inference (internal/core) are tested against.
+//
+// Worker counts of 0 (or below) mean runtime.NumCPU(); a count of 1
+// degenerates to a serial loop with no goroutines at all, which keeps
+// the 1-worker reference path trivially comparable to the fanned-out
+// one.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// A Group supervises a set of goroutines working on subtasks of a common
+// task. The zero value is unusable; construct with NewGroup.
+//
+// Unlike a bare WaitGroup, a Group propagates failure: the first task to
+// return a non-nil error (or panic) cancels the group's context, and
+// Wait returns that first error after every task has finished. Tasks
+// should watch the context and return early when it is done.
+type Group struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	wg  sync.WaitGroup
+	sem chan struct{} // nil: no concurrency limit
+
+	errOnce sync.Once
+	err     error
+}
+
+// NewGroup returns a Group and the derived context its tasks should
+// honor. The context is canceled when a task fails or when Wait returns,
+// whichever comes first.
+func NewGroup(ctx context.Context) (*Group, context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	gctx, cancel := context.WithCancel(ctx)
+	return &Group{ctx: gctx, cancel: cancel}, gctx
+}
+
+// SetLimit caps the number of tasks running concurrently at n (n <= 0
+// means NumCPU). It must be called before the first Go.
+func (g *Group) SetLimit(n int) {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	g.sem = make(chan struct{}, n)
+}
+
+// Go launches fn as a supervised task. If a concurrency limit is set, Go
+// blocks until a worker slot frees up — backpressure, not unbounded
+// queueing. A panicking fn is recovered into an error carrying the panic
+// value, so one broken stage fails the group instead of the process.
+func (g *Group) Go(fn func() error) {
+	if g.sem != nil {
+		g.sem <- struct{}{}
+	}
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		if g.sem != nil {
+			defer func() { <-g.sem }()
+		}
+		if err := g.protect(fn); err != nil {
+			g.errOnce.Do(func() {
+				g.err = err
+				g.cancel()
+			})
+		}
+	}()
+}
+
+// protect runs fn, converting a panic into an error.
+func (g *Group) protect(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 4096)
+			buf = buf[:runtime.Stack(buf, false)]
+			err = fmt.Errorf("parallel: task panic: %v\n%s", r, buf)
+		}
+	}()
+	return fn()
+}
+
+// Wait blocks until every task launched with Go has returned, cancels
+// the group's context, and returns the first error (or recovered panic)
+// observed.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.cancel()
+	return g.err
+}
+
+// Err returns the group's first error without waiting. It is safe to
+// call only after Wait has returned (before that it races with tasks).
+func (g *Group) Err() error { return g.err }
+
+// workers normalizes a worker-count knob: <= 0 means NumCPU, and the
+// count never exceeds the number of items (spawning idle workers is
+// pure overhead).
+func workers(requested, items int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w > items {
+		w = items
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n) across at most the given
+// number of workers. Indexes are dispatched in order; after the first
+// failure the remaining indexes are skipped (workers drain), the context
+// is canceled, and the first error is returned. With workers <= 1 (or
+// n <= 1) it degenerates to a plain serial loop.
+func ForEach(ctx context.Context, workerCount, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	w := workers(workerCount, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	g, gctx := NewGroup(ctx)
+	idx := make(chan int)
+	for k := 0; k < w; k++ {
+		g.Go(func() error {
+			for i := range idx {
+				if err := gctx.Err(); err != nil {
+					return err
+				}
+				if err := fn(gctx, i); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-gctx.Done():
+			break feed // a worker failed; stop dispatching
+		}
+	}
+	close(idx)
+	return g.Wait()
+}
+
+// Map runs fn for every index in [0, n) across at most the given number
+// of workers and collects the results by index: out[i] is fn's result
+// for i, whatever order the workers finished in. This is the package's
+// determinism primitive — merging out in index order is equivalent to a
+// serial loop. On error the first failure is returned and the results
+// are discarded.
+func Map[T any](ctx context.Context, workerCount, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	err := ForEach(ctx, workerCount, n, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// benchBaseline mirrors the schema of the BENCH_*.json files at the repo
+// root, so a malformed baseline fails in CI rather than when someone
+// tries to read it.
+type benchBaseline struct {
+	Suite    string `json:"suite"`
+	Package  string `json:"package"`
+	Recorded string `json:"recorded"`
+	Note     string `json:"note"`
+	Results  []struct {
+		Name     string `json:"name"`
+		NsPerOp  int64  `json:"ns_per_op"`
+		BPerOp   int64  `json:"bytes_per_op"`
+		AllocsOp int64  `json:"allocs_per_op"`
+	} `json:"results"`
+}
+
+// TestBenchBuildJSONParses keeps the BenchmarkSnapshotBuild baseline
+// well-formed: valid JSON, the expected suite name, and at least the
+// serial (workers=1) row with a positive time. scripts/check.sh runs it
+// explicitly alongside the determinism gate.
+func TestBenchBuildJSONParses(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_build.json"))
+	if err != nil {
+		t.Fatalf("read baseline: %v", err)
+	}
+	var b benchBaseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatalf("BENCH_build.json is not valid JSON: %v", err)
+	}
+	if b.Suite != "BenchmarkSnapshotBuild" {
+		t.Errorf("suite = %q, want BenchmarkSnapshotBuild", b.Suite)
+	}
+	if b.Package != "ipv4market/internal/serve" {
+		t.Errorf("package = %q, want ipv4market/internal/serve", b.Package)
+	}
+	if len(b.Results) == 0 {
+		t.Fatal("baseline has no results")
+	}
+	serial := false
+	for _, r := range b.Results {
+		if r.NsPerOp <= 0 {
+			t.Errorf("result %q: ns_per_op = %d, want > 0", r.Name, r.NsPerOp)
+		}
+		if r.Name == "workers=1" {
+			serial = true
+		}
+	}
+	if !serial {
+		t.Error("baseline lacks the serial workers=1 reference row")
+	}
+}

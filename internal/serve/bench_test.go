@@ -1,10 +1,42 @@
 package serve
 
 import (
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"testing"
 )
+
+// BenchmarkSnapshotBuild measures the write path: a full snapshot build
+// (world generation, every analysis pipeline, encoding) at different
+// build-stage worker counts. workers=1 is the serial reference; the
+// NumCPU run is what marketd does at boot and on rebuild. Baselines live
+// in BENCH_build.json; the speedup is bounded by the hardware's core
+// count and by the serial study stage (Amdahl), so on a single-core
+// machine all rows converge.
+func BenchmarkSnapshotBuild(b *testing.B) {
+	counts := []int{1, 4, runtime.NumCPU()}
+	seen := make(map[int]bool)
+	for _, w := range counts {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				snap, err := BuildSnapshotOpts(testConfig(), BuildOptions{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if snap.Delegations.Len() == 0 {
+					b.Fatal("empty delegation index")
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkSnapshotServe measures the fast path: requests against a
 // prebuilt snapshot, in parallel (RunParallel mirrors a concurrent

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"ipv4market/internal/core"
+)
+
+// TestBuildSnapshotDeterministic is the parallel pipeline's central
+// contract: a snapshot built with any worker count is byte-identical —
+// same artifact keys, same JSON and CSV bodies, same ETags — to the
+// 1-worker (serial) build of the same config. Run under -race by
+// scripts/check.sh, this also shakes out data races between build
+// stages.
+func TestBuildSnapshotDeterministic(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			cfg := testConfig()
+			cfg.Seed = seed
+
+			serial, err := BuildSnapshotOpts(cfg, BuildOptions{Workers: 1})
+			if err != nil {
+				t.Fatalf("serial build: %v", err)
+			}
+			for _, workers := range []int{4, 16} {
+				par, err := BuildSnapshotOpts(cfg, BuildOptions{Workers: workers})
+				if err != nil {
+					t.Fatalf("parallel build (workers=%d): %v", workers, err)
+				}
+				compareSnapshots(t, serial, par, workers)
+			}
+		})
+	}
+}
+
+// compareSnapshots asserts every pre-encoded artifact of b matches a.
+func compareSnapshots(t *testing.T, a, b *Snapshot, workers int) {
+	t.Helper()
+	if len(a.static) != len(b.static) {
+		t.Fatalf("workers=%d: %d artifacts, serial has %d", workers, len(b.static), len(a.static))
+	}
+	for key, sa := range a.static {
+		pa, ok := b.static[key]
+		if !ok {
+			t.Errorf("workers=%d: artifact %q missing", workers, key)
+			continue
+		}
+		if sa.jsonETag != pa.jsonETag {
+			t.Errorf("workers=%d: %s JSON ETag %s != serial %s", workers, key, pa.jsonETag, sa.jsonETag)
+		}
+		if !bytes.Equal(sa.json, pa.json) {
+			t.Errorf("workers=%d: %s JSON body differs from serial build", workers, key)
+		}
+		if sa.csvETag != pa.csvETag {
+			t.Errorf("workers=%d: %s CSV ETag %s != serial %s", workers, key, pa.csvETag, sa.csvETag)
+		}
+		if !bytes.Equal(sa.csv, pa.csv) {
+			t.Errorf("workers=%d: %s CSV body differs from serial build", workers, key)
+		}
+	}
+	// The stage list is part of the observable /varz surface: same
+	// stages, same order, regardless of completion order.
+	if len(a.Stages) != len(b.Stages) {
+		t.Fatalf("workers=%d: %d stages, serial has %d", workers, len(b.Stages), len(a.Stages))
+	}
+	for i := range a.Stages {
+		if a.Stages[i].Name != b.Stages[i].Name {
+			t.Errorf("workers=%d: stage[%d] = %q, serial %q", workers, i, b.Stages[i].Name, a.Stages[i].Name)
+		}
+	}
+	if b.Workers != workers {
+		t.Errorf("snapshot records %d workers, built with %d", b.Workers, workers)
+	}
+}
+
+// TestBuildStageErrorNamesStage pins the diagnosability contract: a
+// failing stage surfaces its name in the error chain (%w-wrapped), so a
+// partial-build failure in a background rebuild names the culprit. The
+// test injects a deliberately failing stage; no mutation of the real
+// stage table survives the test.
+func TestBuildStageErrorNamesStage(t *testing.T) {
+	saved := snapshotStages
+	defer func() { snapshotStages = saved }()
+
+	boom := errors.New("broken pipeline")
+	snapshotStages = append(append([]buildStage(nil), saved...), buildStage{
+		name: "exploding",
+		run: func(*Snapshot, *core.Study, int) ([]keyedArtifact, error) {
+			return nil, boom
+		},
+	})
+
+	_, err := BuildSnapshotOpts(testConfig(), BuildOptions{Workers: 4})
+	if err == nil {
+		t.Fatal("build with a failing stage succeeded, want error")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("error chain lost the cause: %v", err)
+	}
+	if !strings.Contains(err.Error(), `build stage "exploding"`) {
+		t.Fatalf("error does not name the failing stage: %v", err)
+	}
+}
+
+// TestBuildRefusesEmptyWindow pins the up-front config validation.
+func TestBuildRefusesEmptyWindow(t *testing.T) {
+	cfg := testConfig()
+	cfg.RoutingDays = 0
+	if _, err := BuildSnapshotOpts(cfg, BuildOptions{}); err == nil {
+		t.Fatal("build with RoutingDays=0 succeeded, want error")
+	}
+}

@@ -127,8 +127,20 @@ type varzSnapshot struct {
 	BuiltAt      string  `json:"built_at"`
 	AgeSeconds   float64 `json:"age_seconds"`
 	BuildSeconds float64 `json:"build_seconds"`
-	Delegations  int     `json:"delegations"`
-	Transfers    int     `json:"transfers"`
+	BuildWorkers int     `json:"build_workers"`
+	// BuildStages lists per-stage wall-clock times in pipeline order
+	// ("study" first, then the artifact stages). Artifact stages run
+	// concurrently, so their times overlap and do not sum to
+	// build_seconds.
+	BuildStages []varzStage `json:"build_stages,omitempty"`
+	Delegations int         `json:"delegations"`
+	Transfers   int         `json:"transfers"`
+}
+
+// varzStage is one build stage's timing on /varz.
+type varzStage struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
 }
 
 type varzCache struct {
@@ -142,6 +154,9 @@ type varzRebuilds struct {
 	Total    int64 `json:"total"`
 	Errors   int64 `json:"errors"`
 	InFlight bool  `json:"in_flight"`
+	// LastError is the most recent background-rebuild failure, wrapped
+	// with the failing build stage's name; empty after a success.
+	LastError string `json:"last_error,omitempty"`
 }
 
 type varzView struct {

@@ -18,6 +18,12 @@ type Options struct {
 	CacheSize int
 	// EnableAdmin exposes POST /admin/rebuild when set.
 	EnableAdmin bool
+	// BuildWorkers caps snapshot build-stage concurrency (<= 0: NumCPU).
+	// Any value yields byte-identical snapshots; see BuildOptions.
+	BuildWorkers int
+	// Logf, when set, receives operational log lines (rebuild failures
+	// with the failing stage, swap notices). No trailing newline needed.
+	Logf func(format string, args ...any)
 }
 
 func (o Options) withDefaults() Options {
@@ -52,6 +58,12 @@ type Server struct {
 	seq      atomic.Uint64
 	building atomic.Bool
 	wg       sync.WaitGroup
+
+	// lastRebuildErr holds the most recent background-rebuild failure
+	// (an error string wrapped with the failing stage name), "" after a
+	// success. Exposed on /varz so partial-build failures are
+	// diagnosable without log access.
+	lastRebuildErr atomic.Value // string
 }
 
 // New builds the initial snapshot for cfg synchronously (so a listening
@@ -62,14 +74,28 @@ func New(cfg simulation.Config, opts Options) (*Server, error) {
 		metrics: NewMetrics(),
 		mux:     http.NewServeMux(),
 	}
-	snap, err := BuildSnapshot(cfg)
+	snap, err := BuildSnapshotOpts(cfg, s.buildOptions())
 	if err != nil {
 		return nil, err
 	}
 	snap.Seq = s.seq.Add(1)
+	s.lastRebuildErr.Store("")
 	s.st.Store(&state{snap: snap, cache: newQueryCache(s.opts.CacheSize)})
 	s.routes()
 	return s, nil
+}
+
+// buildOptions derives the snapshot build options from the server
+// options.
+func (s *Server) buildOptions() BuildOptions {
+	return BuildOptions{Workers: s.opts.BuildWorkers}
+}
+
+// logf forwards to the configured logger, if any.
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
 }
 
 // Handler returns the fully wired HTTP handler.
@@ -109,12 +135,20 @@ func (s *Server) RebuildAsync(cfg simulation.Config) bool {
 		defer s.wg.Done()
 		defer s.building.Store(false)
 		s.metrics.rebuilds.Add(1)
-		snap, err := BuildSnapshot(cfg)
+		snap, err := BuildSnapshotOpts(cfg, s.buildOptions())
 		if err != nil {
+			// The error arrives wrapped with the failing stage name
+			// ("serve: build stage %q: ..."); keep the chain intact so
+			// both the log line and /varz name the stage.
 			s.metrics.rebuildErrors.Add(1)
+			s.lastRebuildErr.Store(err.Error())
+			s.logf("serve: rebuild failed (seed=%d): %v", cfg.Seed, err)
 			return
 		}
+		s.lastRebuildErr.Store("")
 		s.swap(snap)
+		s.logf("serve: rebuild complete: seq=%d seed=%d in %v (%d workers)",
+			snap.Seq, snap.Cfg.Seed, snap.BuildTime.Round(time.Millisecond), snap.Workers)
 	}()
 	return true
 }
@@ -134,11 +168,21 @@ func (s *Server) varz(now time.Time) varzView {
 		BuiltAt:      st.snap.BuiltAt.UTC().Format(time.RFC3339),
 		AgeSeconds:   st.snap.Age(now).Seconds(),
 		BuildSeconds: st.snap.BuildTime.Seconds(),
+		BuildWorkers: st.snap.Workers,
 		Delegations:  st.snap.Delegations.Len(),
 		Transfers:    len(st.snap.Transfers),
 	}
+	for _, stg := range st.snap.Stages {
+		v.Snapshot.BuildStages = append(v.Snapshot.BuildStages, varzStage{
+			Name:    stg.Name,
+			Seconds: stg.Duration.Seconds(),
+		})
+	}
 	v.Cache.Entries = st.cache.size()
 	v.Rebuilds.InFlight = s.building.Load()
+	if msg, _ := s.lastRebuildErr.Load().(string); msg != "" {
+		v.Rebuilds.LastError = msg
+	}
 	return v
 }
 

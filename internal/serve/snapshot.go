@@ -1,15 +1,18 @@
 package serve
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
+	"runtime"
 	"strconv"
 	"time"
 
 	"ipv4market/internal/core"
 	"ipv4market/internal/delegation"
 	"ipv4market/internal/market"
+	"ipv4market/internal/parallel"
 	"ipv4market/internal/registry"
 	"ipv4market/internal/simulation"
 )
@@ -23,6 +26,13 @@ type Snapshot struct {
 	Seq       uint64 // rebuild sequence number, assigned by the Server
 	BuiltAt   time.Time
 	BuildTime time.Duration
+
+	// Workers is the build-stage concurrency the snapshot was built
+	// with; Stages records each stage's wall-clock time (the "study"
+	// stage runs alone, the artifact stages run concurrently, so stage
+	// times overlap and do not sum to BuildTime).
+	Workers int
+	Stages  []StageTiming
 
 	Table1         []core.Table1Row
 	PriceCells     []market.PriceCell
@@ -40,6 +50,28 @@ type Snapshot struct {
 	static map[string]*artifact
 }
 
+// StageTiming is one build stage's wall-clock cost, exported on /varz.
+type StageTiming struct {
+	Name     string
+	Duration time.Duration
+}
+
+// BuildOptions tunes a snapshot build. The zero value uses NumCPU
+// workers — build as fast as the hardware allows.
+type BuildOptions struct {
+	// Workers caps how many build stages run concurrently (<= 0:
+	// NumCPU). Any worker count produces byte-identical artifacts;
+	// TestBuildSnapshotDeterministic enforces it.
+	Workers int
+}
+
+func (o BuildOptions) workers() int {
+	if o.Workers <= 0 {
+		return runtime.NumCPU()
+	}
+	return o.Workers
+}
+
 // leasingObservationEnd is the last advertised-price observation date of
 // the paper (§5); the /v1/leasing summary is evaluated there regardless
 // of the configured routing window, because the price book is calendar-
@@ -47,79 +79,153 @@ type Snapshot struct {
 var leasingObservationEnd = time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)
 
 // BuildSnapshot constructs the study for cfg and materializes every
-// served artifact. This is the only place the serving layer runs study
-// pipelines — and the only place the simulation's randomness executes —
-// so handlers never recompute anything.
+// served artifact with default build options. This is the only place the
+// serving layer runs study pipelines — and the only place the
+// simulation's randomness executes — so handlers never recompute
+// anything.
 func BuildSnapshot(cfg simulation.Config) (*Snapshot, error) {
-	start := time.Now()
-	study, err := core.NewStudy(cfg)
+	return BuildSnapshotOpts(cfg, BuildOptions{})
+}
+
+// buildStage is one node of the artifact DAG: a named unit of work that
+// computes snapshot fields and pre-encodes the artifacts derived from
+// them. Stages listed in snapshotStages are mutually independent — each
+// writes only its own snapshot fields and returns only its own artifacts
+// — so they run concurrently after the study stage; results are merged
+// in definition order, never completion order.
+type buildStage struct {
+	name string
+	run  func(snap *Snapshot, study *core.Study, workers int) ([]keyedArtifact, error)
+}
+
+// keyedArtifact pairs an endpoint key with its pre-encoded artifact.
+type keyedArtifact struct {
+	key string
+	art *artifact
+}
+
+// one wraps a single computed artifact with its encode error context.
+func one(key string, view any, csvFn func(io.Writer) error) ([]keyedArtifact, error) {
+	art, err := newArtifact(view, csvFn)
 	if err != nil {
-		return nil, fmt.Errorf("serve: build study: %w", err)
+		return nil, fmt.Errorf("%s: %w", key, err)
 	}
+	return []keyedArtifact{{key, art}}, nil
+}
 
-	snap := &Snapshot{
-		Cfg:            cfg,
-		BuiltAt:        start,
-		Table1:         study.Table1(),
-		PriceCells:     study.Figure1(),
-		TransferCounts: study.Figure2(),
-		InterRIRFlows:  study.Figure3(),
-		LeasingPoints:  study.Figure4(),
-		PriceChanges:   market.PriceChanges(market.PaperProviders()),
-		Transfers:      study.World.Registry.Transfers(),
-	}
-	if snap.Headline, err = study.Headline(); err != nil {
-		return nil, fmt.Errorf("serve: headline: %w", err)
-	}
-	if snap.Leasing, err = market.SnapshotAt(market.PaperProviders(), leasingObservationEnd); err != nil {
-		return nil, fmt.Errorf("serve: leasing snapshot: %w", err)
-	}
+// snapshotStages is the artifact DAG below the study stage. Every stage
+// depends only on the read-only study (plus fields the stage itself
+// sets), so the build runs them all concurrently, bounded by the worker
+// budget.
+var snapshotStages = []buildStage{
+	{"table1", func(snap *Snapshot, study *core.Study, _ int) ([]keyedArtifact, error) {
+		snap.Table1 = study.Table1()
+		return one("table1", viewTable1(snap.Table1), snap.table1CSV)
+	}},
+	{"prices", func(snap *Snapshot, study *core.Study, _ int) ([]keyedArtifact, error) {
+		snap.PriceCells = study.Figure1()
+		// fig1 and the unfiltered /v1/prices serve the same bytes, so
+		// they share one artifact (and one ETag).
+		arts, err := one("fig1", viewPriceCells(snap.PriceCells), study.Figure1CSV)
+		if err != nil {
+			return nil, err
+		}
+		return append(arts, keyedArtifact{"prices", arts[0].art}), nil
+	}},
+	{"transfer_series", func(snap *Snapshot, study *core.Study, workers int) ([]keyedArtifact, error) {
+		var err error
+		if snap.TransferCounts, err = study.Figure2Workers(workers); err != nil {
+			return nil, err
+		}
+		return one("fig2", viewTransferSeries(snap.TransferCounts), study.Figure2CSV)
+	}},
+	{"interrir_flows", func(snap *Snapshot, study *core.Study, _ int) ([]keyedArtifact, error) {
+		snap.InterRIRFlows = study.Figure3()
+		return one("fig3", viewInterRIRFlows(snap.InterRIRFlows), study.Figure3CSV)
+	}},
+	{"leasing_prices", func(snap *Snapshot, study *core.Study, _ int) ([]keyedArtifact, error) {
+		snap.LeasingPoints = study.Figure4()
+		return one("fig4", viewLeasingPoints(snap.LeasingPoints), study.Figure4CSV)
+	}},
+	{"transfers", func(snap *Snapshot, study *core.Study, _ int) ([]keyedArtifact, error) {
+		snap.Transfers = study.World.Registry.Transfers()
+		return one("transfers", viewTransfers(snap.Transfers), nil)
+	}},
+	{"headline", func(snap *Snapshot, study *core.Study, _ int) ([]keyedArtifact, error) {
+		var err error
+		if snap.Headline, err = study.Headline(); err != nil {
+			return nil, err
+		}
+		return one("headline", viewHeadline(snap.Headline), nil)
+	}},
+	{"leasing", func(snap *Snapshot, _ *core.Study, _ int) ([]keyedArtifact, error) {
+		snap.PriceChanges = market.PriceChanges(market.PaperProviders())
+		var err error
+		if snap.Leasing, err = market.SnapshotAt(market.PaperProviders(), leasingObservationEnd); err != nil {
+			return nil, err
+		}
+		return one("leasing", viewLeasing(snap.Leasing, snap.PriceChanges), nil)
+	}},
+	{"delegations", func(snap *Snapshot, study *core.Study, _ int) ([]keyedArtifact, error) {
+		// Extended inference on the window's final day.
+		day := snap.Cfg.RoutingDays - 1
+		date := snap.Cfg.RoutingStart.AddDate(0, 0, day)
+		inf := delegation.DefaultInference(study.World.OrgSeries)
+		snap.Delegations = newDelegationIndex(date, inf.FromSurvey(date, study.Routing.SurveyAt(day)))
+		return one("delegations", viewDelegationSummary(snap.Delegations), nil)
+	}},
+}
 
-	// The delegation index: extended inference on the window's final day.
-	day := cfg.RoutingDays - 1
-	if day < 0 {
+// BuildSnapshotOpts constructs the study and materializes every served
+// artifact as a DAG of build stages: the study build runs first (every
+// artifact derives from it), then the artifact stages fan out across the
+// worker budget. Determinism contract: results are merged by stage
+// index, so any worker count — including 1 — produces byte-identical
+// artifacts and ETags. A failing stage cancels its siblings and is
+// reported wrapped with the stage name.
+func BuildSnapshotOpts(cfg simulation.Config, opts BuildOptions) (*Snapshot, error) {
+	start := time.Now()
+	workers := opts.workers()
+	snap := &Snapshot{Cfg: cfg, BuiltAt: start, Workers: workers}
+	if cfg.RoutingDays < 1 {
 		return nil, fmt.Errorf("serve: empty routing window (RoutingDays=%d)", cfg.RoutingDays)
 	}
-	date := cfg.RoutingStart.AddDate(0, 0, day)
-	inf := delegation.DefaultInference(study.World.OrgSeries)
-	snap.Delegations = newDelegationIndex(date, inf.FromSurvey(date, study.Routing.SurveyAt(day)))
 
-	if err := snap.encodeStatic(study); err != nil {
+	studyStart := time.Now()
+	study, err := core.NewStudy(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("serve: build stage %q: %w", "study", err)
+	}
+	snap.Stages = append(snap.Stages, StageTiming{"study", time.Since(studyStart)})
+
+	// Fan out the artifact stages. Each stage writes its own timing and
+	// artifact slot (indexed by stage, so the merge below is
+	// deterministic); the first failure cancels the remaining stages.
+	durations := make([]time.Duration, len(snapshotStages))
+	artifacts, err := parallel.Map(context.Background(), workers, len(snapshotStages),
+		func(_ context.Context, i int) ([]keyedArtifact, error) {
+			st := snapshotStages[i]
+			stageStart := time.Now()
+			arts, err := st.run(snap, study, workers)
+			durations[i] = time.Since(stageStart)
+			if err != nil {
+				return nil, fmt.Errorf("serve: build stage %q: %w", st.name, err)
+			}
+			return arts, nil
+		})
+	if err != nil {
 		return nil, err
+	}
+
+	snap.static = make(map[string]*artifact, len(snapshotStages)+1)
+	for i, st := range snapshotStages {
+		snap.Stages = append(snap.Stages, StageTiming{st.name, durations[i]})
+		for _, ka := range artifacts[i] {
+			snap.static[ka.key] = ka.art
+		}
 	}
 	snap.BuildTime = time.Since(start)
 	return snap, nil
-}
-
-// encodeStatic pre-renders the JSON and CSV bodies of every static
-// endpoint. The CSV encodings of the figures reuse the core package's
-// emitters verbatim; study is still in scope here, and only here.
-func (s *Snapshot) encodeStatic(study *core.Study) error {
-	targets := []struct {
-		key   string
-		view  any
-		csvFn func(io.Writer) error
-	}{
-		{"table1", viewTable1(s.Table1), s.table1CSV},
-		{"fig1", viewPriceCells(s.PriceCells), study.Figure1CSV},
-		{"fig2", viewTransferSeries(s.TransferCounts), study.Figure2CSV},
-		{"fig3", viewInterRIRFlows(s.InterRIRFlows), study.Figure3CSV},
-		{"fig4", viewLeasingPoints(s.LeasingPoints), study.Figure4CSV},
-		{"prices", viewPriceCells(s.PriceCells), study.Figure1CSV},
-		{"transfers", viewTransfers(s.Transfers), nil},
-		{"delegations", viewDelegationSummary(s.Delegations), nil},
-		{"leasing", viewLeasing(s.Leasing, s.PriceChanges), nil},
-		{"headline", viewHeadline(s.Headline), nil},
-	}
-	s.static = make(map[string]*artifact, len(targets))
-	for _, t := range targets {
-		art, err := newArtifact(t.view, t.csvFn)
-		if err != nil {
-			return fmt.Errorf("serve: %s: %w", t.key, err)
-		}
-		s.static[t.key] = art
-	}
-	return nil
 }
 
 // Static returns the pre-encoded artifact for an endpoint key, if any.

@@ -270,6 +270,12 @@ func (rs *RoutingSim) hijacks(rng *rand.Rand) []announcement {
 // the same sanitization the offline pipeline uses. Legitimate routes are
 // seen by each monitor with ~97% probability; hijacks at only 1-2
 // monitors.
+//
+// SurveyAt is a pure derivation: every random draw comes from RNGs
+// seeded deterministically per (day, collector), and the receiver is not
+// mutated. Concurrent calls for different days are therefore safe and
+// order-independent — the per-date inference fan-out in core.Figure6
+// relies on this contract.
 func (rs *RoutingSim) SurveyAt(day int) *bgp.OriginSurvey {
 	anns, hijacks, hijackMonitors := rs.dayEvents(day)
 	survey := bgp.NewOriginSurvey()

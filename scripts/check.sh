@@ -8,7 +8,14 @@
 #                          (internal/lint) stay green
 #   4. go test -race     — the full test suite, including the lint
 #                          self-check, under the race detector
-#   5. marketd smoke     — build the serving daemon, boot it on an
+#   5. determinism gate  — the parallel-build contracts, run explicitly
+#                          and by name so a -run filter or skip in the
+#                          suite can never silently drop them: a
+#                          snapshot (and Figure 6) built at any worker
+#                          count must be byte-identical to the serial
+#                          build; TestBenchBuildJSONParses keeps the
+#                          BENCH_build.json baseline well-formed
+#   6. marketd smoke     — build the serving daemon, boot it on an
 #                          ephemeral loopback port, and query every
 #                          endpoint through a real HTTP client
 #                          (marketd -selfcheck does the full cycle
@@ -30,6 +37,14 @@ go run ./cmd/ipv4lint ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> parallel-build determinism gate"
+go test -race -count=1 \
+    -run 'TestBuildSnapshotDeterministic|TestBenchBuildJSONParses' \
+    ./internal/serve
+go test -race -count=1 \
+    -run 'TestFigure6WorkersDeterministic|TestFigure2WorkersMatchesSerial' \
+    ./internal/core
 
 echo "==> marketd smoke test"
 mkdir -p "${TMPDIR:-/tmp}/ipv4market-check"
