@@ -1,0 +1,238 @@
+// Command benchrecord re-records the repository's benchmark baselines
+// (BENCH_build.json, BENCH_serve.json at the repo root) by running the
+// serve-layer benchmarks through `go test -bench` and rewriting the
+// JSON with the parsed results plus the recording machine's metadata
+// (CPU model, core count, GOMAXPROCS, Go version). scripts/bench.sh is
+// the front door:
+//
+//	scripts/bench.sh            # re-record both baselines
+//	scripts/bench.sh -suite build
+//
+// Benchmark numbers are machine-dependent; the embedded metadata is
+// what makes a baseline comparable (same hardware) or visibly not
+// (different hardware). The files are never edited by hand.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// suiteDef describes one recordable benchmark suite.
+type suiteDef struct {
+	// Flag is the -suite selector ("build", "serve").
+	Flag string
+	// Suite is the Go benchmark function name.
+	Suite string
+	// File is the baseline filename at the repo root.
+	File string
+	// Benchtime is the default -benchtime (build is seconds-per-op, so
+	// a fixed iteration count keeps recording time bounded).
+	Benchtime string
+	// Note documents what the numbers mean, carried into the JSON.
+	Note string
+}
+
+const benchPackage = "ipv4market/internal/serve"
+
+var suites = []suiteDef{
+	{
+		Flag:      "build",
+		Suite:     "BenchmarkSnapshotBuild",
+		File:      "BENCH_build.json",
+		Benchtime: "3x",
+		Note: "full snapshot build (world generation + every analysis pipeline + encoding) at different " +
+			"build-stage worker counts; workers=1 is the serial reference and the workers=NumCPU row is " +
+			"what marketd does at boot. The observable speedup is bounded by the hardware's core count " +
+			"and by the serial study stage (Amdahl); per-stage wall-clock splits are exported on /varz " +
+			"as snapshot.build_stages. Determinism across worker counts is pinned by TestBuildSnapshotDeterministic.",
+	},
+	{
+		Flag:      "serve",
+		Suite:     "BenchmarkSnapshotServe",
+		File:      "BENCH_serve.json",
+		Benchtime: "0.5s",
+		Note:      "parallel (RunParallel) request cost against a prebuilt snapshot; snapshot build excluded by design",
+	},
+}
+
+// result is one benchmark row in the baseline file.
+type result struct {
+	Name     string `json:"name"`
+	NsPerOp  int64  `json:"ns_per_op"`
+	BPerOp   int64  `json:"bytes_per_op"`
+	AllocsOp int64  `json:"allocs_per_op"`
+}
+
+// baseline is the BENCH_*.json schema. internal/serve's
+// TestBenchBaselinesWellFormed reads these files back, so the two
+// schemas evolve together.
+type baseline struct {
+	Suite      string   `json:"suite"`
+	Package    string   `json:"package"`
+	Recorded   string   `json:"recorded"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	CPU        string   `json:"cpu"`
+	NumCPU     int      `json:"num_cpu"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	GoVersion  string   `json:"go_version"`
+	Benchtime  string   `json:"benchtime"`
+	Procedure  string   `json:"procedure"`
+	Note       string   `json:"note"`
+	Results    []result `json:"results"`
+}
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrecord:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("benchrecord", flag.ContinueOnError)
+	var (
+		which     = fs.String("suite", "all", `which baseline to re-record: "build", "serve", or "all"`)
+		dir       = fs.String("dir", ".", "repository root (where the BENCH_*.json files live)")
+		benchtime = fs.String("benchtime", "", "override the suite's default -benchtime")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ran := 0
+	for _, s := range suites {
+		if *which != "all" && *which != s.Flag {
+			continue
+		}
+		ran++
+		if *benchtime != "" {
+			s.Benchtime = *benchtime
+		}
+		if err := record(w, *dir, s); err != nil {
+			return err
+		}
+	}
+	if ran == 0 {
+		return fmt.Errorf("unknown -suite %q (want build, serve, or all)", *which)
+	}
+	return nil
+}
+
+// record runs one suite and rewrites its baseline file.
+func record(w io.Writer, dir string, s suiteDef) error {
+	fmt.Fprintf(w, "benchrecord: running %s (-benchtime %s)...\n", s.Suite, s.Benchtime)
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", "^"+s.Suite+"$", "-benchmem", "-benchtime", s.Benchtime,
+		benchPackage)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("benchrecord: %s: %w\n%s", s.Suite, err, out)
+	}
+
+	results, cpu, err := parseBenchOutput(s.Suite, string(out))
+	if err != nil {
+		return err
+	}
+	b := newBaseline(s, results, cpu, time.Now())
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchrecord: encode %s: %w", s.File, err)
+	}
+	path := filepath.Join(dir, s.File)
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("benchrecord: %w", err)
+	}
+	fmt.Fprintf(w, "benchrecord: wrote %s (%d result rows, cpu %q)\n", path, len(results), cpu)
+	return nil
+}
+
+// newBaseline assembles the baseline document for one suite run,
+// stamping the recording machine's metadata alongside the numbers.
+func newBaseline(s suiteDef, results []result, cpu string, now time.Time) baseline {
+	return baseline{
+		Suite:      s.Suite,
+		Package:    benchPackage,
+		Recorded:   now.UTC().Format("2006-01-02"),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPU:        cpu,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Benchtime:  s.Benchtime,
+		Procedure: "recorded by scripts/bench.sh (cmd/benchrecord): go test -run '^$' -bench '^" + s.Suite +
+			"$' -benchmem -benchtime " + s.Benchtime + " " + benchPackage + ", output parsed and this file " +
+			"rewritten whole. Numbers are machine-dependent — compare only against a baseline whose " +
+			"goos/goarch/cpu/num_cpu match. Never edit by hand; re-record instead.",
+		Note:    s.Note,
+		Results: results,
+	}
+}
+
+// benchLine matches one `go test -bench` result row:
+//
+//	BenchmarkSnapshotServe/table1-4  218061  11011 ns/op  9787 B/op  38 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// gomaxprocsSuffix is the -N the testing package appends to bench names.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBenchOutput extracts the result rows for suite (subtest names
+// normalized: suite prefix and GOMAXPROCS suffix stripped) and the
+// "cpu:" banner go test prints.
+func parseBenchOutput(suite, out string) ([]result, string, error) {
+	var (
+		results []result
+		cpu     string
+	)
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "cpu:"); ok {
+			cpu = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(m[1], "")
+		name = strings.TrimPrefix(name, suite)
+		name = strings.TrimPrefix(name, "/")
+		if name == "" {
+			name = suite
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, "", fmt.Errorf("benchrecord: parse %q: %w", line, err)
+		}
+		r := result{Name: name, NsPerOp: int64(ns)}
+		if m[3] != "" {
+			if r.BPerOp, err = strconv.ParseInt(m[3], 10, 64); err != nil {
+				return nil, "", fmt.Errorf("benchrecord: parse %q: %w", line, err)
+			}
+		}
+		if m[4] != "" {
+			if r.AllocsOp, err = strconv.ParseInt(m[4], 10, 64); err != nil {
+				return nil, "", fmt.Errorf("benchrecord: parse %q: %w", line, err)
+			}
+		}
+		results = append(results, r)
+	}
+	if len(results) == 0 {
+		return nil, "", fmt.Errorf("benchrecord: no %s result rows in go test output:\n%s", suite, out)
+	}
+	return results, cpu, nil
+}

@@ -19,15 +19,27 @@
 //	GET /v1/delegations       lease index, ?prefix=CIDR  (JSON)
 //	GET /v1/leasing           leasing market summary     (JSON)
 //	GET /v1/headline          §3 headline statistics     (JSON)
+//	GET /v1/history           persisted generations      (JSON, needs -data-dir)
 //	GET /healthz /readyz /varz
+//
+// With -data-dir the server is durable: every successful build is
+// appended to an on-disk snapshot store (internal/store), a restart
+// warm-starts from the newest intact generation (serving immediately,
+// with a fresh build in the background), -store-keep bounds retention,
+// and ?gen=N on the artifact endpoints pins a read to a stored
+// generation with its original bytes and ETag.
 //
 // -selfcheck boots the server on a loopback port, queries the key
 // endpoints through a real HTTP client, and exits; scripts/check.sh uses
-// it as the smoke test.
+// it as the smoke test. With -data-dir it additionally proves the
+// restart path: it shuts the first server down, warm-starts a second
+// one over the same directory, and asserts body and ETag continuity.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -40,6 +52,7 @@ import (
 
 	"ipv4market/internal/serve"
 	"ipv4market/internal/simulation"
+	"ipv4market/internal/store"
 )
 
 func main() {
@@ -61,6 +74,8 @@ func run(w io.Writer, args []string) error {
 		admin     = fs.Bool("admin", false, "expose POST /admin/rebuild")
 		selfcheck = fs.Bool("selfcheck", false, "boot on a loopback port, smoke-query the API, exit")
 		workers   = fs.Int("buildworkers", 0, "snapshot build-stage worker count (0: NumCPU); output is identical at any count")
+		dataDir   = fs.String("data-dir", "", "durable snapshot store directory (empty: in-memory only)")
+		storeKeep = fs.Int("store-keep", 5, "generations to retain in the store after each persist (< 1: keep all)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,9 +96,24 @@ func run(w io.Writer, args []string) error {
 		Timeout:      *timeout,
 		EnableAdmin:  *admin || *selfcheck,
 		BuildWorkers: *workers,
+		StoreKeep:    *storeKeep,
+		WarmStart:    true,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(w, format+"\n", args...)
 		},
+	}
+	if *dataDir != "" {
+		st, err := store.Open(*dataDir)
+		if err != nil {
+			return fmt.Errorf("marketd: open store: %w", err)
+		}
+		opts.Store = st
+		stats := st.Stats()
+		fmt.Fprintf(w, "marketd: store %s: %d generation(s), %d bytes", *dataDir, stats.Segments, stats.Bytes)
+		if stats.TruncatedTails > 0 {
+			fmt.Fprintf(w, " (%d corrupt segment(s) quarantined)", stats.TruncatedTails)
+		}
+		fmt.Fprintln(w)
 	}
 
 	build := time.Now()
@@ -93,11 +123,23 @@ func run(w io.Writer, args []string) error {
 		return err
 	}
 	snap := srv.Snapshot()
-	fmt.Fprintf(w, "marketd: snapshot ready in %v (%d workers): %d transfers, %d price cells, %d delegations\n",
-		time.Since(build).Round(time.Millisecond), snap.Workers, len(snap.Transfers), len(snap.PriceCells), snap.Delegations.Len())
+	if srv.WarmStarted() {
+		fmt.Fprintf(w, "marketd: warm start: restored generation %d (seed=%d, built %s) in %v; serving now\n",
+			snap.Gen, snap.Cfg.Seed, snap.BuiltAt.UTC().Format(time.RFC3339), time.Since(build).Round(time.Millisecond))
+	} else {
+		fmt.Fprintf(w, "marketd: snapshot ready in %v (%d workers): %d transfers, %d price cells, %d delegations\n",
+			time.Since(build).Round(time.Millisecond), snap.Workers, snap.TransferTotal(), len(snap.PriceCells), snap.Delegations.Len())
+	}
 
 	if *selfcheck {
-		return runSelfcheck(w, srv, *drain)
+		return runSelfcheck(w, srv, *drain, *dataDir, cfg, opts)
+	}
+
+	// A warm-started server is serving yesterday's data by design; kick
+	// off a fresh build in the background so it converges on a current
+	// snapshot without delaying the first request.
+	if srv.WarmStarted() && srv.RebuildAsync(cfg) {
+		fmt.Fprintln(w, "marketd: fresh rebuild started in background")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -162,53 +204,166 @@ var selfcheckPaths = []string{
 	"/v1/headline",
 }
 
-// runSelfcheck serves on an ephemeral loopback port, exercises every
-// endpoint through a real HTTP client, and reports pass/fail. It is the
-// full boot-listen-query-shutdown cycle in one process, so CI needs no
-// curl or background job control.
-func runSelfcheck(w io.Writer, srv *serve.Server, drain time.Duration) error {
+// loopbackServer serves srv on an ephemeral loopback port. The returned
+// shutdown function drains the listener and waits for in-flight
+// rebuilds; it is safe to call exactly once.
+func loopbackServer(srv *serve.Server, drain time.Duration) (base string, shutdown func() error, err error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return fmt.Errorf("marketd: selfcheck listen: %w", err)
+		return "", nil, fmt.Errorf("marketd: selfcheck listen: %w", err)
 	}
-	base := "http://" + ln.Addr().String()
-
 	ctx, cancel := context.WithCancel(context.Background())
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	done := make(chan error, 1)
-	go func() { // coordinated: result drained below after cancel
+	go func() { // coordinated: result drained in shutdown after cancel
 		done <- serve.Serve(ctx, httpSrv, ln, drain)
 	}()
+	shutdown = func() error {
+		cancel()
+		err := <-done
+		srv.Wait()
+		return err
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// checkGet expects 200 OK for path and logs the result.
+func checkGet(w io.Writer, client *http.Client, base, path string) ([]byte, string, error) {
+	resp, err := client.Get(base + path)
+	if err != nil {
+		return nil, "", fmt.Errorf("marketd: selfcheck %s: %w", path, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, "", fmt.Errorf("marketd: selfcheck %s: read: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("marketd: selfcheck %s: status %d", path, resp.StatusCode)
+	}
+	fmt.Fprintf(w, "marketd: selfcheck %-28s %d (%d bytes)\n", path, resp.StatusCode, len(body))
+	return body, resp.Header.Get("ETag"), nil
+}
+
+// runSelfcheck serves on an ephemeral loopback port, exercises every
+// endpoint through a real HTTP client, and reports pass/fail. It is the
+// full boot-listen-query-shutdown cycle in one process, so CI needs no
+// curl or background job control. With a data directory it then proves
+// the durability contract end to end: shut down, warm-start a second
+// server over the same directory, and require byte- and ETag-identical
+// answers (including 304 on a pre-restart ETag).
+func runSelfcheck(w io.Writer, srv *serve.Server, drain time.Duration, dataDir string, cfg simulation.Config, opts serve.Options) error {
+	base, shutdown, err := loopbackServer(srv, drain)
+	if err != nil {
+		return err
+	}
 
 	client := &http.Client{Timeout: 10 * time.Second}
-	var checkErr error
-	for _, path := range selfcheckPaths {
-		resp, err := client.Get(base + path)
+	paths := selfcheckPaths
+	if dataDir != "" {
+		gen := srv.Snapshot().Gen
+		paths = append(append([]string{}, paths...),
+			"/v1/history",
+			fmt.Sprintf("/v1/table1?gen=%d", gen),
+			fmt.Sprintf("/v1/prices?gen=%d", gen),
+		)
+	}
+	var (
+		checkErr   error
+		table1Body []byte
+		table1ETag string
+	)
+	for _, path := range paths {
+		body, etag, err := checkGet(w, client, base, path)
 		if err != nil {
-			checkErr = fmt.Errorf("marketd: selfcheck %s: %w", path, err)
+			checkErr = err
 			break
 		}
-		body, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if err != nil {
-			checkErr = fmt.Errorf("marketd: selfcheck %s: read: %w", path, err)
-			break
+		if path == "/v1/table1" {
+			table1Body, table1ETag = body, etag
 		}
-		if resp.StatusCode != http.StatusOK {
-			checkErr = fmt.Errorf("marketd: selfcheck %s: status %d", path, resp.StatusCode)
-			break
-		}
-		fmt.Fprintf(w, "marketd: selfcheck %-28s %d (%d bytes)\n", path, resp.StatusCode, len(body))
 	}
 
-	cancel()
-	if err := <-done; err != nil && checkErr == nil {
+	if err := shutdown(); err != nil && checkErr == nil {
 		checkErr = err
 	}
-	srv.Wait()
-	if checkErr != nil {
+	if checkErr != nil || dataDir == "" {
+		if checkErr == nil {
+			fmt.Fprintf(w, "marketd: selfcheck passed (%d endpoints)\n", len(paths))
+		}
 		return checkErr
 	}
-	fmt.Fprintf(w, "marketd: selfcheck passed (%d endpoints)\n", len(selfcheckPaths))
+
+	return selfcheckRestart(w, drain, dataDir, cfg, opts, client, table1Body, table1ETag, len(paths))
+}
+
+// selfcheckRestart is the second phase of a durable selfcheck: a fresh
+// server over the same data directory must warm-start and answer with
+// the bytes and ETags the first server persisted.
+func selfcheckRestart(w io.Writer, drain time.Duration, dataDir string, cfg simulation.Config,
+	opts serve.Options, client *http.Client, wantBody []byte, wantETag string, phase1 int) error {
+	fmt.Fprintln(w, "marketd: selfcheck restart: warm-starting a second server over", dataDir)
+	st, err := store.Open(dataDir)
+	if err != nil {
+		return fmt.Errorf("marketd: selfcheck restart: reopen store: %w", err)
+	}
+	opts.Store = st
+	opts.WarmStart = true
+	srv2, err := serve.New(cfg, opts)
+	if err != nil {
+		return fmt.Errorf("marketd: selfcheck restart: %w", err)
+	}
+	if !srv2.WarmStarted() {
+		return fmt.Errorf("marketd: selfcheck restart: second server did not warm-start")
+	}
+	base, shutdown, err := loopbackServer(srv2, drain)
+	if err != nil {
+		return err
+	}
+	defer shutdown()
+
+	body, etag, err := checkGet(w, client, base, "/v1/table1")
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(body, wantBody) {
+		return fmt.Errorf("marketd: selfcheck restart: /v1/table1 body differs from pre-restart bytes")
+	}
+	if etag != wantETag {
+		return fmt.Errorf("marketd: selfcheck restart: /v1/table1 ETag %s, want %s", etag, wantETag)
+	}
+
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/table1", nil)
+	if err != nil {
+		return fmt.Errorf("marketd: selfcheck restart: %w", err)
+	}
+	req.Header.Set("If-None-Match", wantETag)
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("marketd: selfcheck restart: conditional GET: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		return fmt.Errorf("marketd: selfcheck restart: pre-restart ETag answered %d, want 304", resp.StatusCode)
+	}
+	fmt.Fprintf(w, "marketd: selfcheck %-28s %d (ETag continuity)\n", "/v1/table1 If-None-Match", resp.StatusCode)
+
+	histBody, _, err := checkGet(w, client, base, "/v1/history")
+	if err != nil {
+		return err
+	}
+	var hist struct {
+		Generations []struct {
+			Gen uint64 `json:"gen"`
+		} `json:"generations"`
+	}
+	if err := json.Unmarshal(histBody, &hist); err != nil {
+		return fmt.Errorf("marketd: selfcheck restart: /v1/history: %w", err)
+	}
+	if len(hist.Generations) == 0 {
+		return fmt.Errorf("marketd: selfcheck restart: /v1/history lists no generations")
+	}
+
+	fmt.Fprintf(w, "marketd: selfcheck passed (%d endpoints + restart continuity)\n", phase1)
 	return nil
 }

@@ -94,16 +94,28 @@ func run(w io.Writer, args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "rdapd: serving %d inetnum objects on http://%s (GET /ip/<addr>[/<len>])\n", db.Len(), ln.Addr())
+	fmt.Fprintf(w, "rdapd: serving %d inetnum objects on http://%s (GET /ip/<addr>[/<len>], /varz)\n", db.Len(), ln.Addr())
 
-	// The same middleware stack marketd uses (internal/serve): recovery,
-	// per-request timeouts, graceful shutdown on SIGINT/SIGTERM.
+	// The same middleware stack and observability surface marketd uses
+	// (internal/serve): recovery, per-request timeouts, per-route request
+	// and latency counters on /varz, graceful shutdown on SIGINT/SIGTERM.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	srv := &http.Server{Handler: serve.Wrap(rdap.NewServer(db), nil, "/ip/", *timeout)}
+	srv := &http.Server{Handler: rdapHandler(db, *timeout)}
 	if err := serve.Serve(ctx, srv, ln, *drain); err != nil {
 		return err
 	}
 	fmt.Fprintln(w, "rdapd: shut down cleanly")
 	return nil
+}
+
+// rdapHandler assembles the server mux: RDAP lookups plus the shared
+// /varz counter surface, every route instrumented through the same
+// middleware stack marketd uses.
+func rdapHandler(db *whois.DB, timeout time.Duration) http.Handler {
+	metrics := serve.NewMetrics()
+	mux := http.NewServeMux()
+	mux.Handle("/ip/", serve.Wrap(rdap.NewServer(db), metrics, "/ip/", timeout))
+	mux.Handle("GET /varz", serve.Wrap(metrics.VarzHandler(), metrics, "GET /varz", timeout))
+	return mux
 }

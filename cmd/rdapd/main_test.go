@@ -2,11 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"ipv4market/internal/rdap"
 	"ipv4market/internal/whois"
@@ -60,6 +62,63 @@ func TestClientMode(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("client output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestVarzSurface proves rdapd shares marketd's observability surface:
+// /varz serves the counter document with per-route stats, and lookups
+// through the instrumented mux are counted.
+func TestVarzSurface(t *testing.T) {
+	path := writeSnapshot(t)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := whois.ParseSnapshot(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Freeze()
+	srv := httptest.NewServer(rdapHandler(db, 5*time.Second))
+	defer srv.Close()
+
+	for _, path := range []string{"/ip/185.0.0.1", "/ip/185.0.0.1", "/varz"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/varz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var view struct {
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Routes        map[string]struct {
+			Requests int64 `json:"requests"`
+		} `json:"routes"`
+		Snapshot json.RawMessage `json:"snapshot"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatalf("varz document: %v", err)
+	}
+	if got := view.Routes["/ip/"].Requests; got != 2 {
+		t.Errorf("/ip/ requests = %d, want 2", got)
+	}
+	if got := view.Routes["GET /varz"].Requests; got < 1 {
+		t.Errorf("GET /varz requests = %d, want >= 1", got)
+	}
+	// rdapd has no snapshot section: the shared surface omits it rather
+	// than serving empty snapshot fields.
+	if view.Snapshot != nil {
+		t.Errorf("rdapd varz has a snapshot section: %s", view.Snapshot)
 	}
 }
 

@@ -4,18 +4,27 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
-// benchBaseline mirrors the schema of the BENCH_*.json files at the repo
-// root, so a malformed baseline fails in CI rather than when someone
-// tries to read it.
+// benchBaseline mirrors the schema cmd/benchrecord writes to the
+// BENCH_*.json files at the repo root, so a malformed baseline fails in
+// CI rather than when someone tries to read it.
 type benchBaseline struct {
-	Suite    string `json:"suite"`
-	Package  string `json:"package"`
-	Recorded string `json:"recorded"`
-	Note     string `json:"note"`
-	Results  []struct {
+	Suite      string `json:"suite"`
+	Package    string `json:"package"`
+	Recorded   string `json:"recorded"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	CPU        string `json:"cpu"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	Benchtime  string `json:"benchtime"`
+	Procedure  string `json:"procedure"`
+	Note       string `json:"note"`
+	Results    []struct {
 		Name     string `json:"name"`
 		NsPerOp  int64  `json:"ns_per_op"`
 		BPerOp   int64  `json:"bytes_per_op"`
@@ -23,38 +32,74 @@ type benchBaseline struct {
 	} `json:"results"`
 }
 
-// TestBenchBuildJSONParses keeps the BenchmarkSnapshotBuild baseline
-// well-formed: valid JSON, the expected suite name, and at least the
-// serial (workers=1) row with a positive time. scripts/check.sh runs it
-// explicitly alongside the determinism gate.
-func TestBenchBuildJSONParses(t *testing.T) {
-	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_build.json"))
+// loadBaseline reads and structurally validates one baseline file:
+// valid JSON, the expected suite, positive times, and the machine
+// metadata cmd/benchrecord stamps (a baseline without it cannot be
+// compared against a re-recording).
+func loadBaseline(t *testing.T, file, suite string) benchBaseline {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", file))
 	if err != nil {
 		t.Fatalf("read baseline: %v", err)
 	}
 	var b benchBaseline
 	if err := json.Unmarshal(data, &b); err != nil {
-		t.Fatalf("BENCH_build.json is not valid JSON: %v", err)
+		t.Fatalf("%s is not valid JSON: %v", file, err)
 	}
-	if b.Suite != "BenchmarkSnapshotBuild" {
-		t.Errorf("suite = %q, want BenchmarkSnapshotBuild", b.Suite)
+	if b.Suite != suite {
+		t.Errorf("suite = %q, want %q", b.Suite, suite)
 	}
 	if b.Package != "ipv4market/internal/serve" {
 		t.Errorf("package = %q, want ipv4market/internal/serve", b.Package)
 	}
+	if b.GOOS == "" || b.GOARCH == "" || b.GoVersion == "" {
+		t.Errorf("missing platform metadata: goos=%q goarch=%q go_version=%q", b.GOOS, b.GOARCH, b.GoVersion)
+	}
+	if b.NumCPU < 1 || b.GOMAXPROCS < 1 {
+		t.Errorf("implausible machine: num_cpu=%d gomaxprocs=%d, want >= 1", b.NumCPU, b.GOMAXPROCS)
+	}
+	if !strings.Contains(b.Procedure, "scripts/bench.sh") {
+		t.Errorf("procedure does not document re-recording via scripts/bench.sh: %q", b.Procedure)
+	}
 	if len(b.Results) == 0 {
 		t.Fatal("baseline has no results")
 	}
-	serial := false
 	for _, r := range b.Results {
 		if r.NsPerOp <= 0 {
 			t.Errorf("result %q: ns_per_op = %d, want > 0", r.Name, r.NsPerOp)
 		}
+	}
+	return b
+}
+
+// TestBenchBuildJSONParses keeps the BenchmarkSnapshotBuild baseline
+// well-formed, with at least the serial (workers=1) reference row.
+// scripts/check.sh runs it explicitly alongside the determinism gate.
+func TestBenchBuildJSONParses(t *testing.T) {
+	b := loadBaseline(t, "BENCH_build.json", "BenchmarkSnapshotBuild")
+	serial := false
+	for _, r := range b.Results {
 		if r.Name == "workers=1" {
 			serial = true
 		}
 	}
 	if !serial {
 		t.Error("baseline lacks the serial workers=1 reference row")
+	}
+}
+
+// TestBenchServeJSONParses keeps the BenchmarkSnapshotServe baseline
+// well-formed, covering at least the fast-path rows the architecture
+// section quotes.
+func TestBenchServeJSONParses(t *testing.T) {
+	b := loadBaseline(t, "BENCH_serve.json", "BenchmarkSnapshotServe")
+	have := make(map[string]bool, len(b.Results))
+	for _, r := range b.Results {
+		have[r.Name] = true
+	}
+	for _, name := range []string{"table1", "prices_full", "table1_304"} {
+		if !have[name] {
+			t.Errorf("baseline lacks the %q row", name)
+		}
 	}
 }

@@ -16,14 +16,14 @@ import (
 // pattern is registered once, at construction; the mux is read-only
 // afterwards.
 func (s *Server) routes() {
+	// static endpoints resolve their pre-encoded artifact from the
+	// current snapshot — or, with ?gen=N, from a persisted generation,
+	// served with the stored bodies and ETags.
 	static := func(key string) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {
-			art, ok := s.current().snap.staticArtifact(key)
-			if !ok {
-				writeError(w, http.StatusNotFound, "unknown artifact "+key)
-				return
+			if art, ok := s.artifactForRequest(w, r, key); ok {
+				writeArtifact(w, r, art)
 			}
-			writeArtifact(w, r, art)
 		}
 	}
 
@@ -34,6 +34,7 @@ func (s *Server) routes() {
 	s.handle("GET /v1/delegations", s.handleDelegations)
 	s.handle("GET /v1/leasing", static("leasing"))
 	s.handle("GET /v1/headline", static("headline"))
+	s.handle("GET /v1/history", s.handleHistory)
 
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /readyz", s.handleReadyz)
@@ -57,12 +58,9 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown figure "+id+" (have 1-4)")
 		return
 	}
-	art, ok := s.current().snap.staticArtifact("fig" + id)
-	if !ok {
-		writeError(w, http.StatusNotFound, "figure "+id+" not materialized")
-		return
+	if art, ok := s.artifactForRequest(w, r, "fig"+id); ok {
+		writeArtifact(w, r, art)
 	}
-	writeArtifact(w, r, art)
 }
 
 // priceFilter is the parsed /v1/prices query.
@@ -137,12 +135,15 @@ func (s *Server) handlePrices(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	if rejectPinnedFilter(w, r, !f.empty()) {
+		return
+	}
 	st := s.current()
 	if f.empty() {
-		if art, ok := st.snap.staticArtifact("prices"); ok {
+		if art, ok := s.artifactForRequest(w, r, "prices"); ok {
 			writeArtifact(w, r, art)
-			return
 		}
+		return
 	}
 	art, err := st.cache.do(f.key(), s.metrics, func() (*artifact, error) {
 		cells := filterPriceCells(st.snap.PriceCells, f.match)
@@ -160,12 +161,15 @@ func (s *Server) handlePrices(w http.ResponseWriter, r *http.Request) {
 // covering, covered) rendered through the query cache.
 func (s *Server) handleDelegations(w http.ResponseWriter, r *http.Request) {
 	raw := r.URL.Query().Get("prefix")
+	if rejectPinnedFilter(w, r, raw != "") {
+		return
+	}
 	st := s.current()
 	if raw == "" {
-		if art, ok := st.snap.staticArtifact("delegations"); ok {
+		if art, ok := s.artifactForRequest(w, r, "delegations"); ok {
 			writeArtifact(w, r, art)
-			return
 		}
+		return
 	}
 	p, err := netblock.ParsePrefix(raw)
 	if err != nil {

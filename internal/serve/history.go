@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"ipv4market/internal/store"
+)
+
+// This file is the time-travel surface over the durable store:
+// GET /v1/history lists persisted generations, and a ?gen=N query
+// parameter on the artifact endpoints pins a read to a past generation,
+// served with the stored bodies and ETags (so conditional requests keep
+// their 304 semantics across restarts and rebuilds).
+
+// historyGeneration is one generation in the /v1/history document.
+type historyGeneration struct {
+	Gen          uint64      `json:"gen"`
+	BuiltAt      string      `json:"built_at"`
+	Seed         int64       `json:"seed"`
+	NumLIRs      int         `json:"num_lirs"`
+	RoutingDays  int         `json:"routing_days"`
+	BuildSeconds float64     `json:"build_seconds"`
+	Workers      int         `json:"workers"`
+	Stages       []varzStage `json:"stages,omitempty"`
+	Transfers    int         `json:"transfers"`
+	Bytes        int64       `json:"bytes"`
+}
+
+// historyView is the /v1/history document: every live generation in
+// ascending ID order, plus which generation is being served right now.
+type historyView struct {
+	ServingGen    uint64              `json:"serving_gen"`
+	ServingSource string              `json:"serving_source"`
+	Generations   []historyGeneration `json:"generations"`
+}
+
+// handleHistory serves GET /v1/history from the store's manifest. It is
+// intentionally not cached: the store is tiny to list, and the document
+// must reflect compaction immediately.
+func (s *Server) handleHistory(w http.ResponseWriter, _ *http.Request) {
+	if s.opts.Store == nil {
+		writeError(w, http.StatusNotFound, "no durable store configured (-data-dir)")
+		return
+	}
+	snap := s.Snapshot()
+	view := historyView{ServingGen: snap.Gen, ServingSource: string(snap.Source)}
+	for _, g := range s.opts.Store.Generations() {
+		hg := historyGeneration{
+			Gen:          g.Gen,
+			BuiltAt:      g.Created.UTC().Format(time.RFC3339),
+			Seed:         g.Seed,
+			NumLIRs:      g.NumLIRs,
+			RoutingDays:  g.RoutingDays,
+			BuildSeconds: time.Duration(g.BuildNS).Seconds(),
+			Workers:      g.Workers,
+			Transfers:    g.Transfers,
+			Bytes:        g.Bytes,
+		}
+		for _, st := range g.Stages {
+			hg.Stages = append(hg.Stages, varzStage{Name: st.Name, Seconds: time.Duration(st.NS).Seconds()})
+		}
+		view.Generations = append(view.Generations, hg)
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// genCache keeps the artifact maps of recently loaded past generations
+// so pinned reads do not re-read and re-verify a segment file on every
+// request. Entries are evicted FIFO at a small cap; a generation
+// compacted out of the store simply ages out of here.
+type genCache struct {
+	mu      sync.Mutex
+	entries map[uint64]map[string]*artifact
+	order   []uint64
+	max     int
+}
+
+func newGenCache(max int) *genCache {
+	return &genCache{entries: make(map[uint64]map[string]*artifact), max: max}
+}
+
+// get returns the artifact map for gen, loading it through load on a
+// miss. Concurrent misses for the same generation may load twice; the
+// loads are idempotent and the duplicate is dropped.
+func (c *genCache) get(gen uint64, load func() (map[string]*artifact, error)) (map[string]*artifact, error) {
+	c.mu.Lock()
+	if arts, ok := c.entries[gen]; ok {
+		c.mu.Unlock()
+		return arts, nil
+	}
+	c.mu.Unlock()
+
+	arts, err := load()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[gen]; !ok {
+		for len(c.entries) >= c.max && len(c.order) > 0 {
+			delete(c.entries, c.order[0])
+			c.order = c.order[1:]
+		}
+		c.entries[gen] = arts
+		c.order = append(c.order, gen)
+	}
+	return c.entries[gen], nil
+}
+
+// pinnedGenerations is how many past generations' artifact maps the
+// server keeps decoded in memory for ?gen= reads.
+const pinnedGenerations = 4
+
+// errNoStore distinguishes "gen= used without a store" from a bad value.
+var errNoStore = errors.New("no durable store configured (-data-dir)")
+
+// pinnedArtifacts resolves the artifact map for a pinned generation,
+// hitting the current snapshot when the pin names it and the gen cache
+// (backed by store.Load) otherwise.
+func (s *Server) pinnedArtifacts(gen uint64) (map[string]*artifact, error) {
+	snap := s.Snapshot()
+	if snap.Gen == gen && snap.Gen != 0 {
+		return snap.static, nil
+	}
+	if s.opts.Store == nil {
+		return nil, errNoStore
+	}
+	return s.gens.get(gen, func() (map[string]*artifact, error) {
+		_, arts, err := s.opts.Store.Load(gen)
+		if err != nil {
+			return nil, err
+		}
+		static, _, err := assembleArtifacts(arts)
+		if err != nil {
+			return nil, err
+		}
+		return static, nil
+	})
+}
+
+// artifactForRequest resolves the artifact to serve for key, honoring a
+// ?gen=N pin. The boolean is false after an error response has already
+// been written.
+func (s *Server) artifactForRequest(w http.ResponseWriter, r *http.Request, key string) (*artifact, bool) {
+	raw := r.URL.Query().Get("gen")
+	if raw == "" {
+		art, ok := s.current().snap.staticArtifact(key)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown artifact "+key)
+			return nil, false
+		}
+		return art, true
+	}
+	gen, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil || gen == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("gen %q: want a positive generation ID", raw))
+		return nil, false
+	}
+	arts, err := s.pinnedArtifacts(gen)
+	switch {
+	case errors.Is(err, errNoStore):
+		writeError(w, http.StatusNotFound, errNoStore.Error())
+		return nil, false
+	case errors.Is(err, store.ErrNotFound):
+		writeError(w, http.StatusNotFound, fmt.Sprintf("generation %d not in store (compacted or never persisted)", gen))
+		return nil, false
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return nil, false
+	}
+	art, ok := arts[key]
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("generation %d has no artifact %q", gen, key))
+		return nil, false
+	}
+	return art, true
+}
+
+// rejectPinnedFilter answers 400 for query combinations that cannot be
+// generation-pinned (filters are computed from live snapshot state, not
+// stored bytes). It reports whether the request was rejected.
+func rejectPinnedFilter(w http.ResponseWriter, r *http.Request, filtered bool) bool {
+	if filtered && r.URL.Query().Get("gen") != "" {
+		writeError(w, http.StatusBadRequest, "gen= pins stored artifacts only; it cannot be combined with filter parameters")
+		return true
+	}
+	return false
+}

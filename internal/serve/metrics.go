@@ -84,6 +84,17 @@ func (m *Metrics) instrument(route string, h http.Handler) http.Handler {
 	})
 }
 
+// VarzHandler serves the metrics' own counter document — uptime,
+// panics, per-route requests and latency histograms. Daemons without a
+// snapshot server (cmd/rdapd) mount this directly so every server in
+// the repo exposes the same /varz surface; the snapshot Server renders
+// a superset through its own /varz route.
+func (m *Metrics) VarzHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, m.varz(time.Now()))
+	})
+}
+
 // statusWriter captures the response status for accounting.
 type statusWriter struct {
 	http.ResponseWriter
@@ -122,7 +133,11 @@ type varzRoute struct {
 }
 
 type varzSnapshot struct {
-	Seq          uint64  `json:"seq"`
+	Seq uint64 `json:"seq"`
+	// Gen is the durable store generation backing the snapshot (0: no
+	// store); Source is "build" or "store" (restored at warm start).
+	Gen          uint64  `json:"gen,omitempty"`
+	Source       string  `json:"source,omitempty"`
 	Seed         int64   `json:"seed"`
 	BuiltAt      string  `json:"built_at"`
 	AgeSeconds   float64 `json:"age_seconds"`
@@ -159,30 +174,49 @@ type varzRebuilds struct {
 	LastError string `json:"last_error,omitempty"`
 }
 
+// varzStore is the durable store's health on /varz: segment census,
+// persist outcomes, and what the last recovery found.
+type varzStore struct {
+	Segments      int    `json:"segments"`
+	Bytes         int64  `json:"bytes"`
+	NextGen       uint64 `json:"next_gen"`
+	Persists      int64  `json:"persists"`
+	PersistErrors int64  `json:"persist_errors"`
+	// LastPersistError is the most recent failed persist, "" after a
+	// success — durability failures degrade to this field, never to 5xx.
+	LastPersistError string `json:"last_persist_error,omitempty"`
+	// TruncatedTails counts segments quarantined at open (torn writes,
+	// bit flips); RecoveredGenerations is how many intact generations
+	// the open-time scan found.
+	TruncatedTails       int   `json:"truncated_tails"`
+	RecoveredGenerations int   `json:"recovered_generations"`
+	CompactedSegments    int64 `json:"compacted_segments"`
+	// WarmStart reports whether this process booted from the store.
+	WarmStart bool `json:"warm_start"`
+}
+
+// varzView is the /varz document. The snapshot, cache, rebuild, and
+// store sections are present only on servers that have them —
+// cmd/rdapd shares the route/latency surface via Metrics.VarzHandler
+// without growing snapshot fields it does not serve.
 type varzView struct {
 	UptimeSeconds float64              `json:"uptime_seconds"`
 	Panics        int64                `json:"panics"`
-	Snapshot      varzSnapshot         `json:"snapshot"`
-	Cache         varzCache            `json:"cache"`
-	Rebuilds      varzRebuilds         `json:"rebuilds"`
+	Snapshot      *varzSnapshot        `json:"snapshot,omitempty"`
+	Cache         *varzCache           `json:"cache,omitempty"`
+	Rebuilds      *varzRebuilds        `json:"rebuilds,omitempty"`
+	Store         *varzStore           `json:"store,omitempty"`
 	Routes        map[string]varzRoute `json:"routes"`
 }
 
-// varz renders the full counter document.
+// varz renders the counter document every server shares: uptime,
+// panics, and per-route request/latency stats. The Server adds its
+// snapshot, cache, rebuild, and store sections on top.
 func (m *Metrics) varz(now time.Time) varzView {
 	v := varzView{
 		UptimeSeconds: now.Sub(m.start).Seconds(),
 		Panics:        m.panics.Load(),
-		Cache: varzCache{
-			Hits:      m.cacheHits.Load(),
-			Misses:    m.cacheMisses.Load(),
-			Collapsed: m.cacheCollapsed.Load(),
-		},
-		Rebuilds: varzRebuilds{
-			Total:  m.rebuilds.Load(),
-			Errors: m.rebuildErrors.Load(),
-		},
-		Routes: make(map[string]varzRoute, len(m.routes)),
+		Routes:        make(map[string]varzRoute, len(m.routes)),
 	}
 	for route, rs := range m.routes {
 		n := rs.requests.Load()

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ipv4market/internal/simulation"
+	"ipv4market/internal/store"
 )
 
 // Options tunes a Server. The zero value picks sensible defaults.
@@ -21,6 +22,20 @@ type Options struct {
 	// BuildWorkers caps snapshot build-stage concurrency (<= 0: NumCPU).
 	// Any value yields byte-identical snapshots; see BuildOptions.
 	BuildWorkers int
+	// Store, when set, is the durable snapshot store: every successful
+	// build is persisted to it, /v1/history and ?gen= pinned reads are
+	// served from it, and WarmStart restores from it.
+	Store *store.Store
+	// StoreKeep bounds retention: after each persist the store is
+	// compacted to the newest StoreKeep generations (< 1: keep all).
+	StoreKeep int
+	// WarmStart makes New restore the newest valid store generation
+	// instead of building a snapshot, so a restarted server answers its
+	// first request immediately. The caller decides whether to follow up
+	// with RebuildAsync for a fresh build (cmd/marketd does). With no
+	// store, an empty store, or a failed restore, New falls back to a
+	// cold build.
+	WarmStart bool
 	// Logf, when set, receives operational log lines (rebuild failures
 	// with the failing stage, swap notices). No trailing newline needed.
 	Logf func(format string, args ...any)
@@ -59,6 +74,12 @@ type Server struct {
 	building atomic.Bool
 	wg       sync.WaitGroup
 
+	// gens caches decoded artifact maps of past store generations for
+	// ?gen= pinned reads; warm reports whether this server booted from
+	// the store instead of a cold build.
+	gens *genCache
+	warm bool
+
 	// lastRebuildErr holds the most recent background-rebuild failure
 	// (an error string wrapped with the failing stage name), "" after a
 	// success. Exposed on /varz so partial-build failures are
@@ -66,23 +87,88 @@ type Server struct {
 	lastRebuildErr atomic.Value // string
 }
 
-// New builds the initial snapshot for cfg synchronously (so a listening
-// server is always ready) and returns the serving layer around it.
+// New returns the serving layer for cfg with a snapshot ready to serve:
+// restored from the durable store when Options.WarmStart finds a valid
+// generation (the restore is milliseconds where a build is seconds —
+// the point of the store), built synchronously otherwise. A cold-built
+// initial snapshot is persisted like any other successful build.
 func New(cfg simulation.Config, opts Options) (*Server, error) {
 	s := &Server{
 		opts:    opts.withDefaults(),
 		metrics: NewMetrics(),
 		mux:     http.NewServeMux(),
+		gens:    newGenCache(pinnedGenerations),
 	}
-	snap, err := BuildSnapshotOpts(cfg, s.buildOptions())
-	if err != nil {
-		return nil, err
+	s.lastRebuildErr.Store("")
+
+	snap := s.tryWarmStart(cfg)
+	if snap == nil {
+		var err error
+		if snap, err = BuildSnapshotOpts(cfg, s.buildOptions()); err != nil {
+			return nil, err
+		}
+		s.persist(snap)
 	}
 	snap.Seq = s.seq.Add(1)
-	s.lastRebuildErr.Store("")
 	s.st.Store(&state{snap: snap, cache: newQueryCache(s.opts.CacheSize)})
 	s.routes()
 	return s, nil
+}
+
+// tryWarmStart restores the newest valid store generation when warm
+// starts are enabled. It returns nil — meaning "cold-build instead" —
+// for a missing store, an empty store, or a failed restore; a restore
+// failure is logged, never fatal, because the cold path always works.
+func (s *Server) tryWarmStart(cfg simulation.Config) *Snapshot {
+	if s.opts.Store == nil || !s.opts.WarmStart {
+		return nil
+	}
+	latest, ok := s.opts.Store.Latest()
+	if !ok {
+		return nil
+	}
+	meta, arts, err := s.opts.Store.Load(latest.Gen)
+	if err == nil {
+		var snap *Snapshot
+		if snap, err = restoreSnapshot(meta, arts, cfg); err == nil {
+			s.warm = true
+			return snap
+		}
+	}
+	s.logf("serve: warm start from generation %d failed, cold building: %v", latest.Gen, err)
+	return nil
+}
+
+// WarmStarted reports whether this server booted by restoring a store
+// generation rather than building a snapshot.
+func (s *Server) WarmStarted() bool { return s.warm }
+
+// persist writes a freshly built snapshot to the durable store (when
+// one is configured) and enforces retention. Persistence is best-effort
+// by design: the snapshot serves from memory either way, so a full
+// disk degrades durability, not availability. Failures are logged and
+// surface in /varz store.last_persist_error.
+func (s *Server) persist(snap *Snapshot) {
+	if s.opts.Store == nil {
+		return
+	}
+	meta, arts, err := snapshotRecord(snap)
+	if err != nil {
+		s.logf("serve: persist: %v", err)
+		return
+	}
+	meta, err = s.opts.Store.Append(meta, arts)
+	if err != nil {
+		s.logf("serve: persist: %v", err)
+		return
+	}
+	snap.Gen = meta.Gen
+	if removed, err := s.opts.Store.CompactTo(s.opts.StoreKeep); err != nil {
+		s.logf("serve: compact: %v", err)
+	} else if removed > 0 {
+		s.logf("serve: retention: compacted %d old generation(s), keeping %d", removed, s.opts.StoreKeep)
+	}
+	s.logf("serve: persisted generation %d", meta.Gen)
 }
 
 // buildOptions derives the snapshot build options from the server
@@ -146,9 +232,10 @@ func (s *Server) RebuildAsync(cfg simulation.Config) bool {
 			return
 		}
 		s.lastRebuildErr.Store("")
+		s.persist(snap) // before swap: Gen is read-only once published
 		s.swap(snap)
-		s.logf("serve: rebuild complete: seq=%d seed=%d in %v (%d workers)",
-			snap.Seq, snap.Cfg.Seed, snap.BuildTime.Round(time.Millisecond), snap.Workers)
+		s.logf("serve: rebuild complete: seq=%d gen=%d seed=%d in %v (%d workers)",
+			snap.Seq, snap.Gen, snap.Cfg.Seed, snap.BuildTime.Round(time.Millisecond), snap.Workers)
 	}()
 	return true
 }
@@ -158,19 +245,22 @@ func (s *Server) RebuildAsync(cfg simulation.Config) bool {
 func (s *Server) Wait() { s.wg.Wait() }
 
 // varz assembles the full counter document, including snapshot identity
-// and cache occupancy from the current generation.
+// and cache occupancy from the current generation and — when a store is
+// configured — the durable store's health.
 func (s *Server) varz(now time.Time) varzView {
 	v := s.metrics.varz(now)
 	st := s.current()
-	v.Snapshot = varzSnapshot{
+	v.Snapshot = &varzSnapshot{
 		Seq:          st.snap.Seq,
+		Gen:          st.snap.Gen,
+		Source:       string(st.snap.Source),
 		Seed:         st.snap.Cfg.Seed,
 		BuiltAt:      st.snap.BuiltAt.UTC().Format(time.RFC3339),
 		AgeSeconds:   st.snap.Age(now).Seconds(),
 		BuildSeconds: st.snap.BuildTime.Seconds(),
 		BuildWorkers: st.snap.Workers,
 		Delegations:  st.snap.Delegations.Len(),
-		Transfers:    len(st.snap.Transfers),
+		Transfers:    st.snap.TransferTotal(),
 	}
 	for _, stg := range st.snap.Stages {
 		v.Snapshot.BuildStages = append(v.Snapshot.BuildStages, varzStage{
@@ -178,10 +268,34 @@ func (s *Server) varz(now time.Time) varzView {
 			Seconds: stg.Duration.Seconds(),
 		})
 	}
-	v.Cache.Entries = st.cache.size()
-	v.Rebuilds.InFlight = s.building.Load()
+	v.Cache = &varzCache{
+		Hits:      s.metrics.cacheHits.Load(),
+		Misses:    s.metrics.cacheMisses.Load(),
+		Collapsed: s.metrics.cacheCollapsed.Load(),
+		Entries:   st.cache.size(),
+	}
+	v.Rebuilds = &varzRebuilds{
+		Total:    s.metrics.rebuilds.Load(),
+		Errors:   s.metrics.rebuildErrors.Load(),
+		InFlight: s.building.Load(),
+	}
 	if msg, _ := s.lastRebuildErr.Load().(string); msg != "" {
 		v.Rebuilds.LastError = msg
+	}
+	if s.opts.Store != nil {
+		stats := s.opts.Store.Stats()
+		v.Store = &varzStore{
+			Segments:             stats.Segments,
+			Bytes:                stats.Bytes,
+			NextGen:              stats.NextGen,
+			Persists:             stats.Persists,
+			PersistErrors:        stats.PersistErrors,
+			LastPersistError:     stats.LastPersistError,
+			TruncatedTails:       stats.TruncatedTails,
+			RecoveredGenerations: stats.RecoveredGenerations,
+			CompactedSegments:    stats.CompactedSegments,
+			WarmStart:            s.warm,
+		}
 	}
 	return v
 }

@@ -27,6 +27,13 @@ type Snapshot struct {
 	BuiltAt   time.Time
 	BuildTime time.Duration
 
+	// Gen is the durable store generation this snapshot was persisted as
+	// (or restored from); 0 when no store is configured. Source records
+	// how the snapshot came to be: built in-process or restored from the
+	// store at warm start.
+	Gen    uint64
+	Source Source
+
 	// Workers is the build-stage concurrency the snapshot was built
 	// with; Stages records each stage's wall-clock time (the "study"
 	// stage runs alone, the artifact stages run concurrently, so stage
@@ -48,12 +55,38 @@ type Snapshot struct {
 	// static maps endpoint keys ("table1", "fig1", ...) to their
 	// pre-encoded bodies.
 	static map[string]*artifact
+
+	// transferTotal backs TransferTotal for restored snapshots, which
+	// carry the count but not the decoded transfer log.
+	transferTotal int
 }
 
 // StageTiming is one build stage's wall-clock cost, exported on /varz.
 type StageTiming struct {
 	Name     string
 	Duration time.Duration
+}
+
+// Source says where a snapshot's bytes came from.
+type Source string
+
+const (
+	// SourceBuild marks a snapshot built in-process from the simulation.
+	SourceBuild Source = "build"
+	// SourceStore marks a snapshot restored from the durable store at
+	// warm start; its artifacts are byte-identical to the build that
+	// persisted them.
+	SourceStore Source = "store"
+)
+
+// TransferTotal reports how many transfers the snapshot's world holds.
+// A restored snapshot does not carry the decoded transfer log, only the
+// persisted count.
+func (s *Snapshot) TransferTotal() int {
+	if s.Transfers != nil {
+		return len(s.Transfers)
+	}
+	return s.transferTotal
 }
 
 // BuildOptions tunes a snapshot build. The zero value uses NumCPU
@@ -186,7 +219,7 @@ var snapshotStages = []buildStage{
 func BuildSnapshotOpts(cfg simulation.Config, opts BuildOptions) (*Snapshot, error) {
 	start := time.Now()
 	workers := opts.workers()
-	snap := &Snapshot{Cfg: cfg, BuiltAt: start, Workers: workers}
+	snap := &Snapshot{Cfg: cfg, BuiltAt: start, Workers: workers, Source: SourceBuild}
 	if cfg.RoutingDays < 1 {
 		return nil, fmt.Errorf("serve: empty routing window (RoutingDays=%d)", cfg.RoutingDays)
 	}

@@ -1,0 +1,205 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// seedStore opens a store in a fresh directory and persists n
+// generations, returning the directory and the segment file names in
+// generation order.
+func seedStore(t *testing.T, n int) (string, []string) {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for i := 0; i < n; i++ {
+		meta, err := s.Append(testMeta(int64(i)), testArtifacts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, segName(meta.Gen))
+	}
+	return dir, files
+}
+
+// reopen opens the store and asserts the expected surviving latest
+// generation and quarantine count.
+func reopen(t *testing.T, dir string, wantLatest uint64, wantQuarantined int) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open after fault: %v", err)
+	}
+	st := s.Stats()
+	if st.TruncatedTails != wantQuarantined {
+		t.Errorf("truncated tails = %d, want %d", st.TruncatedTails, wantQuarantined)
+	}
+	latest, ok := s.Latest()
+	if wantLatest == 0 {
+		if ok {
+			t.Errorf("store not empty: latest = %d", latest.Gen)
+		}
+		return s
+	}
+	if !ok || latest.Gen != wantLatest {
+		t.Fatalf("latest = %+v ok=%v, want generation %d", latest, ok, wantLatest)
+	}
+	// The surviving generation must actually be servable.
+	if _, arts, err := s.Load(latest.Gen); err != nil || len(arts) == 0 {
+		t.Fatalf("load surviving generation: %v (%d artifacts)", err, len(arts))
+	}
+	return s
+}
+
+// TestOpenRecoversFromTruncatedTail is the core crash-consistency
+// proof: truncating the newest segment at any point must leave a store
+// that opens, quarantines the torn segment, and serves the previous
+// generation.
+func TestOpenRecoversFromTruncatedTail(t *testing.T) {
+	for _, frac := range []float64{0, 0.25, 0.5, 0.9, 0.999} {
+		dir, files := seedStore(t, 2)
+		tail := filepath.Join(dir, files[1])
+		data, err := os.ReadFile(tail)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cut := int(float64(len(data)) * frac)
+		if err := os.WriteFile(tail, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s := reopen(t, dir, 1, 1)
+		// The torn file is preserved for forensics, not rescanned.
+		if _, err := os.Stat(tail + corruptSuffix); err != nil {
+			t.Errorf("cut at %.0f%%: quarantined file missing: %v", frac*100, err)
+		}
+		// The quarantined ID is burned: the next append must skip it.
+		meta, err := s.Append(testMeta(9), testArtifacts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if meta.Gen != 3 {
+			t.Errorf("cut at %.0f%%: append after quarantine got generation %d, want 3", frac*100, meta.Gen)
+		}
+	}
+}
+
+// TestOpenRecoversFromBitFlip flips one byte in each interesting region
+// of the newest segment; every flip must be caught by a checksum.
+func TestOpenRecoversFromBitFlip(t *testing.T) {
+	dir, files := seedStore(t, 2)
+	tail := filepath.Join(dir, files[1])
+	pristine, err := os.ReadFile(tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offsets: inside the header, the metadata frame, an artifact body,
+	// and the footer.
+	offsets := []int{4, len(segMagic) + 20, len(pristine) / 2, len(pristine) - 3}
+	for _, off := range offsets {
+		data := append([]byte(nil), pristine...)
+		data[off] ^= 0x40
+		if err := os.WriteFile(tail, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		reopen(t, dir, 1, 1)
+		// Restore for the next offset: un-quarantine by rewriting.
+		if err := os.Remove(tail + corruptSuffix); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(tail, pristine, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestOpenRecoversFromTrailingGarbage appends junk after the footer;
+// the segment must be rejected (a torn write cannot smuggle data in).
+func TestOpenRecoversFromTrailingGarbage(t *testing.T) {
+	dir, files := seedStore(t, 2)
+	tail := filepath.Join(dir, files[1])
+	f, err := os.OpenFile(tail, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("garbage past the footer")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	reopen(t, dir, 1, 1)
+}
+
+// TestOpenRecoversAllSegmentsCorrupt wipes every segment: the store
+// must still open, empty, and accept new generations with fresh IDs.
+func TestOpenRecoversAllSegmentsCorrupt(t *testing.T) {
+	dir, files := seedStore(t, 2)
+	for _, name := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("not a segment at all"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := reopen(t, dir, 0, 2)
+	meta, err := s.Append(testMeta(5), testArtifacts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Gen != 3 {
+		t.Errorf("append into fully quarantined store got generation %d, want 3", meta.Gen)
+	}
+}
+
+// TestOpenCleansStaleTempFiles simulates a crash mid-write: the *.tmp
+// file must be removed and never surface as a generation.
+func TestOpenCleansStaleTempFiles(t *testing.T) {
+	dir, _ := seedStore(t, 1)
+	stale := filepath.Join(dir, segName(99)+".12345.tmp")
+	if err := os.WriteFile(stale, []byte("half a segment"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := reopen(t, dir, 1, 0)
+	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("stale temp file survived open: %v", err)
+	}
+	if len(s.Generations()) != 1 {
+		t.Errorf("temp file surfaced as a generation: %+v", s.Generations())
+	}
+}
+
+// TestOpenRejectsUnsupportedVersion: a future format version must fail
+// Open loudly rather than quarantine data a newer binary wrote.
+func TestOpenRejectsUnsupportedVersion(t *testing.T) {
+	dir, files := seedStore(t, 1)
+	path := filepath.Join(dir, files[0])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(segMagic)] = 2 // version 2
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "unsupported segment version") {
+		t.Errorf("open = %v, want unsupported-version error", err)
+	}
+}
+
+// TestOpenQuarantinesMislabeledGeneration: a segment whose file name
+// and embedded generation disagree cannot be trusted under either ID.
+func TestOpenQuarantinesMislabeledGeneration(t *testing.T) {
+	dir, files := seedStore(t, 2)
+	// Copy generation 1's bytes over generation 2's file.
+	data, err := os.ReadFile(filepath.Join(dir, files[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, files[1]), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reopen(t, dir, 1, 1)
+}

@@ -1,0 +1,298 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// testMeta returns a metadata record with every field populated, so
+// round-trip tests cover the full schema.
+func testMeta(seed int64) Meta {
+	return Meta{
+		Created:     time.Date(2020, 6, 1, 12, 30, 0, 0, time.UTC),
+		Seed:        seed,
+		NumLIRs:     14,
+		RoutingDays: 40,
+		Workers:     4,
+		BuildNS:     123456789,
+		Stages:      []Stage{{Name: "study", NS: 1000}, {Name: "table1", NS: 200}},
+		Transfers:   321,
+	}
+}
+
+// testArtifacts returns a representative artifact set: JSON and CSV
+// encodings of one key, a JSON-only key, and an auxiliary state key.
+func testArtifacts() []Artifact {
+	return []Artifact{
+		{Key: "table1", ContentType: "application/json", ETag: `"abc"`, Body: []byte(`{"rows":[]}` + "\n")},
+		{Key: "table1", ContentType: "text/csv", ETag: `"def"`, Body: []byte("rir,depleted\n")},
+		{Key: "headline", ContentType: "application/json", ETag: `"123"`, Body: []byte(`{"n":1}` + "\n")},
+		{Key: "_state/pricecells", ContentType: "application/json", ETag: "", Body: []byte(`[]`)},
+	}
+}
+
+// TestSegmentRoundTrip pins the format: what Append writes, Load reads
+// back bit-for-bit — keys, content types, ETags, bodies, metadata.
+func TestSegmentRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := testArtifacts()
+	meta, err := s.Append(testMeta(42), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Gen != 1 {
+		t.Fatalf("first generation = %d, want 1", meta.Gen)
+	}
+	got, arts, err := s.Load(meta.Gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != 42 || got.NumLIRs != 14 || got.RoutingDays != 40 || got.Transfers != 321 {
+		t.Errorf("meta round trip: %+v", got)
+	}
+	if !got.Created.Equal(testMeta(42).Created) {
+		t.Errorf("created %v, want %v", got.Created, testMeta(42).Created)
+	}
+	if len(got.Stages) != 2 || got.Stages[0].Name != "study" || got.Stages[0].NS != 1000 {
+		t.Errorf("stages round trip: %+v", got.Stages)
+	}
+	if len(arts) != len(in) {
+		t.Fatalf("%d artifacts, want %d", len(arts), len(in))
+	}
+	for i, a := range arts {
+		w := in[i]
+		if a.Key != w.Key || a.ContentType != w.ContentType || a.ETag != w.ETag {
+			t.Errorf("artifact[%d] header = %q/%q/%q, want %q/%q/%q",
+				i, a.Key, a.ContentType, a.ETag, w.Key, w.ContentType, w.ETag)
+		}
+		if !bytes.Equal(a.Body, w.Body) {
+			t.Errorf("artifact[%d] %q body differs", i, a.Key)
+		}
+	}
+}
+
+// TestEncodeSegmentDeterministic pins byte-identical encoding for
+// identical inputs — segments are content-addressable by their CRC.
+func TestEncodeSegmentDeterministic(t *testing.T) {
+	m := testMeta(7)
+	m.Gen = 3
+	a, err := encodeSegment(m, testArtifacts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := encodeSegment(m, testArtifacts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("identical inputs encoded to different segment bytes")
+	}
+}
+
+// TestAppendAssignsMonotonicGenerations checks ID assignment across
+// appends and a reopen.
+func TestAppendAssignsMonotonicGenerations(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for want := uint64(1); want <= 3; want++ {
+		meta, err := s.Append(testMeta(int64(want)), testArtifacts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if meta.Gen != want {
+			t.Fatalf("generation = %d, want %d", meta.Gen, want)
+		}
+	}
+
+	// Reopen: the scan must find all three and continue the sequence.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens := s2.Generations()
+	if len(gens) != 3 {
+		t.Fatalf("reopened store has %d generations, want 3", len(gens))
+	}
+	latest, ok := s2.Latest()
+	if !ok || latest.Gen != 3 {
+		t.Fatalf("latest = %+v ok=%v, want gen 3", latest, ok)
+	}
+	meta, err := s2.Append(testMeta(99), testArtifacts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Gen != 4 {
+		t.Errorf("post-reopen generation = %d, want 4", meta.Gen)
+	}
+	if st := s2.Stats(); st.RecoveredGenerations != 3 || st.Segments != 4 || st.Bytes <= 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestCompactTo checks retention: oldest segments go, newest stay, IDs
+// keep advancing, and compacted generations are gone from Load.
+func TestCompactTo(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := s.Append(testMeta(int64(i)), testArtifacts()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := s.CompactTo(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 3 {
+		t.Fatalf("removed %d segments, want 3", removed)
+	}
+	gens := s.Generations()
+	if len(gens) != 2 || gens[0].Gen != 4 || gens[1].Gen != 5 {
+		t.Fatalf("surviving generations: %+v", gens)
+	}
+	if _, _, err := s.Load(2); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Load(compacted) error = %v, want ErrNotFound", err)
+	}
+	if _, _, err := s.Load(5); err != nil {
+		t.Errorf("Load(newest) after compaction: %v", err)
+	}
+	// IDs must not be reused after compaction, even across a reopen.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := s2.Append(testMeta(9), testArtifacts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Gen != 6 {
+		t.Errorf("post-compaction generation = %d, want 6", meta.Gen)
+	}
+	if st := s2.Stats(); st.NextGen != 7 {
+		t.Errorf("next_gen = %d, want 7", st.NextGen)
+	}
+	// keep < 1 disables retention.
+	if n, err := s2.CompactTo(0); err != nil || n != 0 {
+		t.Errorf("CompactTo(0) = %d, %v; want no-op", n, err)
+	}
+}
+
+// TestLoadUnknownGeneration pins the ErrNotFound contract.
+func TestLoadUnknownGeneration(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Load(12); !errors.Is(err, ErrNotFound) {
+		t.Errorf("error = %v, want ErrNotFound", err)
+	}
+	if _, ok := s.Latest(); ok {
+		t.Error("empty store reports a latest generation")
+	}
+}
+
+// TestManifestRebuiltFromScan deletes and corrupts the manifest; the
+// store must rebuild it from the segment files alone.
+func TestManifestRebuiltFromScan(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(testMeta(1), testArtifacts()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(testMeta(2), testArtifacts()); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, mutate := range map[string]func(string) error{
+		"deleted": os.Remove,
+		"corrupt": func(p string) error { return os.WriteFile(p, []byte("{nope"), 0o644) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			if err := mutate(filepath.Join(dir, manifestName)); err != nil {
+				t.Fatal(err)
+			}
+			s2, err := Open(dir)
+			if err != nil {
+				t.Fatalf("open with %s manifest: %v", name, err)
+			}
+			if got := len(s2.Generations()); got != 2 {
+				t.Fatalf("recovered %d generations, want 2", got)
+			}
+			if latest, _ := s2.Latest(); latest.Gen != 2 {
+				t.Errorf("latest = %d, want 2", latest.Gen)
+			}
+			if st := s2.Stats(); st.NextGen != 3 {
+				t.Errorf("next_gen = %d, want 3", st.NextGen)
+			}
+		})
+	}
+}
+
+// TestConcurrentReadersDuringAppend hammers reads while generations are
+// appended and compacted; run under -race by scripts/check.sh.
+func TestConcurrentReadersDuringAppend(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(testMeta(0), testArtifacts()); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	errc := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() { // coordinated: drained via errc after close(stop)
+			for {
+				select {
+				case <-stop:
+					errc <- nil
+					return
+				default:
+				}
+				latest, ok := s.Latest()
+				if !ok {
+					errc <- fmt.Errorf("store went empty")
+					return
+				}
+				if _, _, err := s.Load(latest.Gen); err != nil && !errors.Is(err, ErrNotFound) {
+					// ErrNotFound is a legal race with compaction; any
+					// other failure is a real bug.
+					errc <- fmt.Errorf("load gen %d: %w", latest.Gen, err)
+					return
+				}
+				s.Stats()
+			}
+		}()
+	}
+	for i := 1; i < 8; i++ {
+		if _, err := s.Append(testMeta(int64(i)), testArtifacts()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.CompactTo(3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	for i := 0; i < 4; i++ {
+		if err := <-errc; err != nil {
+			t.Error(err)
+		}
+	}
+}

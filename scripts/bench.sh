@@ -1,0 +1,21 @@
+#!/bin/sh
+# bench.sh — re-record the benchmark baselines (BENCH_build.json,
+# BENCH_serve.json) on this machine.
+#
+# The heavy lifting is cmd/benchrecord: it runs the serve-layer
+# benchmarks through `go test -bench`, parses the output, and rewrites
+# the baseline JSON with the results plus the recording machine's
+# metadata (CPU model, num_cpu, GOMAXPROCS, Go version) so two
+# recordings are only ever compared on like hardware.
+#
+#   scripts/bench.sh                 # both suites
+#   scripts/bench.sh -suite build    # just BenchmarkSnapshotBuild
+#   scripts/bench.sh -benchtime 1s   # override the per-suite default
+#
+# Record on an otherwise idle machine; the serve suite uses RunParallel,
+# so background load skews it most.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+go run ./cmd/benchrecord -dir . "$@"

@@ -13,13 +13,22 @@
 #                          suite can never silently drop them: a
 #                          snapshot (and Figure 6) built at any worker
 #                          count must be byte-identical to the serial
-#                          build; TestBenchBuildJSONParses keeps the
-#                          BENCH_build.json baseline well-formed
-#   6. marketd smoke     — build the serving daemon, boot it on an
+#                          build; TestBench*JSONParses keep the
+#                          BENCH_*.json baselines well-formed
+#   6. store gate        — the durability contracts, run explicitly and
+#                          by name: segment round-trip + corrupt-tail
+#                          recovery (internal/store fault injection),
+#                          and warm-start/restart determinism
+#                          (internal/serve: byte- and ETag-identical
+#                          responses across a restart)
+#   7. marketd smoke     — build the serving daemon, boot it on an
 #                          ephemeral loopback port, and query every
 #                          endpoint through a real HTTP client
 #                          (marketd -selfcheck does the full cycle
-#                          in-process; no curl or job control needed)
+#                          in-process; no curl or job control needed).
+#                          Run twice: in-memory, and with -data-dir
+#                          under a temp dir to exercise persist →
+#                          shutdown → warm-start → /v1/history
 #
 # Run from anywhere inside the repository.
 set -eu
@@ -40,15 +49,28 @@ go test -race ./...
 
 echo "==> parallel-build determinism gate"
 go test -race -count=1 \
-    -run 'TestBuildSnapshotDeterministic|TestBenchBuildJSONParses' \
+    -run 'TestBuildSnapshotDeterministic|TestBenchBuildJSONParses|TestBenchServeJSONParses' \
     ./internal/serve
 go test -race -count=1 \
     -run 'TestFigure6WorkersDeterministic|TestFigure2WorkersMatchesSerial' \
     ./internal/core
 
+echo "==> durable-store gate"
+go test -race -count=1 \
+    -run 'TestSegmentRoundTrip|TestOpenRecovers|TestAppendAssignsMonotonicGenerations' \
+    ./internal/store
+go test -race -count=1 \
+    -run 'TestWarmStartMatchesColdBuild|TestRestartETagContinuity|TestSnapshotRecordRestoreRoundTrip' \
+    ./internal/serve
+
 echo "==> marketd smoke test"
 mkdir -p "${TMPDIR:-/tmp}/ipv4market-check"
 go build -o "${TMPDIR:-/tmp}/ipv4market-check/marketd" ./cmd/marketd
 "${TMPDIR:-/tmp}/ipv4market-check/marketd" -selfcheck -lirs 14 -days 40
+
+echo "==> marketd durable smoke test (persist -> warm start -> /v1/history)"
+store_dir=$(mktemp -d "${TMPDIR:-/tmp}/ipv4market-store.XXXXXX")
+trap 'rm -rf "$store_dir"' EXIT
+"${TMPDIR:-/tmp}/ipv4market-check/marketd" -selfcheck -lirs 14 -days 40 -data-dir "$store_dir"
 
 echo "check.sh: all gates passed"
