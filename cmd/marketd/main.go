@@ -29,11 +29,23 @@
 // and ?gen=N on the artifact endpoints pins a read to a stored
 // generation with its original bytes and ETag.
 //
+// With -data-dir the server is also a replication leader: it exposes
+// GET /v1/replication/generations (the sealed-segment catalog) and
+// GET /v1/replication/segment/{gen} (raw segment bytes with ETag and
+// Range support). A second marketd started with -follow <leader-url>
+// runs as a follower: it never builds locally, pulls the leader's
+// segments into its own -data-dir (verified, atomic, quarantining
+// corrupt downloads), and serves byte- and ETag-identical responses.
+// Followers poll every -poll-interval, back off with jitter when the
+// leader is unreachable, keep serving their last good generation in the
+// meantime, and answer 409 on POST /admin/rebuild. See internal/replicate.
+//
 // -selfcheck boots the server on a loopback port, queries the key
 // endpoints through a real HTTP client, and exits; scripts/check.sh uses
 // it as the smoke test. With -data-dir it additionally proves the
-// restart path: it shuts the first server down, warm-starts a second
-// one over the same directory, and asserts body and ETag continuity.
+// restart path: it shuts the first server down, re-verifies every
+// on-disk segment checksum, warm-starts a second server over the same
+// directory, and asserts body and ETag continuity.
 package main
 
 import (
@@ -50,6 +62,7 @@ import (
 	"syscall"
 	"time"
 
+	"ipv4market/internal/replicate"
 	"ipv4market/internal/serve"
 	"ipv4market/internal/simulation"
 	"ipv4market/internal/store"
@@ -76,6 +89,8 @@ func run(w io.Writer, args []string) error {
 		workers   = fs.Int("buildworkers", 0, "snapshot build-stage worker count (0: NumCPU); output is identical at any count")
 		dataDir   = fs.String("data-dir", "", "durable snapshot store directory (empty: in-memory only)")
 		storeKeep = fs.Int("store-keep", 5, "generations to retain in the store after each persist (< 1: keep all)")
+		follow    = fs.String("follow", "", "run as replication follower of this leader base URL (requires -data-dir)")
+		pollEvery = fs.Duration("poll-interval", 5*time.Second, "follower: steady-state leader poll period")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,6 +107,17 @@ func run(w io.Writer, args []string) error {
 		cfg.RoutingDays = *days
 	}
 
+	follower := *follow != ""
+	if follower && *dataDir == "" {
+		return fmt.Errorf("marketd: -follow requires -data-dir (the follower's local segment store)")
+	}
+	if follower && *selfcheck {
+		return fmt.Errorf("marketd: -selfcheck and -follow are mutually exclusive (selfcheck the leader instead)")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	opts := serve.Options{
 		Timeout:      *timeout,
 		EnableAdmin:  *admin || *selfcheck,
@@ -102,8 +128,10 @@ func run(w io.Writer, args []string) error {
 			fmt.Fprintf(w, format+"\n", args...)
 		},
 	}
+	var st *store.Store
 	if *dataDir != "" {
-		st, err := store.Open(*dataDir)
+		var err error
+		st, err = store.Open(*dataDir)
 		if err != nil {
 			return fmt.Errorf("marketd: open store: %w", err)
 		}
@@ -116,34 +144,95 @@ func run(w io.Writer, args []string) error {
 		fmt.Fprintln(w)
 	}
 
+	// Every store-backed marketd is a replication leader (followers can
+	// chain from followers); a -follow process is additionally a
+	// follower, and its /varz replication section reports that role.
+	var leader *replicate.Leader
+	if st != nil {
+		leader = replicate.NewLeader(st)
+		opts.ReplicationVarz = leader.Varz
+	}
+	var repl *replicate.Replicator
+	if follower {
+		var err error
+		repl, err = replicate.New(replicate.Options{
+			LeaderURL: *follow,
+			Store:     st,
+			Interval:  *pollEvery,
+			Keep:      *storeKeep,
+			Logf:      opts.Logf,
+		})
+		if err != nil {
+			return fmt.Errorf("marketd: %w", err)
+		}
+		opts.Follower = true
+		opts.ReplicationVarz = repl.Varz
+		// Serving needs at least one generation; sync until we have one
+		// (or the process is told to stop). The leader being down — or
+		// up but empty — at follower boot is expected; keep trying.
+		for {
+			if _, ok := st.Latest(); ok {
+				break
+			}
+			fmt.Fprintf(w, "marketd: follower: syncing initial generation from %s...\n", *follow)
+			if err := repl.SyncOnce(ctx); err != nil && ctx.Err() == nil {
+				fmt.Fprintf(w, "marketd: follower: initial sync failed (will retry in %s): %v\n", *pollEvery, err)
+			}
+			if _, ok := st.Latest(); ok {
+				break
+			}
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("marketd: follower: interrupted before first sync")
+			case <-time.After(*pollEvery):
+			}
+		}
+	}
+
 	build := time.Now()
-	fmt.Fprintf(w, "marketd: building snapshot (seed=%d lirs=%d days=%d)...\n", cfg.Seed, cfg.NumLIRs, cfg.RoutingDays)
+	if !follower {
+		fmt.Fprintf(w, "marketd: building snapshot (seed=%d lirs=%d days=%d)...\n", cfg.Seed, cfg.NumLIRs, cfg.RoutingDays)
+	}
 	srv, err := serve.New(cfg, opts)
 	if err != nil {
 		return err
 	}
 	snap := srv.Snapshot()
-	if srv.WarmStarted() {
+	switch {
+	case follower:
+		fmt.Fprintf(w, "marketd: follower of %s: serving generation %d (seed=%d, built %s)\n",
+			*follow, snap.Gen, snap.Cfg.Seed, snap.BuiltAt.UTC().Format(time.RFC3339))
+	case srv.WarmStarted():
 		fmt.Fprintf(w, "marketd: warm start: restored generation %d (seed=%d, built %s) in %v; serving now\n",
 			snap.Gen, snap.Cfg.Seed, snap.BuiltAt.UTC().Format(time.RFC3339), time.Since(build).Round(time.Millisecond))
-	} else {
+	default:
 		fmt.Fprintf(w, "marketd: snapshot ready in %v (%d workers): %d transfers, %d price cells, %d delegations\n",
 			time.Since(build).Round(time.Millisecond), snap.Workers, snap.TransferTotal(), len(snap.PriceCells), snap.Delegations.Len())
+	}
+
+	if leader != nil {
+		srv.Mount("GET /v1/replication/generations", leader.Generations(), *timeout)
+		// Segment bodies can be large; 0 disables the timeout middleware
+		// so a slow follower's download is never cut mid-stream.
+		srv.Mount("GET /v1/replication/segment/{gen}", leader.Segment(), 0)
 	}
 
 	if *selfcheck {
 		return runSelfcheck(w, srv, *drain, *dataDir, cfg, opts)
 	}
 
-	// A warm-started server is serving yesterday's data by design; kick
-	// off a fresh build in the background so it converges on a current
-	// snapshot without delaying the first request.
-	if srv.WarmStarted() && srv.RebuildAsync(cfg) {
+	if follower {
+		// From here on every new generation the replicator installs is
+		// hot-swapped into the serving layer. The loop's first pass may
+		// re-adopt the generation serve.New just restored; the swap is
+		// idempotent.
+		repl.SetApply(func(m store.Meta) error { return srv.AdoptGeneration(m.Gen) })
+	} else if srv.WarmStarted() && srv.RebuildAsync(cfg) {
+		// A warm-started leader is serving yesterday's data by design;
+		// kick off a fresh build in the background so it converges on a
+		// current snapshot without delaying the first request.
 		fmt.Fprintln(w, "marketd: fresh rebuild started in background")
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -151,7 +240,13 @@ func run(w io.Writer, args []string) error {
 	}
 	fmt.Fprintf(w, "marketd: serving on http://%s\n", ln.Addr())
 
-	watchHUP(ctx, w, srv, cfg)
+	if follower {
+		go repl.Run(ctx)
+	} else {
+		// SIGHUP rebuilds are a leader affordance; a follower's snapshots
+		// only ever come from its leader.
+		watchHUP(ctx, w, srv, cfg)
+	}
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	if err := serve.Serve(ctx, httpSrv, ln, *drain); err != nil {
@@ -307,8 +402,21 @@ func selfcheckRestart(w io.Writer, drain time.Duration, dataDir string, cfg simu
 	if err != nil {
 		return fmt.Errorf("marketd: selfcheck restart: reopen store: %w", err)
 	}
+
+	// Re-checksum every segment on disk (frame CRCs + footer) — the same
+	// verification replication followers run on downloads.
+	gens := st.Generations()
+	for _, g := range gens {
+		if err := st.Verify(g.Gen); err != nil {
+			return fmt.Errorf("marketd: selfcheck: %w", err)
+		}
+	}
+	fmt.Fprintf(w, "marketd: selfcheck verify: %d segment(s) re-checksummed clean\n", len(gens))
+
 	opts.Store = st
 	opts.WarmStart = true
+	leader := replicate.NewLeader(st)
+	opts.ReplicationVarz = leader.Varz
 	srv2, err := serve.New(cfg, opts)
 	if err != nil {
 		return fmt.Errorf("marketd: selfcheck restart: %w", err)
@@ -316,6 +424,8 @@ func selfcheckRestart(w io.Writer, drain time.Duration, dataDir string, cfg simu
 	if !srv2.WarmStarted() {
 		return fmt.Errorf("marketd: selfcheck restart: second server did not warm-start")
 	}
+	srv2.Mount("GET /v1/replication/generations", leader.Generations(), 0)
+	srv2.Mount("GET /v1/replication/segment/{gen}", leader.Segment(), 0)
 	base, shutdown, err := loopbackServer(srv2, drain)
 	if err != nil {
 		return err
@@ -347,6 +457,22 @@ func selfcheckRestart(w io.Writer, drain time.Duration, dataDir string, cfg simu
 		return fmt.Errorf("marketd: selfcheck restart: pre-restart ETag answered %d, want 304", resp.StatusCode)
 	}
 	fmt.Fprintf(w, "marketd: selfcheck %-28s %d (ETag continuity)\n", "/v1/table1 If-None-Match", resp.StatusCode)
+
+	replBody, _, err := checkGet(w, client, base, "/v1/replication/generations")
+	if err != nil {
+		return err
+	}
+	var listing struct {
+		Generations []struct {
+			Gen uint64 `json:"gen"`
+		} `json:"generations"`
+	}
+	if err := json.Unmarshal(replBody, &listing); err != nil {
+		return fmt.Errorf("marketd: selfcheck restart: /v1/replication/generations: %w", err)
+	}
+	if len(listing.Generations) == 0 {
+		return fmt.Errorf("marketd: selfcheck restart: replication listing is empty")
+	}
 
 	histBody, _, err := checkGet(w, client, base, "/v1/history")
 	if err != nil {

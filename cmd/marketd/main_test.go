@@ -58,6 +58,39 @@ func TestSelfcheckWithDataDir(t *testing.T) {
 	}
 }
 
+// TestFollowerFlagValidation pins the follower-mode flag contract:
+// -follow needs a local store, and -selfcheck targets leaders only.
+func TestFollowerFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-follow", "http://127.0.0.1:1"}); err == nil ||
+		!strings.Contains(err.Error(), "-follow requires -data-dir") {
+		t.Errorf("-follow without -data-dir: err = %v", err)
+	}
+	if err := run(&buf, []string{"-follow", "http://127.0.0.1:1", "-data-dir", t.TempDir(), "-selfcheck"}); err == nil ||
+		!strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("-follow with -selfcheck: err = %v", err)
+	}
+}
+
+// TestSelfcheckVerifiesSegments asserts the durable selfcheck includes
+// the store Verify pass and the replication listing.
+func TestSelfcheckVerifiesSegments(t *testing.T) {
+	var buf bytes.Buffer
+	args := append([]string{"-selfcheck", "-data-dir", t.TempDir()}, smallWorld...)
+	if err := run(&buf, args); err != nil {
+		t.Fatalf("durable selfcheck failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, marker := range []string{
+		"selfcheck verify: 1 segment(s) re-checksummed clean",
+		"/v1/replication/generations",
+	} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("selfcheck output lacks %q:\n%s", marker, out)
+		}
+	}
+}
+
 func TestBadFlags(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(&buf, []string{"-nosuchflag"}); err == nil {

@@ -8,6 +8,10 @@
 // Client:
 //
 //	rdapd -query http://127.0.0.1:8080 -prefix 185.0.0.0/24
+//
+// -selfcheck boots the server on an ephemeral loopback port, queries
+// every route (/ip/<addr>, /ip/<addr>/<len>, /varz) through a real HTTP
+// client, and exits — the same smoke contract marketd -selfcheck has.
 package main
 
 import (
@@ -42,8 +46,9 @@ func run(w io.Writer, args []string) error {
 		listen   = fs.String("listen", "127.0.0.1:8080", "server listen address")
 		query    = fs.String("query", "", "client mode: RDAP base URL to query")
 		prefix   = fs.String("prefix", "", "client mode: prefix to look up (e.g. 185.0.0.0/24)")
-		timeout  = fs.Duration("timeout", 10*time.Second, "per-request handler timeout")
-		drain    = fs.Duration("drain", 5*time.Second, "graceful-shutdown drain window")
+		timeout   = fs.Duration("timeout", 10*time.Second, "per-request handler timeout")
+		drain     = fs.Duration("drain", 5*time.Second, "graceful-shutdown drain window")
+		selfcheck = fs.Bool("selfcheck", false, "boot on a loopback port, smoke-query every route, exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,6 +95,11 @@ func run(w io.Writer, args []string) error {
 		return err
 	}
 	db.Freeze() // reads are concurrency-safe from here on
+
+	if *selfcheck {
+		return runSelfcheck(w, db, *timeout, *drain)
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
@@ -106,6 +116,65 @@ func run(w io.Writer, args []string) error {
 		return err
 	}
 	fmt.Fprintln(w, "rdapd: shut down cleanly")
+	return nil
+}
+
+// runSelfcheck serves the database on an ephemeral loopback port,
+// exercises every route — an address lookup, a prefix lookup, and /varz
+// — through a real HTTP client, and reports pass/fail. The lookup
+// targets come from the snapshot itself (its first object's start
+// address), so any non-empty snapshot selfchecks without fixtures.
+func runSelfcheck(w io.Writer, db *whois.DB, timeout, drain time.Duration) error {
+	if db.Len() == 0 {
+		return fmt.Errorf("rdapd: selfcheck: snapshot holds no inetnum objects")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("rdapd: selfcheck listen: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	httpSrv := &http.Server{Handler: rdapHandler(db, timeout)}
+	done := make(chan error, 1)
+	go func() { // coordinated: result drained below after cancel
+		done <- serve.Serve(ctx, httpSrv, ln, drain)
+	}()
+
+	first := db.All()[0].First
+	paths := []string{
+		fmt.Sprintf("/ip/%s", first),
+		fmt.Sprintf("/ip/%s/32", first),
+		"/varz",
+	}
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 10 * time.Second}
+	var checkErr error
+	for _, path := range paths {
+		resp, err := client.Get(base + path)
+		if err != nil {
+			checkErr = fmt.Errorf("rdapd: selfcheck %s: %w", path, err)
+			break
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			checkErr = fmt.Errorf("rdapd: selfcheck %s: read: %w", path, err)
+			break
+		}
+		if resp.StatusCode != http.StatusOK {
+			checkErr = fmt.Errorf("rdapd: selfcheck %s: status %d", path, resp.StatusCode)
+			break
+		}
+		fmt.Fprintf(w, "rdapd: selfcheck %-24s %d (%d bytes)\n", path, resp.StatusCode, len(body))
+	}
+
+	cancel()
+	if err := <-done; err != nil && checkErr == nil {
+		checkErr = err
+	}
+	if checkErr != nil {
+		return checkErr
+	}
+	fmt.Fprintf(w, "rdapd: selfcheck passed (%d endpoints)\n", len(paths))
 	return nil
 }
 

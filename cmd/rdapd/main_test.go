@@ -122,6 +122,35 @@ func TestVarzSurface(t *testing.T) {
 	}
 }
 
+// TestSelfcheck runs the full -selfcheck cycle: boot on a loopback
+// port, query every route, shut down clean.
+func TestSelfcheck(t *testing.T) {
+	path := writeSnapshot(t)
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-snapshot", path, "-selfcheck"}); err != nil {
+		t.Fatalf("selfcheck failed: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"/ip/185.0.0.0", "/ip/185.0.0.0/32", "/varz", "selfcheck passed (3 endpoints)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("selfcheck output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSelfcheckEmptySnapshot proves -selfcheck refuses a snapshot with
+// nothing to look up instead of passing vacuously.
+func TestSelfcheckEmptySnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-snapshot", path, "-selfcheck"}); err == nil {
+		t.Error("selfcheck over an empty snapshot should fail")
+	}
+}
+
 func TestClientModeErrors(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(&buf, []string{"-query", "http://127.0.0.1:0"}); err == nil {

@@ -7,6 +7,7 @@ func All() []*Analyzer {
 		BannedCall(DefaultBans()),
 		FloatCmp,
 		NakedGo,
+		NoCtxHTTP,
 		SeededRand,
 		TimeEq,
 		WrapErr,

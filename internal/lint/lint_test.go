@@ -79,6 +79,7 @@ func TestAnalyzersGolden(t *testing.T) {
 		{"seededrand", SeededRand},
 		{"wraperr", WrapErr},
 		{"nakedgo", NakedGo},
+		{"noctxhttp", NoCtxHTTP},
 		{"bannedcall", BannedCall(DefaultBans())},
 	}
 	for _, c := range cases {

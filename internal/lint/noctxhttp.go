@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// noCtxHTTPFuncs are the net/http package-level helpers that issue or
+// build requests without a context: the request cannot be cancelled, so
+// a stuck server holds the caller's goroutine forever. NewRequest is in
+// the list because a context-free request infects every client that
+// later sends it; NewRequestWithContext is the sanctioned form.
+var noCtxHTTPFuncs = []string{"Get", "Head", "Post", "PostForm", "NewRequest"}
+
+// NoCtxHTTP flags context-free net/http calls in library code. Library
+// HTTP calls must be cancellable — internal/replicate's follower loop is
+// the motivating case: every poll must die promptly on shutdown and
+// respect a per-request timeout, which only context-aware requests
+// (http.NewRequestWithContext) provide. Package main is exempt: a CLI's
+// one-shot probe (rdapd's client mode, marketd's selfcheck) lives and
+// dies with the process, so process lifetime is its cancellation scope.
+// Methods on an *http.Client value are not package-level calls and are
+// judged by what request they send, not flagged here.
+var NoCtxHTTP = &Analyzer{
+	Name: "noctxhttp",
+	Doc:  "flag context-free net/http calls (http.Get, http.NewRequest, ...) in library code",
+	Run: func(pass *Pass) {
+		if pass.Pkg.Types.Name() == "main" {
+			return
+		}
+		info := pass.Pkg.Info
+		inspectFiles(pass, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, fn := range noCtxHTTPFuncs {
+				if pkgFuncCall(info, call, "net/http", fn) {
+					pass.Reportf(call.Pos(), "context-free http.%s in library code: use http.NewRequestWithContext so the call can be cancelled", fn)
+				}
+			}
+			return true
+		})
+	},
+}

@@ -1,0 +1,30 @@
+// Package noctxhttpfix is a golden fixture for the noctxhttp analyzer.
+package noctxhttpfix
+
+import (
+	"context"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+func fetch(ctx context.Context, c *http.Client) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://example.test/", nil) // the sanctioned form
+	if err != nil {
+		return err
+	}
+	resp, err := c.Do(req) // client methods are fine: judged by the request they send
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+func sloppy() {
+	http.Get("http://example.test/")                                         // want "context-free http.Get"
+	http.Head("http://example.test/")                                        // want "context-free http.Head"
+	http.Post("http://example.test/", "text/plain", strings.NewReader("x"))  // want "context-free http.Post"
+	http.PostForm("http://example.test/", url.Values{})                      // want "context-free http.PostForm"
+	req, _ := http.NewRequest(http.MethodGet, "http://example.test/", nil)   // want "context-free http.NewRequest"
+	_ = req
+}

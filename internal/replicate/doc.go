@@ -1,0 +1,49 @@
+// Package replicate implements leader/follower snapshot replication
+// over the durable segment store (internal/store), so read serving
+// scales horizontally: one leader builds snapshots, any number of
+// followers pull its sealed segments and serve byte-identical responses.
+//
+// The unit of replication is the generation segment — the immutable,
+// checksummed gen-<id>.seg file the store writes for every successful
+// snapshot build. Because segments are sealed (per-frame CRC32s plus a
+// whole-file footer checksum) and generation IDs are monotonic and never
+// reused, the protocol needs no diffing, no versions-in-flight, and no
+// coordination beyond "fetch the IDs you do not have":
+//
+//	Leader                              Follower
+//	  GET /v1/replication/generations --> list of {gen, bytes, crc32, etag}
+//	  GET /v1/replication/segment/{gen} --> raw segment bytes (ETag, Range)
+//	                                     verify CRC32 + full frame check
+//	                                     store.ImportSegment (atomic)
+//	                                     serve.Server.AdoptGeneration (swap)
+//
+// The leader side (Leader) is two read-only HTTP handlers over a
+// *store.Store; any process with a store can be a leader, including a
+// follower (chained replication). The follower side (Replicator) is a
+// poll loop: list, download missing generations newest-last, verify,
+// import, apply retention, and hand the newest generation to the serving
+// layer for a hot swap. All follower requests are context-aware with
+// per-request timeouts.
+//
+// Robustness rules:
+//
+//   - A download that fails verification (transport CRC mismatch, frame
+//     corruption, generation-ID mismatch) is quarantined under
+//     <store-dir>/quarantine/ and never installed; the sync fails and is
+//     retried with backoff. Partially transferred bytes are kept and
+//     resumed with a Range request when the leader's ETag still matches,
+//     and discarded otherwise.
+//   - Sync failures back off exponentially with jitter, capped; a
+//     success resets the backoff to the configured poll interval.
+//   - A follower keeps serving its last good generation while the
+//     leader is down; replication only ever adds newer generations.
+//   - A leader restart is safe by construction: the store's ID ratchet
+//     persists in the manifest and is rebuilt from segment (and
+//     quarantine) file names, so a restarted leader continues with
+//     higher generation IDs and followers simply catch up.
+//
+// Package replicate depends only on the standard library and
+// internal/store. The serving layer plugs in through the Apply callback
+// (cmd/marketd wires it to serve.Server.AdoptGeneration) and exports
+// replication state on /varz through Status/Varz.
+package replicate

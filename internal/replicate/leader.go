@@ -1,0 +1,236 @@
+package replicate
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"ipv4market/internal/store"
+)
+
+// Wire types shared by the leader handlers and the follower client.
+
+// GenEntry is one generation in the replication listing: everything a
+// follower needs to decide whether to fetch it and to verify the bytes
+// it gets.
+type GenEntry struct {
+	Gen     uint64 `json:"gen"`
+	Bytes   int64  `json:"bytes"`
+	CRC32   string `json:"crc32"` // IEEE CRC32 of the whole segment file, 8 hex digits
+	ETag    string `json:"etag"`  // strong ETag of the segment endpoint
+	Created string `json:"created"`
+	Seed    int64  `json:"seed"`
+}
+
+// Listing is the GET /v1/replication/generations document.
+type Listing struct {
+	// NextGen is the leader store's ID ratchet; it exceeds every listed
+	// generation and lets a follower detect a leader that moved on even
+	// when retention already dropped the intermediate segments.
+	NextGen     uint64     `json:"next_gen"`
+	Generations []GenEntry `json:"generations"`
+}
+
+// Leader serves a store's sealed segments to replication followers. It
+// is read-only over the store: two handlers, no state of its own beyond
+// counters and a CRC cache (segments are immutable, so a CRC computed
+// once is valid for the segment's lifetime).
+type Leader struct {
+	st *store.Store
+
+	mu   sync.Mutex
+	crcs map[uint64]uint32
+
+	listings  int64
+	shipped   int64
+	bytesOut  int64
+	errorsOut int64
+}
+
+// NewLeader returns a Leader over st.
+func NewLeader(st *store.Store) *Leader {
+	return &Leader{st: st, crcs: make(map[uint64]uint32)}
+}
+
+// segmentETag derives the strong ETag for a generation's segment bytes.
+func segmentETag(crc uint32, size int64) string {
+	return fmt.Sprintf("%q", fmt.Sprintf("%08x-%d", crc, size))
+}
+
+// crcFor returns the cached whole-file CRC32 for gen, computing it on
+// first use. The cache is pruned to the live generation set as a side
+// effect of Generations, so compaction cannot grow it without bound.
+func (l *Leader) crcFor(g store.GenInfo) (uint32, error) {
+	l.mu.Lock()
+	crc, ok := l.crcs[g.Gen]
+	l.mu.Unlock()
+	if ok {
+		return crc, nil
+	}
+	path, ok := l.st.SegmentPath(g.Gen)
+	if !ok {
+		return 0, fmt.Errorf("replicate: generation %d gone from store", g.Gen)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("replicate: open segment: %w", err)
+	}
+	defer f.Close()
+	h := crc32.NewIEEE()
+	if _, err := io.Copy(h, f); err != nil {
+		return 0, fmt.Errorf("replicate: checksum segment: %w", err)
+	}
+	crc = h.Sum32()
+	l.mu.Lock()
+	l.crcs[g.Gen] = crc
+	l.mu.Unlock()
+	return crc, nil
+}
+
+// pruneCRCs drops cache entries for generations no longer live.
+func (l *Leader) pruneCRCs(live []store.GenInfo) {
+	alive := make(map[uint64]bool, len(live))
+	for _, g := range live {
+		alive[g.Gen] = true
+	}
+	l.mu.Lock()
+	for gen := range l.crcs {
+		if !alive[gen] {
+			delete(l.crcs, gen)
+		}
+	}
+	l.mu.Unlock()
+}
+
+// Generations is the GET /v1/replication/generations handler: the live
+// generation list with sizes, checksums, and segment ETags.
+func (l *Leader) Generations() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		atomicAdd(&l.mu, &l.listings, 1)
+		gens := l.st.Generations()
+		l.pruneCRCs(gens)
+		listing := Listing{NextGen: l.st.Stats().NextGen}
+		for _, g := range gens {
+			crc, err := l.crcFor(g)
+			if err != nil {
+				// A segment compacted between the list and the checksum;
+				// the follower will pick it up (or not) next poll.
+				continue
+			}
+			listing.Generations = append(listing.Generations, GenEntry{
+				Gen:     g.Gen,
+				Bytes:   g.Bytes,
+				CRC32:   fmt.Sprintf("%08x", crc),
+				ETag:    segmentETag(crc, g.Bytes),
+				Created: g.Created.UTC().Format(time.RFC3339),
+				Seed:    g.Seed,
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		data, err := json.MarshalIndent(listing, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(append(data, '\n'))
+	})
+}
+
+// Segment is the GET /v1/replication/segment/{gen} handler: the raw
+// sealed segment file, streamed with a strong ETag, Content-Length, and
+// full Range/If-Range support (http.ServeContent), so followers can
+// resume partial downloads.
+func (l *Leader) Segment() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gen, err := strconv.ParseUint(r.PathValue("gen"), 10, 64)
+		if err != nil || gen == 0 {
+			atomicAdd(&l.mu, &l.errorsOut, 1)
+			http.Error(w, "want a positive generation ID", http.StatusBadRequest)
+			return
+		}
+		info, ok := l.st.Generation(gen)
+		if !ok {
+			atomicAdd(&l.mu, &l.errorsOut, 1)
+			http.Error(w, fmt.Sprintf("generation %d not in store", gen), http.StatusNotFound)
+			return
+		}
+		crc, err := l.crcFor(info)
+		if err != nil {
+			atomicAdd(&l.mu, &l.errorsOut, 1)
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		path, ok := l.st.SegmentPath(gen)
+		if !ok {
+			atomicAdd(&l.mu, &l.errorsOut, 1)
+			http.Error(w, fmt.Sprintf("generation %d not in store", gen), http.StatusNotFound)
+			return
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			atomicAdd(&l.mu, &l.errorsOut, 1)
+			status := http.StatusInternalServerError
+			if errors.Is(err, os.ErrNotExist) {
+				status = http.StatusNotFound // compacted between lookup and open
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		defer f.Close()
+		w.Header().Set("ETag", segmentETag(crc, info.Bytes))
+		w.Header().Set("Content-Type", "application/octet-stream")
+		// ServeContent handles Range, If-Range, If-None-Match, and sets
+		// Content-Length; the modtime is the build time, which is stable
+		// for an immutable segment.
+		http.ServeContent(w, r, info.File, info.Created, f)
+		l.mu.Lock()
+		l.shipped++
+		l.bytesOut += info.Bytes // upper bound; range responses ship less
+		l.mu.Unlock()
+	})
+}
+
+// LeaderStatus is the leader's replication state as exported on /varz.
+type LeaderStatus struct {
+	Role           string `json:"role"`
+	Segments       int    `json:"segments"`
+	NextGen        uint64 `json:"next_gen"`
+	Listings       int64  `json:"listings"`
+	SegmentsServed int64  `json:"segments_served"`
+	BytesShipped   int64  `json:"bytes_shipped"`
+	FetchErrors    int64  `json:"fetch_errors"`
+}
+
+// Status returns a point-in-time snapshot of the leader's counters.
+func (l *Leader) Status() LeaderStatus {
+	stats := l.st.Stats()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LeaderStatus{
+		Role:           "leader",
+		Segments:       stats.Segments,
+		NextGen:        stats.NextGen,
+		Listings:       l.listings,
+		SegmentsServed: l.shipped,
+		BytesShipped:   l.bytesOut,
+		FetchErrors:    l.errorsOut,
+	}
+}
+
+// Varz adapts Status for serve.Options.ReplicationVarz.
+func (l *Leader) Varz() any { return l.Status() }
+
+// atomicAdd bumps a counter under the shared mutex. The leader's
+// counters are too cold for per-counter atomics to matter.
+func atomicAdd(mu *sync.Mutex, counter *int64, delta int64) {
+	mu.Lock()
+	*counter += delta
+	mu.Unlock()
+}

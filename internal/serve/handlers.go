@@ -222,6 +222,11 @@ func (s *Server) handleVarz(w http.ResponseWriter, _ *http.Request) {
 // optional ?seed=N to reseed). It answers 202 immediately: the new
 // snapshot swaps in when the build finishes, readers are never blocked.
 func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Follower {
+		writeError(w, http.StatusConflict,
+			"this server is a replication follower; rebuild on the leader instead")
+		return
+	}
 	var (
 		seed   int64
 		reseed bool

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"net/http"
+	"runtime"
 	"sync/atomic"
 	"time"
 )
@@ -191,8 +192,20 @@ type varzStore struct {
 	TruncatedTails       int   `json:"truncated_tails"`
 	RecoveredGenerations int   `json:"recovered_generations"`
 	CompactedSegments    int64 `json:"compacted_segments"`
+	// ImportedSegments counts generations installed by replication
+	// (store.ImportSegment) since open — nonzero only on followers.
+	ImportedSegments int64 `json:"imported_segments"`
 	// WarmStart reports whether this process booted from the store.
 	WarmStart bool `json:"warm_start"`
+}
+
+// varzProcess is runtime-level process health, present on every /varz
+// (marketd and rdapd alike).
+type varzProcess struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Goroutines    int     `json:"goroutines"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	GoVersion     string  `json:"go_version"`
 }
 
 // varzView is the /varz document. The snapshot, cache, rebuild, and
@@ -200,13 +213,18 @@ type varzStore struct {
 // cmd/rdapd shares the route/latency surface via Metrics.VarzHandler
 // without growing snapshot fields it does not serve.
 type varzView struct {
-	UptimeSeconds float64              `json:"uptime_seconds"`
-	Panics        int64                `json:"panics"`
-	Snapshot      *varzSnapshot        `json:"snapshot,omitempty"`
-	Cache         *varzCache           `json:"cache,omitempty"`
-	Rebuilds      *varzRebuilds        `json:"rebuilds,omitempty"`
-	Store         *varzStore           `json:"store,omitempty"`
-	Routes        map[string]varzRoute `json:"routes"`
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	Panics        int64         `json:"panics"`
+	Process       *varzProcess  `json:"process"`
+	Snapshot      *varzSnapshot `json:"snapshot,omitempty"`
+	Cache         *varzCache    `json:"cache,omitempty"`
+	Rebuilds      *varzRebuilds `json:"rebuilds,omitempty"`
+	Store         *varzStore    `json:"store,omitempty"`
+	// Replication is the leader's or follower's replication state
+	// (replicate.LeaderStatus / replicate.FollowerStatus), supplied
+	// through Options.ReplicationVarz; absent on standalone servers.
+	Replication any                  `json:"replication,omitempty"`
+	Routes      map[string]varzRoute `json:"routes"`
 }
 
 // varz renders the counter document every server shares: uptime,
@@ -216,7 +234,13 @@ func (m *Metrics) varz(now time.Time) varzView {
 	v := varzView{
 		UptimeSeconds: now.Sub(m.start).Seconds(),
 		Panics:        m.panics.Load(),
-		Routes:        make(map[string]varzRoute, len(m.routes)),
+		Process: &varzProcess{
+			UptimeSeconds: now.Sub(m.start).Seconds(),
+			Goroutines:    runtime.NumGoroutine(),
+			GOMAXPROCS:    runtime.GOMAXPROCS(0),
+			GoVersion:     runtime.Version(),
+		},
+		Routes: make(map[string]varzRoute, len(m.routes)),
 	}
 	for route, rs := range m.routes {
 		n := rs.requests.Load()

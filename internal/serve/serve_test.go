@@ -449,4 +449,15 @@ func TestVarzShape(t *testing.T) {
 	if rt.Requests != 2 || rt.ByStatusClass["2xx"] != 2 {
 		t.Errorf("table1 route stats = %+v", rt)
 	}
+	if v.Process == nil {
+		t.Fatal("varz lacks a process section")
+	}
+	if v.Process.UptimeSeconds < 0 || v.Process.Goroutines < 1 ||
+		v.Process.GOMAXPROCS < 1 || !strings.HasPrefix(v.Process.GoVersion, "go") {
+		t.Errorf("process section = %+v", v.Process)
+	}
+	// A standalone server has no replication section.
+	if v.Replication != nil {
+		t.Errorf("standalone varz has a replication section: %v", v.Replication)
+	}
 }

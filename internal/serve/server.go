@@ -36,6 +36,17 @@ type Options struct {
 	// store, an empty store, or a failed restore, New falls back to a
 	// cold build.
 	WarmStart bool
+	// Follower makes this server a replication follower: it only ever
+	// serves generations restored from its Store (seeded by
+	// internal/replicate), never builds locally, and refuses rebuilds
+	// (RebuildAsync declines, POST /admin/rebuild answers 409). New
+	// fails instead of cold-building when the store has no restorable
+	// generation — the caller must sync one first.
+	Follower bool
+	// ReplicationVarz, when set, supplies the `replication` section of
+	// /varz (a replicate.Leader's or replicate.Replicator's Varz). A
+	// func hook keeps serve free of a dependency on internal/replicate.
+	ReplicationVarz func() any
 	// Logf, when set, receives operational log lines (rebuild failures
 	// with the failing stage, swap notices). No trailing newline needed.
 	Logf func(format string, args ...any)
@@ -68,6 +79,10 @@ type Server struct {
 	opts    Options
 	metrics *Metrics
 	mux     *http.ServeMux
+	// baseCfg is the config the server was constructed with; follower
+	// mode restores adopted generations against it (restoreSnapshot
+	// overlays the persisted meta's identity fields).
+	baseCfg simulation.Config
 
 	st       atomic.Pointer[state]
 	seq      atomic.Uint64
@@ -97,12 +112,18 @@ func New(cfg simulation.Config, opts Options) (*Server, error) {
 		opts:    opts.withDefaults(),
 		metrics: NewMetrics(),
 		mux:     http.NewServeMux(),
+		baseCfg: cfg,
 		gens:    newGenCache(pinnedGenerations),
 	}
 	s.lastRebuildErr.Store("")
 
 	snap := s.tryWarmStart(cfg)
 	if snap == nil {
+		if s.opts.Follower {
+			// A follower never builds: its snapshots come from the leader.
+			// The caller (cmd/marketd) runs an initial sync before New.
+			return nil, fmt.Errorf("serve: follower mode: no restorable generation in store")
+		}
 		var err error
 		if snap, err = BuildSnapshotOpts(cfg, s.buildOptions()); err != nil {
 			return nil, err
@@ -120,7 +141,7 @@ func New(cfg simulation.Config, opts Options) (*Server, error) {
 // for a missing store, an empty store, or a failed restore; a restore
 // failure is logged, never fatal, because the cold path always works.
 func (s *Server) tryWarmStart(cfg simulation.Config) *Snapshot {
-	if s.opts.Store == nil || !s.opts.WarmStart {
+	if s.opts.Store == nil || !(s.opts.WarmStart || s.opts.Follower) {
 		return nil
 	}
 	latest, ok := s.opts.Store.Latest()
@@ -149,7 +170,10 @@ func (s *Server) WarmStarted() bool { return s.warm }
 // disk degrades durability, not availability. Failures are logged and
 // surface in /varz store.last_persist_error.
 func (s *Server) persist(snap *Snapshot) {
-	if s.opts.Store == nil {
+	if s.opts.Store == nil || s.opts.Follower {
+		// A follower's store is written exclusively by the replicator;
+		// persisting here would mint generation IDs the leader never
+		// issued.
 		return
 	}
 	meta, arts, err := snapshotRecord(snap)
@@ -207,12 +231,50 @@ func (s *Server) swap(snap *Snapshot) {
 // Rebuilding reports whether a background rebuild is in flight.
 func (s *Server) Rebuilding() bool { return s.building.Load() }
 
+// Follower reports whether this server runs in replication-follower
+// mode (serves adopted generations only, refuses local rebuilds).
+func (s *Server) Follower() bool { return s.opts.Follower }
+
+// Mount registers an extra handler (e.g. the replication leader
+// endpoints) through the same middleware stack as the built-in routes.
+// A non-positive timeout disables the per-request timeout layer — pass
+// 0 for endpoints that stream large bodies. Call before serving begins;
+// the mux is read-only afterwards.
+func (s *Server) Mount(pattern string, h http.Handler, timeout time.Duration) {
+	s.mux.Handle(pattern, Wrap(h, s.metrics, pattern, timeout))
+}
+
+// AdoptGeneration loads gen from the store, restores it against the
+// server's base config, and hot-swaps it in as the served snapshot —
+// the follower-side counterpart of a rebuild. internal/replicate calls
+// it (through the Apply hook) after importing a new generation; readers
+// are never blocked, exactly as with a rebuild swap.
+func (s *Server) AdoptGeneration(gen uint64) error {
+	if s.opts.Store == nil {
+		return fmt.Errorf("serve: adopt generation %d: no store configured", gen)
+	}
+	meta, arts, err := s.opts.Store.Load(gen)
+	if err != nil {
+		return fmt.Errorf("serve: adopt generation %d: %w", gen, err)
+	}
+	snap, err := restoreSnapshot(meta, arts, s.baseCfg)
+	if err != nil {
+		return fmt.Errorf("serve: adopt generation %d: %w", gen, err)
+	}
+	s.swap(snap)
+	s.logf("serve: adopted generation %d (seq=%d)", gen, snap.Seq)
+	return nil
+}
+
 // RebuildAsync starts a background rebuild with cfg and reports whether
 // it was started; it declines (returning false) while another rebuild is
 // already in flight, so concurrent triggers cannot stack builds. The
 // result is published via swap on success and counted on failure either
 // way; Wait blocks until all started rebuilds finish.
 func (s *Server) RebuildAsync(cfg simulation.Config) bool {
+	if s.opts.Follower {
+		return false // followers adopt generations, they never build
+	}
 	if !s.building.CompareAndSwap(false, true) {
 		return false
 	}
@@ -294,8 +356,12 @@ func (s *Server) varz(now time.Time) varzView {
 			TruncatedTails:       stats.TruncatedTails,
 			RecoveredGenerations: stats.RecoveredGenerations,
 			CompactedSegments:    stats.CompactedSegments,
+			ImportedSegments:     stats.ImportedSegments,
 			WarmStart:            s.warm,
 		}
+	}
+	if s.opts.ReplicationVarz != nil {
+		v.Replication = s.opts.ReplicationVarz()
 	}
 	return v
 }

@@ -52,6 +52,9 @@ type Stats struct {
 	TruncatedTails       int
 	// CompactedSegments counts segments removed by retention since Open.
 	CompactedSegments int64
+	// ImportedSegments counts generations installed by ImportSegment
+	// (replication followers) since Open.
+	ImportedSegments int64
 }
 
 // Store is a handle on one snapshot-store directory.
@@ -68,6 +71,7 @@ type Store struct {
 	recovered      int
 	truncatedTails int
 	compacted      int64
+	imported       int64
 }
 
 // manifest is the on-disk index. Segments remain the ground truth: a
@@ -238,6 +242,113 @@ func (s *Store) Load(gen uint64) (Meta, []Artifact, error) {
 	return Meta{}, nil, fmt.Errorf("%w: %d", ErrNotFound, gen)
 }
 
+// Verify re-reads generation gen's segment from disk and re-checks it
+// end to end — magic, version, every frame CRC, the footer's whole-file
+// checksum, and that the embedded metadata carries the expected
+// generation ID. It returns ErrNotFound for unknown, compacted, or
+// quarantined generations and a descriptive error for any corruption.
+// Unlike Open, Verify never quarantines: it is a read-only audit
+// (replication followers run it after a download, `marketd -selfcheck`
+// runs it over the whole data dir).
+func (s *Store) Verify(gen uint64) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, g := range s.gens {
+		if g.Gen != gen {
+			continue
+		}
+		meta, _, _, err := readSegment(filepath.Join(s.dir, g.File), false)
+		if err != nil {
+			return fmt.Errorf("store: verify generation %d: %w", gen, err)
+		}
+		if meta.Gen != gen {
+			return fmt.Errorf("store: verify generation %d: %w", gen,
+				corruptf("file %s carries generation %d", g.File, meta.Gen))
+		}
+		return nil
+	}
+	return fmt.Errorf("%w: %d", ErrNotFound, gen)
+}
+
+// Generation returns the listing entry for one live generation.
+func (s *Store) Generation(gen uint64) (GenInfo, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, g := range s.gens {
+		if g.Gen == gen {
+			return g, true
+		}
+	}
+	return GenInfo{}, false
+}
+
+// SegmentPath returns the on-disk path of one live generation's segment
+// file. Segments are immutable once visible, so the path may be opened
+// and streamed without holding any store lock; a concurrent compaction
+// deleting the file surfaces as an open error, never as torn bytes.
+func (s *Store) SegmentPath(gen uint64) (string, bool) {
+	g, ok := s.Generation(gen)
+	if !ok {
+		return "", false
+	}
+	return filepath.Join(s.dir, g.File), true
+}
+
+// IsCorrupt reports whether err marks segment data that failed
+// verification (as opposed to an I/O failure or an unknown generation).
+// Replication followers use it to decide between quarantining a
+// download and retrying a transient error.
+func IsCorrupt(err error) bool {
+	var c *corruptError
+	return errors.As(err, &c)
+}
+
+// ImportSegment installs a generation received from a replication
+// leader: raw segment bytes, fully re-verified (every frame CRC, the
+// footer checksum, and the embedded generation ID) before they become
+// visible, then written via temp file + fsync + atomic rename like any
+// local append. Importing an already-present generation is an
+// idempotent no-op. The ID ratchet advances past every imported
+// generation, so a follower promoted to leader can never reuse an ID
+// the old leader assigned. Corrupt data is rejected with an error for
+// which IsCorrupt reports true; nothing is written in that case.
+func (s *Store) ImportSegment(gen uint64, data []byte) (GenInfo, error) {
+	if gen == 0 {
+		return GenInfo{}, fmt.Errorf("store: import: generation 0 is not valid")
+	}
+	meta, _, err := decodeSegment(data, false)
+	if err != nil {
+		return GenInfo{}, fmt.Errorf("store: import generation %d: %w", gen, err)
+	}
+	if meta.Gen != gen {
+		return GenInfo{}, fmt.Errorf("store: import generation %d: %w", gen,
+			corruptf("segment carries generation %d", meta.Gen))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, g := range s.gens {
+		if g.Gen == gen {
+			return g, nil // already installed; segments are immutable
+		}
+	}
+	name := segName(gen)
+	if err := writeFileAtomic(filepath.Join(s.dir, name), data); err != nil {
+		return GenInfo{}, fmt.Errorf("store: import generation %d: %w", gen, err)
+	}
+	info := GenInfo{Meta: meta, File: name, Bytes: int64(len(data))}
+	s.gens = append(s.gens, info)
+	sort.Slice(s.gens, func(i, j int) bool { return s.gens[i].Gen < s.gens[j].Gen })
+	if gen >= s.next {
+		s.next = gen + 1
+	}
+	s.imported++
+	if err := s.writeManifest(); err != nil {
+		// As with Append: the segment is durable, the manifest advisory.
+		s.lastPersistErr = err.Error()
+	}
+	return info, nil
+}
+
 // Generations lists the live generations in ascending ID order.
 func (s *Store) Generations() []GenInfo {
 	s.mu.RLock()
@@ -298,6 +409,7 @@ func (s *Store) Stats() Stats {
 		RecoveredGenerations: s.recovered,
 		TruncatedTails:       s.truncatedTails,
 		CompactedSegments:    s.compacted,
+		ImportedSegments:     s.imported,
 	}
 	for _, g := range s.gens {
 		st.Bytes += g.Bytes

@@ -191,6 +191,137 @@ func TestCompactTo(t *testing.T) {
 	}
 }
 
+// TestVerify pins the re-checksum audit: a clean segment verifies, a
+// flipped byte is reported as corruption (without quarantining the
+// file), and unknown generations answer ErrNotFound.
+func TestVerify(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := s.Append(testMeta(5), testArtifacts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(meta.Gen); err != nil {
+		t.Fatalf("Verify(clean) = %v", err)
+	}
+	if err := s.Verify(99); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Verify(unknown) = %v, want ErrNotFound", err)
+	}
+
+	// Flip one body byte on disk; Verify must notice and must not rename
+	// the file (it is an audit, not a recovery pass).
+	path := filepath.Join(dir, segName(meta.Gen))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = s.Verify(meta.Gen)
+	if err == nil {
+		t.Fatal("Verify accepted a flipped byte")
+	}
+	if !IsCorrupt(err) {
+		t.Errorf("Verify(corrupt) = %v, want IsCorrupt", err)
+	}
+	if _, statErr := os.Stat(path); statErr != nil {
+		t.Errorf("Verify moved the segment file: %v", statErr)
+	}
+}
+
+// TestImportSegment drives the follower-side install path: verified
+// bytes become a live generation with the ID ratchet advanced, corrupt
+// and mismatched bytes are rejected without touching disk, and
+// re-importing is an idempotent no-op.
+func TestImportSegment(t *testing.T) {
+	// A "leader" produces the wire bytes.
+	leader, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := leader.Append(testMeta(11), testArtifacts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, ok := leader.SegmentPath(meta.Gen)
+	if !ok {
+		t.Fatal("SegmentPath missing for a live generation")
+	}
+	wire, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	followerDir := t.TempDir()
+	f, err := Open(followerDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := f.ImportSegment(meta.Gen, wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Gen != meta.Gen || info.Bytes != int64(len(wire)) {
+		t.Fatalf("imported info = %+v", info)
+	}
+	got, arts, err := f.Load(meta.Gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != 11 || len(arts) != len(testArtifacts()) {
+		t.Errorf("imported generation: meta %+v, %d artifacts", got, len(arts))
+	}
+	if err := f.Verify(meta.Gen); err != nil {
+		t.Errorf("Verify(imported) = %v", err)
+	}
+	if st := f.Stats(); st.ImportedSegments != 1 || st.NextGen != meta.Gen+1 {
+		t.Errorf("stats after import = %+v", st)
+	}
+
+	// Idempotent re-import.
+	if _, err := f.ImportSegment(meta.Gen, wire); err != nil {
+		t.Fatalf("re-import: %v", err)
+	}
+	if st := f.Stats(); st.Segments != 1 {
+		t.Errorf("re-import duplicated the segment: %+v", st)
+	}
+
+	// Corrupt bytes: rejected, IsCorrupt, nothing written.
+	bad := append([]byte(nil), wire...)
+	bad[len(bad)/3] ^= 0x01
+	if _, err := f.ImportSegment(meta.Gen+1, bad); !IsCorrupt(err) {
+		t.Errorf("import of flipped bytes = %v, want IsCorrupt", err)
+	}
+	// Gen mismatch between the name and the embedded metadata: also
+	// corruption (a leader bug or a swapped download must never install).
+	if _, err := f.ImportSegment(meta.Gen+7, wire); !IsCorrupt(err) {
+		t.Errorf("import under wrong ID = %v, want IsCorrupt", err)
+	}
+	if _, err := f.ImportSegment(0, wire); err == nil {
+		t.Error("import of generation 0 accepted")
+	}
+	if st := f.Stats(); st.Segments != 1 {
+		t.Errorf("failed imports changed the store: %+v", st)
+	}
+
+	// The imported generation survives a reopen and keeps the ratchet.
+	f2, err := Open(followerDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest, ok := f2.Latest(); !ok || latest.Gen != meta.Gen {
+		t.Fatalf("reopened follower latest = %+v ok=%v", latest, ok)
+	}
+	if st := f2.Stats(); st.NextGen != meta.Gen+1 {
+		t.Errorf("reopened next_gen = %d, want %d", st.NextGen, meta.Gen+1)
+	}
+}
+
 // TestLoadUnknownGeneration pins the ErrNotFound contract.
 func TestLoadUnknownGeneration(t *testing.T) {
 	s, err := Open(t.TempDir())

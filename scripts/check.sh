@@ -29,6 +29,14 @@
 #                          Run twice: in-memory, and with -data-dir
 #                          under a temp dir to exercise persist →
 #                          shutdown → warm-start → /v1/history
+#   8. replication gate  — the leader/follower contracts, run explicitly
+#                          and by name (sync + catch-up, corrupt and
+#                          truncated downloads quarantined/resumed,
+#                          byte- and ETag-identical follower answers),
+#                          then scripts/replgate.go boots a real leader
+#                          and follower marketd pair over loopback and
+#                          asserts the same identity plus the follower's
+#                          409 on /admin/rebuild
 #
 # Run from anywhere inside the repository.
 set -eu
@@ -72,5 +80,11 @@ echo "==> marketd durable smoke test (persist -> warm start -> /v1/history)"
 store_dir=$(mktemp -d "${TMPDIR:-/tmp}/ipv4market-store.XXXXXX")
 trap 'rm -rf "$store_dir"' EXIT
 "${TMPDIR:-/tmp}/ipv4market-check/marketd" -selfcheck -lirs 14 -days 40 -data-dir "$store_dir"
+
+echo "==> replication gate"
+go test -race -count=1 \
+    -run 'TestLeaderFollowerSync|TestFlippedBytesQuarantined|TestTruncatedStreamResumed|TestLeaderFollowerEndToEnd' \
+    ./internal/replicate
+go run scripts/replgate.go "${TMPDIR:-/tmp}/ipv4market-check/marketd"
 
 echo "check.sh: all gates passed"

@@ -1,0 +1,183 @@
+//go:build ignore
+
+// replgate.go is check.sh's replication gate: it boots a leader marketd
+// with a durable store, boots a follower marketd replicating from it,
+// waits for the follower to sync, and asserts the replication contract
+// end to end over real processes and real sockets:
+//
+//   - /v1/table1 and /v1/prices?size=24 answer with byte- and
+//     ETag-identical bodies on both servers;
+//   - POST /admin/rebuild on the follower answers 409;
+//   - both processes shut down cleanly on SIGTERM.
+//
+// Usage: go run scripts/replgate.go <path-to-marketd-binary>
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+)
+
+const bootTimeout = 120 * time.Second
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: go run scripts/replgate.go <marketd-binary>")
+		os.Exit(2)
+	}
+	if err := run(os.Args[1]); err != nil {
+		fmt.Fprintln(os.Stderr, "replgate:", err)
+		os.Exit(1)
+	}
+	fmt.Println("replgate: replication gate passed")
+}
+
+// daemon is one managed marketd process.
+type daemon struct {
+	name string
+	cmd  *exec.Cmd
+	base string // http://host:port once the serving line appears
+}
+
+// startMarketd launches bin with args, echoing its output with a name
+// prefix, and returns once the "serving on http://..." line appears.
+func startMarketd(name, bin string, args ...string) (*daemon, error) {
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("%s: stdout pipe: %w", name, err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("%s: start: %w", name, err)
+	}
+	urls := make(chan string, 1)
+	go func() { // coordinated: closes urls when the pipe drains
+		defer close(urls)
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Printf("[%s] %s\n", name, line)
+			if _, addr, ok := strings.Cut(line, "serving on http://"); ok {
+				select {
+				case urls <- "http://" + strings.TrimSpace(addr):
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case base, ok := <-urls:
+		if !ok {
+			err := cmd.Wait()
+			return nil, fmt.Errorf("%s: exited before serving: %w", name, err)
+		}
+		return &daemon{name: name, cmd: cmd, base: base}, nil
+	case <-time.After(bootTimeout):
+		cmd.Process.Kill()
+		return nil, fmt.Errorf("%s: no serving line within %v", name, bootTimeout)
+	}
+}
+
+// stop shuts the daemon down with SIGTERM and waits for a clean exit.
+func (d *daemon) stop() error {
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		d.cmd.Process.Kill()
+		return fmt.Errorf("%s: signal: %w", d.name, err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("%s: exit: %w", d.name, err)
+		}
+		return nil
+	case <-time.After(30 * time.Second):
+		d.cmd.Process.Kill()
+		return fmt.Errorf("%s: did not exit on SIGTERM", d.name)
+	}
+}
+
+func fetch(base, path string) (int, []byte, string, error) {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		return 0, nil, "", fmt.Errorf("GET %s%s: %w", base, path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, "", fmt.Errorf("GET %s%s: read: %w", base, path, err)
+	}
+	return resp.StatusCode, body, resp.Header.Get("ETag"), nil
+}
+
+func run(bin string) error {
+	work, err := os.MkdirTemp("", "ipv4market-replgate")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(work)
+	small := []string{"-lirs", "14", "-days", "40"}
+
+	leader, err := startMarketd("leader", bin, append([]string{
+		"-listen", "127.0.0.1:0", "-data-dir", work + "/leader"}, small...)...)
+	if err != nil {
+		return err
+	}
+	defer leader.cmd.Process.Kill()
+
+	// The follower only prints its serving line after the initial sync
+	// succeeded, so reaching it proves replication happened.
+	follower, err := startMarketd("follower", bin, append([]string{
+		"-listen", "127.0.0.1:0", "-data-dir", work + "/follower",
+		"-follow", leader.base, "-poll-interval", "250ms", "-admin"}, small...)...)
+	if err != nil {
+		return err
+	}
+	defer follower.cmd.Process.Kill()
+
+	for _, path := range []string{"/v1/table1", "/v1/prices?size=24"} {
+		lcode, lbody, letag, err := fetch(leader.base, path)
+		if err != nil {
+			return err
+		}
+		fcode, fbody, fetag, err := fetch(follower.base, path)
+		if err != nil {
+			return err
+		}
+		if lcode != http.StatusOK || fcode != http.StatusOK {
+			return fmt.Errorf("%s: leader %d, follower %d, want 200/200", path, lcode, fcode)
+		}
+		if !bytes.Equal(lbody, fbody) {
+			return fmt.Errorf("%s: follower body differs from leader (%d vs %d bytes)", path, len(fbody), len(lbody))
+		}
+		if letag == "" || letag != fetag {
+			return fmt.Errorf("%s: ETags differ: leader %q, follower %q", path, letag, fetag)
+		}
+		fmt.Printf("replgate: %-22s identical (%d bytes, ETag %s)\n", path, len(lbody), letag)
+	}
+
+	resp, err := http.Post(follower.base+"/admin/rebuild", "", nil)
+	if err != nil {
+		return fmt.Errorf("follower rebuild probe: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		return fmt.Errorf("follower POST /admin/rebuild: status %d, want 409", resp.StatusCode)
+	}
+	fmt.Println("replgate: follower refused /admin/rebuild with 409")
+
+	if err := follower.stop(); err != nil {
+		return err
+	}
+	return leader.stop()
+}
