@@ -5,7 +5,11 @@ package lint
 func All() []*Analyzer {
 	return []*Analyzer{
 		BannedCall(DefaultBans()),
+		CtxFlow,
 		FloatCmp,
+		LockBal,
+		MapOrder,
+		MutAfterPub,
 		NakedGo,
 		NoCtxHTTP,
 		SeededRand,

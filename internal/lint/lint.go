@@ -69,11 +69,38 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// Result is the outcome of applying a set of analyzers: the surviving
+// diagnostics plus every //lint:ignore directive seen, each marked with
+// whether it actually silenced a finding. Both slices are sorted by
+// file, line, column.
+type Result struct {
+	Diagnostics  []Diagnostic
+	Suppressions []Suppression
+}
+
+// Stale returns the suppressions that silenced nothing. Only meaningful
+// when the full analyzer suite ran: under a subset, directives for the
+// unselected rules are trivially unused.
+func (r Result) Stale() []Suppression {
+	var out []Suppression
+	for _, s := range r.Suppressions {
+		if !s.Used {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // Run applies every analyzer to every package, filters findings through
 // the //lint:ignore suppression index, and returns the survivors sorted
 // by file, line, column and rule.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
+	return RunAll(pkgs, analyzers).Diagnostics
+}
+
+// RunAll is Run plus the suppression audit trail.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) Result {
+	var res Result
 	for _, pkg := range pkgs {
 		idx := newIgnoreIndex(pkg)
 		for _, a := range analyzers {
@@ -83,15 +110,18 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Pkg:      pkg,
 				report: func(d Diagnostic) {
 					if !idx.suppressed(d) {
-						diags = append(diags, d)
+						res.Diagnostics = append(res.Diagnostics, d)
 					}
 				},
 			}
 			a.Run(pass)
 		}
+		for _, sup := range idx.all {
+			res.Suppressions = append(res.Suppressions, *sup)
+		}
 	}
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -103,5 +133,15 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Rule < b.Rule
 	})
-	return diags
+	sort.Slice(res.Suppressions, func(i, j int) bool {
+		a, b := res.Suppressions[i], res.Suppressions[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pos.Column < b.Pos.Column
+	})
+	return res
 }

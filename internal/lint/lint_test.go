@@ -81,6 +81,10 @@ func TestAnalyzersGolden(t *testing.T) {
 		{"nakedgo", NakedGo},
 		{"noctxhttp", NoCtxHTTP},
 		{"bannedcall", BannedCall(DefaultBans())},
+		{"mutafterpub", MutAfterPub},
+		{"maporder", MapOrder},
+		{"ctxflow", CtxFlow},
+		{"lockbal", LockBal},
 	}
 	for _, c := range cases {
 		t.Run(c.rule, func(t *testing.T) {
@@ -115,6 +119,31 @@ func TestAnalyzersGolden(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+func TestSuppressionAudit(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "suppress"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunAll([]*Package{pkg}, []*Analyzer{FloatCmp})
+	if len(res.Diagnostics) != 0 {
+		t.Errorf("expected all findings suppressed, got %v", res.Diagnostics)
+	}
+	if len(res.Suppressions) != 2 {
+		t.Fatalf("expected 2 suppressions, got %v", res.Suppressions)
+	}
+	if s := res.Suppressions[0]; !s.Used || s.Rule != "floatcmp" || s.Reason != "fixture exercises a used suppression" {
+		t.Errorf("first suppression should be used with its reason, got %+v", s)
+	}
+	stale := res.Stale()
+	if len(stale) != 1 || stale[0].Pos.Line != res.Suppressions[1].Pos.Line {
+		t.Errorf("expected exactly the second suppression stale, got %+v", stale)
 	}
 }
 
@@ -153,19 +182,20 @@ func TestParseVerbs(t *testing.T) {
 
 func TestParseIgnoreDirective(t *testing.T) {
 	cases := []struct {
-		text string
-		rule string
-		ok   bool
+		text   string
+		rule   string
+		reason string
+		ok     bool
 	}{
-		{"//lint:ignore floatcmp exact sentinel", "floatcmp", true},
-		{"//lint:ignore floatcmp", "", false}, // reason is mandatory
-		{"// lint:ignore floatcmp reason", "", false},
-		{"// ordinary comment", "", false},
+		{"//lint:ignore floatcmp exact sentinel", "floatcmp", "exact sentinel", true},
+		{"//lint:ignore floatcmp", "", "", false}, // reason is mandatory
+		{"// lint:ignore floatcmp reason", "", "", false},
+		{"// ordinary comment", "", "", false},
 	}
 	for _, c := range cases {
-		rule, ok := parseIgnoreDirective(c.text)
-		if ok != c.ok || rule != c.rule {
-			t.Errorf("parseIgnoreDirective(%q) = %q, %v; want %q, %v", c.text, rule, ok, c.rule, c.ok)
+		rule, reason, ok := parseIgnoreDirective(c.text)
+		if ok != c.ok || rule != c.rule || reason != c.reason {
+			t.Errorf("parseIgnoreDirective(%q) = %q, %q, %v; want %q, %q, %v", c.text, rule, reason, ok, c.rule, c.reason, c.ok)
 		}
 	}
 }

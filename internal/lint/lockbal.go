@@ -1,0 +1,511 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockBal checks mutex lock/unlock balance across CFG paths. The serving
+// and replication layers lean on short critical sections around shared
+// state (snapshot pointers, caches, metrics); an early return that skips
+// an Unlock deadlocks the next request, which no unit test reliably
+// catches. Per function, a forward dataflow tracks each mutex's hold
+// depth along every path — through branches, loops, early returns and
+// panic edges — with defer recognition: a `defer mu.Unlock()` (or a
+// deferred function literal that unlocks) releases at function exit on
+// the paths where it was registered.
+//
+// Diagnostics:
+//
+//   - a lock still held when the function exits on some path (reported
+//     at the Lock call);
+//   - paths that disagree about the hold state where they merge
+//     (if/else where only one arm unlocks);
+//   - a second Lock of a plain Mutex already held on the same path
+//     (self-deadlock); RLock is re-entrant and exempt;
+//   - a second Unlock on a path that already released (panics at
+//     runtime);
+//   - a lock-bearing value copied: by-value parameters and assignments
+//     whose type transitively contains a sync.Mutex/RWMutex/Once/
+//     WaitGroup/Cond.
+//
+// An Unlock with no prior Lock in the same function is deliberately not
+// reported: unlock-helper methods (a singleflight's release path, a
+// caller-locked invariant) are a legitimate pattern, and the analysis
+// assumes the caller holds the lock. Mutexes reached through embedded
+// fields or sync.Locker interfaces are not tracked; identity is the
+// syntactic selector path (s.mu), so two names for one mutex are two
+// facts. Functions that intentionally return holding a lock document it
+// with a suppression.
+var LockBal = &Analyzer{
+	Name: "lockbal",
+	Doc:  "check mutex lock/unlock balance across all CFG paths, defer-aware; flag lock copies",
+	Run: func(pass *Pass) {
+		funcBodies(pass.Pkg, func(decl *ast.FuncDecl, lit *ast.FuncLit, body *ast.BlockStmt) {
+			checkLockCopies(pass, decl, lit)
+			a := &lockBal{info: pass.Pkg.Info}
+			flow := Flow[lockState]{
+				Init:     func() lockState { return lockState{} },
+				Clone:    cloneLockState,
+				Transfer: a.transfer,
+				Join:     joinLockState,
+			}
+			cfg := BuildCFG(body, pass.Pkg.Info)
+			sol := flow.Forward(cfg)
+			a.emit = func(pos token.Pos, format string, args ...any) {
+				pass.Reportf(pos, format, args...)
+			}
+			flow.ReportPass(cfg, sol)
+			a.checkJoins(cfg, flow, sol)
+			a.checkExit(cfg, flow, sol)
+			a.flush(pass)
+		})
+	},
+}
+
+// lockFact is one mutex's state along a path. Deferred unlocks are
+// counted into the fact itself rather than kept as a separate defer set:
+// the registration travels the same path as the Lock it balances, so an
+// unrelated early return elsewhere in the function cannot decouple them
+// at a join.
+type lockFact struct {
+	name       string    // display name: the selector path, e.g. "s.mu"
+	depth      int       // current hold depth (capped)
+	defUnlocks int       // net deferred unlocks registered on this path
+	lockPos    token.Pos // most recent Lock site
+	released   bool      // an Unlock already ran at depth zero on this path
+}
+
+func (f *lockFact) clone() *lockFact { c := *f; return &c }
+
+// outstanding is the hold depth that will remain after the deferred
+// unlocks run at function exit.
+func (f *lockFact) outstanding() int { return f.depth - f.defUnlocks }
+
+// lockState carries one fact per mutex key.
+type lockState map[string]*lockFact
+
+func cloneLockState(s lockState) lockState {
+	out := make(lockState, len(s))
+	for k, v := range s {
+		out[k] = v.clone()
+	}
+	return out
+}
+
+// joinLockState merges src into dst per mutex: the path with the larger
+// outstanding hold (depth minus deferred unlocks) wins, so a leak on any
+// path survives to the exit check; ties break toward the deeper raw
+// depth so nested-lock diagnostics survive the merge. Released flags
+// join with or.
+func joinLockState(dst, src lockState) (lockState, bool) {
+	changed := false
+	for k, sf := range src {
+		df, ok := dst[k]
+		if !ok {
+			dst[k] = sf.clone()
+			changed = true
+			continue
+		}
+		if sf.outstanding() > df.outstanding() ||
+			(sf.outstanding() == df.outstanding() && sf.depth > df.depth) {
+			df.depth, df.defUnlocks, df.lockPos = sf.depth, sf.defUnlocks, sf.lockPos
+			changed = true
+		}
+		if sf.released && !df.released {
+			df.released = true
+			changed = true
+		}
+	}
+	return dst, changed
+}
+
+const maxLockDepth = 3 // cap keeps the lattice finite; real nesting is 1
+
+type lockBal struct {
+	info *types.Info
+	emit func(pos token.Pos, format string, args ...any)
+
+	// pending collects join/exit findings keyed by position+message so
+	// the repeated solver passes cannot duplicate them; flush reports
+	// them in stable order.
+	pending map[string]pendingDiag
+}
+
+type pendingDiag struct {
+	pos token.Pos
+	msg string
+}
+
+func (a *lockBal) transfer(_ *Block, n Node, s lockState) lockState {
+	if d, ok := n.Ast.(*ast.DeferStmt); ok && !n.DeferRun {
+		a.registerDefer(d.Call, s)
+		return s
+	}
+	if n.DeferRun {
+		return s // accounted at registration, via defUnlocks
+	}
+	walkExpr(n.Ast, func(m ast.Node) bool {
+		if c, ok := m.(*ast.CallExpr); ok {
+			a.lockOp(c, s)
+		}
+		return true
+	})
+	return s
+}
+
+// registerDefer credits a deferred unlock — `defer mu.Unlock()` or a
+// deferred function literal whose body unlocks — against the mutex's
+// fact on this path. A literal that locks and unlocks internally is
+// balanced and credits nothing (the net count is what's credited).
+func (a *lockBal) registerDefer(call *ast.CallExpr, s lockState) {
+	counts := make(map[string]int)
+	names := make(map[string]string)
+	consider := func(c *ast.CallExpr) {
+		key, name, op, ok := a.classifyLockOp(c)
+		if !ok {
+			return
+		}
+		names[key] = name
+		switch op {
+		case "Unlock", "RUnlock":
+			counts[key]++
+		case "Lock", "RLock":
+			counts[key]--
+		}
+	}
+	if fl, ok := call.Fun.(*ast.FuncLit); ok {
+		walkExpr(fl.Body, func(m ast.Node) bool {
+			if c, ok := m.(*ast.CallExpr); ok {
+				consider(c)
+			}
+			return true
+		})
+	} else {
+		consider(call)
+	}
+	for key, n := range counts {
+		if n <= 0 {
+			continue
+		}
+		f := s[key]
+		if f == nil {
+			f = &lockFact{name: names[key]}
+			s[key] = f
+		}
+		if f.defUnlocks += n; f.defUnlocks > maxLockDepth {
+			f.defUnlocks = maxLockDepth // cap keeps the lattice finite
+		}
+	}
+}
+
+// classifyLockOp resolves call as a Lock/Unlock/RLock/RUnlock on a
+// sync.Mutex or sync.RWMutex, returning the mutex's state key, display
+// name and operation.
+func (a *lockBal) classifyLockOp(call *ast.CallExpr) (key, name, op string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", "", false
+	}
+	op = sel.Sel.Name
+	switch op {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", "", false
+	}
+	t := a.info.TypeOf(sel.X)
+	if t == nil {
+		return "", "", "", false
+	}
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	if !isNamedType(t, "sync", "RWMutex") && !isNamedType(t, "sync", "Mutex") {
+		return "", "", "", false
+	}
+	key, name, ok = lockKey(a.info, sel.X)
+	if !ok {
+		return "", "", "", false
+	}
+	if op == "RLock" || op == "RUnlock" {
+		key += "/r"
+		name += " (read)"
+	}
+	return key, name, op, true
+}
+
+// lockOp applies one call if it is a mutex operation.
+func (a *lockBal) lockOp(call *ast.CallExpr, s lockState) {
+	key, name, op, ok := a.classifyLockOp(call)
+	if !ok {
+		return
+	}
+	read := op == "RLock" || op == "RUnlock"
+	f := s[key]
+	if f == nil {
+		f = &lockFact{name: name}
+		s[key] = f
+	}
+	switch op {
+	case "Lock", "RLock":
+		if f.depth >= 1 && !read {
+			a.report(call.Pos(), "second Lock of %s on a path where it is already held (self-deadlock)", f.name)
+		}
+		if f.depth < maxLockDepth {
+			f.depth++
+		}
+		f.lockPos = call.Pos()
+	case "Unlock", "RUnlock":
+		switch {
+		case f.depth > 0:
+			f.depth--
+			if f.depth == 0 {
+				f.released = true
+			}
+		case f.released:
+			a.report(call.Pos(), "second Unlock of %s on a path that already released it", f.name)
+		default:
+			// No Lock in this function: assume a caller-held lock
+			// (unlock-helper pattern) rather than guessing.
+			f.released = true
+		}
+	}
+}
+
+// checkJoins recomputes each reached block's out-state and reports
+// merge points whose incoming paths disagree about a mutex's hold
+// depth — the "locked on some paths but not others" class.
+func (a *lockBal) checkJoins(cfg *CFG, flow Flow[lockState], sol Solution[lockState]) {
+	outs := make(map[*Block]lockState, len(sol.In))
+	emit := a.emit
+	a.emit = nil // out-state recomputation must not re-report transfer diagnostics
+	for _, b := range cfg.Blocks {
+		in, ok := sol.In[b]
+		if !ok {
+			continue
+		}
+		s := cloneLockState(in)
+		for _, n := range b.Nodes {
+			s = flow.Transfer(b, n, s)
+		}
+		outs[b] = s
+	}
+	a.emit = emit
+	preds := make(map[*Block][]*Block)
+	for _, b := range cfg.Blocks {
+		if _, ok := outs[b]; !ok {
+			continue
+		}
+		for _, succ := range b.Succs {
+			preds[succ] = append(preds[succ], b)
+		}
+	}
+	for _, b := range cfg.Blocks {
+		ps := preds[b]
+		if len(ps) < 2 || b == cfg.Exit {
+			continue // exit imbalance is checkExit's, with defers applied
+		}
+		keys := make(map[string]bool)
+		for _, p := range ps {
+			for key := range outs[p] {
+				keys[key] = true
+			}
+		}
+		for key := range keys {
+			min, max := maxLockDepth+1, -1
+			var held *lockFact
+			for _, p := range ps {
+				depth := 0
+				if f, ok := outs[p][key]; ok {
+					depth = f.depth
+					if depth > 0 {
+						held = f
+					}
+				}
+				if depth < min {
+					min = depth
+				}
+				if depth > max {
+					max = depth
+				}
+			}
+			if min != max && held != nil && held.lockPos.IsValid() {
+				a.report(held.lockPos, "%s locked here is held on some but not all paths where they merge; unlock on every path before the merge", held.name)
+			}
+		}
+	}
+}
+
+// checkExit reports locks whose hold depth survives the deferred
+// unlocks on some path into the exit block.
+func (a *lockBal) checkExit(cfg *CFG, flow Flow[lockState], sol Solution[lockState]) {
+	in, ok := sol.In[cfg.Exit]
+	if !ok {
+		return
+	}
+	emit := a.emit
+	a.emit = nil
+	s := cloneLockState(in)
+	for _, n := range cfg.Exit.Nodes {
+		s = flow.Transfer(cfg.Exit, n, s)
+	}
+	a.emit = emit
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if f := s[k]; f.outstanding() > 0 && f.lockPos.IsValid() {
+			a.report(f.lockPos, "%s locked here is still held when the function exits on some path; unlock on every path or defer the unlock", f.name)
+		}
+	}
+}
+
+// report collects into the dedup set (join and exit checks can observe
+// the same imbalance); transfer-time reports flow through it too so a
+// loop body replay cannot double-report.
+func (a *lockBal) report(pos token.Pos, format string, args ...any) {
+	if a.emit == nil {
+		return
+	}
+	if a.pending == nil {
+		a.pending = make(map[string]pendingDiag)
+	}
+	msg := fmt.Sprintf(format, args...)
+	a.pending[fmt.Sprintf("%d:%s", pos, msg)] = pendingDiag{pos: pos, msg: msg}
+}
+
+// flush emits the collected diagnostics in stable position order.
+func (a *lockBal) flush(pass *Pass) {
+	keys := make([]string, 0, len(a.pending))
+	for k := range a.pending {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		d := a.pending[k]
+		pass.Reportf(d.pos, "%s", d.msg)
+	}
+}
+
+// lockKey renders a stable identity and display name for the mutex
+// expression: an identifier or a selector chain of identifiers. The
+// identity embeds the root object's declaration position so shadowed
+// names stay distinct.
+func lockKey(info *types.Info, e ast.Expr) (key, name string, ok bool) {
+	var parts []string
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := identObj(info, x)
+			if obj == nil {
+				return "", "", false
+			}
+			parts = append(parts, x.Name)
+			for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+				parts[i], parts[j] = parts[j], parts[i]
+			}
+			display := parts[0]
+			for _, p := range parts[1:] {
+				display += "." + p
+			}
+			return fmt.Sprintf("%d:%s", obj.Pos(), display), display, true
+		case *ast.SelectorExpr:
+			parts = append(parts, x.Sel.Name)
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return "", "", false
+		}
+	}
+}
+
+// lockTypes are the sync types whose by-value copy is always a bug.
+var lockTypes = [...]string{"Mutex", "RWMutex", "Once", "WaitGroup", "Cond"}
+
+// containsLock reports whether t transitively contains one of the sync
+// lock types by value.
+func containsLock(t types.Type, depth int) bool {
+	if t == nil || depth > 4 {
+		return false
+	}
+	for _, name := range lockTypes {
+		if isNamedType(t, "sync", name) {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), depth+1)
+	}
+	return false
+}
+
+// checkLockCopies flags by-value parameters and copy assignments of
+// lock-bearing types — the AST-level half of lockbal, mirroring go
+// vet's copylocks in miniature.
+func checkLockCopies(pass *Pass, decl *ast.FuncDecl, lit *ast.FuncLit) {
+	info := pass.Pkg.Info
+	var ftype *ast.FuncType
+	var body *ast.BlockStmt
+	if decl != nil {
+		ftype, body = decl.Type, decl.Body
+	} else {
+		ftype, body = lit.Type, lit.Body
+	}
+	if ftype.Params != nil {
+		for _, field := range ftype.Params.List {
+			t := info.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, ptr := t.(*types.Pointer); !ptr && containsLock(t, 0) {
+				pass.Reportf(field.Pos(), "parameter passes a %s by value; pass a pointer so the lock is shared", types.TypeString(t, nil))
+			}
+		}
+	}
+	// Copy assignments: x := y or x = y where y is an addressable read
+	// of a lock-bearing value (composite literals and calls initialize,
+	// they do not copy a live lock). Nested function literals are
+	// skipped; funcBodies visits them on their own.
+	walkExpr(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if lhs, ok := as.Lhs[i].(*ast.Ident); ok && lhs.Name == "_" {
+				continue // discarded, not a live second copy
+			}
+			switch rhs.(type) {
+			case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+			default:
+				continue
+			}
+			if rootIdent(rhs) == nil {
+				continue
+			}
+			t := info.TypeOf(rhs)
+			if t == nil {
+				continue
+			}
+			if _, ptr := t.(*types.Pointer); !ptr && containsLock(t, 0) {
+				pass.Reportf(as.Lhs[i].Pos(), "assignment copies a %s by value; use a pointer so the lock is shared", types.TypeString(t, nil))
+			}
+		}
+		return true
+	})
+}

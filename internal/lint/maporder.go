@@ -1,0 +1,337 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// mapOrderSinks are the encoder/writer entry points whose output order
+// becomes response bytes, CSV rows, or hash input — the places where
+// Go's randomized map iteration order breaks the repo's determinism
+// contract (every artifact and ETag byte-identical across builds).
+// Package-level sinks are resolved through the type checker; method
+// sinks are matched by name (Write*, Encode, Fprint*), a deliberate
+// heuristic that covers io.Writer implementations, csv.Writer,
+// json/gob Encoders and hash.Hash without enumerating receiver types.
+
+// MapOrder flags two shapes of nondeterministic encoding, as a forward
+// dataflow over the CFG:
+//
+//  1. an encoder/writer sink called inside a `range` over a map (order
+//     is randomized per iteration), and
+//  2. a value accumulated in map-range order — append to a slice or
+//     string concatenation hoisted out of the loop — that reaches a sink
+//     without an intervening deterministic sort. A call to any function
+//     whose name starts with "Sort" (sort.Slice, slices.Sort,
+//     netblock.SortPrefixes, ...) clears the taint; ranging over a
+//     still-tainted slice is as unordered as ranging the map itself.
+//
+// The fix is the standard one: collect keys, sort, iterate the sorted
+// slice. Order-insensitive accumulation (counters, sums, map-to-map
+// copies) is deliberately not tracked; note that floating-point sums in
+// map order are still nondeterministic in the last bits and need a
+// sorted loop if their bytes are ever emitted.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag encoding/writing in map-iteration order without a deterministic sort",
+	Run: func(pass *Pass) {
+		funcBodies(pass.Pkg, func(_ *ast.FuncDecl, _ *ast.FuncLit, body *ast.BlockStmt) {
+			a := &mapOrder{info: pass.Pkg.Info}
+			flow := Flow[taintState]{
+				Init:     func() taintState { return taintState{} },
+				Clone:    cloneTaintState,
+				Transfer: a.transfer,
+				Join:     joinTaintState,
+			}
+			cfg := BuildCFG(body, pass.Pkg.Info)
+			sol := flow.Forward(cfg)
+			a.emit = func(pos token.Pos, format string, args ...any) {
+				pass.Reportf(pos, format, args...)
+			}
+			flow.ReportPass(cfg, sol)
+		})
+	},
+}
+
+// taintState is the set of variables carrying map-iteration-ordered
+// content.
+type taintState map[types.Object]bool
+
+func cloneTaintState(s taintState) taintState {
+	out := make(taintState, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func joinTaintState(dst, src taintState) (taintState, bool) {
+	changed := false
+	for k := range src {
+		if !dst[k] {
+			dst[k] = true
+			changed = true
+		}
+	}
+	return dst, changed
+}
+
+type mapOrder struct {
+	info *types.Info
+	emit func(pos token.Pos, format string, args ...any)
+}
+
+func (a *mapOrder) transfer(b *Block, n Node, s taintState) taintState {
+	if _, ok := n.Ast.(*ast.DeferStmt); ok && !n.DeferRun {
+		return s
+	}
+	// unordered is the innermost enclosing range whose iteration order is
+	// nondeterministic: directly over a map, or over a tainted slice.
+	var unordered *ast.RangeStmt
+	for _, r := range b.Ranges {
+		if a.unorderedRange(r, s) {
+			unordered = r
+		}
+	}
+	node := n.Ast
+	if n.DeferRun {
+		if fl, ok := n.Ast.(*ast.CallExpr).Fun.(*ast.FuncLit); ok {
+			node = fl.Body
+		}
+	}
+	walkExpr(node, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.CallExpr:
+			a.call(m, unordered, s)
+		case *ast.AssignStmt:
+			a.assign(m, unordered, s)
+		}
+		return true
+	})
+	return s
+}
+
+// unorderedRange reports whether r iterates in nondeterministic order.
+func (a *mapOrder) unorderedRange(r *ast.RangeStmt, s taintState) bool {
+	if t := a.info.TypeOf(r.X); t != nil {
+		if _, ok := t.Underlying().(*types.Map); ok {
+			return true
+		}
+	}
+	if root := rootIdent(r.X); root != nil {
+		if obj := identObj(a.info, root); obj != nil && s[obj] {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *mapOrder) call(call *ast.CallExpr, unordered *ast.RangeStmt, s taintState) {
+	// A sort call launders its argument: the slice is deterministic from
+	// here on, whatever order it was filled in.
+	if a.isSortCall(call) {
+		for _, arg := range call.Args {
+			if root := rootIdent(arg); root != nil {
+				if obj := identObj(a.info, root); obj != nil {
+					delete(s, obj)
+				}
+			}
+		}
+		return
+	}
+	desc, target, ok := a.sink(call)
+	if !ok {
+		return
+	}
+	// A sink under an unordered range emits bytes in randomized key
+	// order — unless its writer target is loop-local (a fresh buffer per
+	// iteration whose bytes land back in a map is order-independent).
+	if unordered != nil && target != nil && a.outlivesLoop(target, unordered) {
+		a.report(call.Pos(), "%s inside range over %s iterates in nondeterministic order; sort the keys and range the sorted slice", desc, a.rangeOperand(unordered))
+		return
+	}
+	for _, arg := range call.Args {
+		if root := rootIdent(arg); root != nil {
+			if obj := identObj(a.info, root); obj != nil && s[obj] {
+				a.report(call.Pos(), "%s emits %s, which was accumulated in map-iteration order; sort it first", desc, obj.Name())
+				return
+			}
+		}
+	}
+}
+
+// assign tracks order-dependent accumulation and strong updates.
+func (a *mapOrder) assign(m *ast.AssignStmt, unordered *ast.RangeStmt, s taintState) {
+	if len(m.Lhs) != len(m.Rhs) && len(m.Rhs) != 1 {
+		return
+	}
+	for i, lhs := range m.Lhs {
+		root := rootIdent(lhs)
+		if root == nil || root.Name == "_" {
+			continue
+		}
+		obj := identObj(a.info, root)
+		if obj == nil {
+			continue
+		}
+		var rhs ast.Expr
+		if i < len(m.Rhs) {
+			rhs = m.Rhs[i]
+		}
+		switch {
+		case unordered != nil && a.accumulates(m, lhs, rhs) && declaredOutside(obj, unordered):
+			s[obj] = true
+		case rhs != nil && a.taintedExpr(rhs, s):
+			s[obj] = true // alias or derivation keeps the taint
+		case m.Tok == token.ASSIGN || m.Tok == token.DEFINE:
+			delete(s, obj) // strong update: rebound to something fresh
+		}
+	}
+}
+
+// accumulates recognizes order-sensitive accumulation: append into the
+// assigned slice, string +=, or string self-concatenation.
+func (a *mapOrder) accumulates(m *ast.AssignStmt, lhs, rhs ast.Expr) bool {
+	if m.Tok == token.ADD_ASSIGN {
+		return isStringExpr(a.info, lhs)
+	}
+	if rhs == nil {
+		return false
+	}
+	if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinCall(a.info, call, "append") {
+		return true
+	}
+	if be, ok := rhs.(*ast.BinaryExpr); ok && be.Op == token.ADD && isStringExpr(a.info, lhs) {
+		return true
+	}
+	return false
+}
+
+func (a *mapOrder) taintedExpr(e ast.Expr, s taintState) bool {
+	// append(tainted, ...) and plain reads keep the taint through the
+	// root identifier; anything else is treated as fresh.
+	if call, ok := e.(*ast.CallExpr); ok {
+		if isBuiltinCall(a.info, call, "append") && len(call.Args) > 0 {
+			e = call.Args[0]
+		}
+	}
+	root := rootIdent(e)
+	if root == nil {
+		return false
+	}
+	obj := identObj(a.info, root)
+	return obj != nil && s[obj]
+}
+
+// sink classifies call as an encoder/writer, returning a short
+// description and the expression whose storage receives the ordered
+// bytes (nil when the sink only transforms, like json.Marshal — those
+// are judged by tainted arguments alone).
+func (a *mapOrder) sink(call *ast.CallExpr) (string, ast.Expr, bool) {
+	for _, fn := range [...]string{"Fprint", "Fprintf", "Fprintln"} {
+		if pkgFuncCall(a.info, call, "fmt", fn) && len(call.Args) > 0 {
+			return "fmt." + fn, call.Args[0], true
+		}
+	}
+	for _, fn := range [...]string{"Marshal", "MarshalIndent"} {
+		if pkgFuncCall(a.info, call, "encoding/json", fn) {
+			return "json." + fn, nil, true
+		}
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", nil, false
+	}
+	name := sel.Sel.Name
+	if name == "Encode" || strings.HasPrefix(name, "Write") {
+		// Method sinks by name: io.Writer implementations, csv.Writer,
+		// strings.Builder, hash.Hash, json/gob Encoders. Selections is
+		// populated for method and field selections only, so a package-
+		// qualified function (csv.NewWriter) never matches.
+		if a.info.Selections[sel] != nil {
+			return recvTypeName(a.info, sel) + "." + name, sel.X, true
+		}
+	}
+	return "", nil, false
+}
+
+// outlivesLoop reports whether the sink target's storage persists across
+// iterations of r: its root variable is declared outside the loop body,
+// or it has no root identifier at all (a global, a field chain rooted in
+// a call — assumed shared).
+func (a *mapOrder) outlivesLoop(target ast.Expr, r *ast.RangeStmt) bool {
+	root := rootIdent(target)
+	if root == nil {
+		return true
+	}
+	obj := identObj(a.info, root)
+	return obj == nil || declaredOutside(obj, r)
+}
+
+func (a *mapOrder) report(pos token.Pos, format string, args ...any) {
+	if a.emit != nil {
+		a.emit(pos, format, args...)
+	}
+}
+
+// isSortCall recognizes deterministic-ordering calls: anything from the
+// sort or slices packages, or a function whose name starts with Sort
+// (netblock.SortPrefixes and friends). A heuristic, documented as such.
+func (a *mapOrder) isSortCall(call *ast.CallExpr) bool {
+	switch f := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if selectsPackage(a.info, f, "sort") || selectsPackage(a.info, f, "slices") {
+			return true
+		}
+		return strings.HasPrefix(f.Sel.Name, "Sort")
+	case *ast.Ident:
+		return strings.HasPrefix(f.Name, "Sort") || strings.HasPrefix(f.Name, "sort")
+	}
+	return false
+}
+
+// rangeOperand renders the ranged expression for the diagnostic.
+func (a *mapOrder) rangeOperand(r *ast.RangeStmt) string {
+	name := "it"
+	if root := rootIdent(r.X); root != nil {
+		name = root.Name
+	}
+	if t := a.info.TypeOf(r.X); t != nil {
+		if _, ok := t.Underlying().(*types.Map); ok {
+			return "map " + name
+		}
+	}
+	return name + " (filled in map order)"
+}
+
+// declaredOutside reports whether obj was declared outside r's body —
+// i.e. the accumulator survives the loop.
+func declaredOutside(obj types.Object, r *ast.RangeStmt) bool {
+	return obj.Pos() < r.Body.Pos() || obj.Pos() > r.Body.End()
+}
+
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// recvTypeName renders the method receiver's type for diagnostics.
+func recvTypeName(info *types.Info, sel *ast.SelectorExpr) string {
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return "?"
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,102 @@
+// Package ctxflowfix is a golden fixture for the ctxflow analyzer: a
+// context.Context parameter must be threaded into every blocking
+// operation of the function.
+package ctxflowfix
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// poll threads the context everywhere: derived timeout context, a
+// context-bound request, and a select with a Done arm.
+func poll(ctx context.Context, c *http.Client, ticks <-chan struct{}) error {
+	tctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(tctx, http.MethodGet, "http://example.test/", nil)
+	if err != nil {
+		return err
+	}
+	if _, err := c.Do(req); err != nil { // fine: req derives from ctx
+		return err
+	}
+	select {
+	case <-ticks:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return nil
+}
+
+// dropped is the seeded bug: it accepts a context and then blocks
+// without it on every operation.
+func dropped(ctx context.Context, c *http.Client, ticks chan struct{}) {
+	time.Sleep(time.Second) // want "time.Sleep cannot be cancelled"
+	req, _ := http.NewRequestWithContext(context.Background(), "GET", "http://example.test/", nil)
+	c.Do(req)           // want "http request sent without the function's context"
+	<-ticks             // want "blocking channel receive with no cancellation arm"
+	ticks <- struct{}{} // want "blocking channel send with no cancellation arm"
+	select { // want "select blocks with no arm receiving from the context's Done channel"
+	case <-ticks:
+	case ticks <- struct{}{}:
+	}
+}
+
+// derived accepts the context through a chain of derivations.
+func derived(ctx context.Context, c *http.Client) {
+	vctx := context.WithValue(ctx, struct{}{}, "k")
+	req, _ := http.NewRequest("GET", "http://example.test/", nil) // only ctxflow runs over this fixture
+	req = req.WithContext(vctx)
+	c.Do(req) // fine: req rebound to a context-derived request
+}
+
+// doneChan stores ctx.Done in a variable; receiving from it is the
+// sanctioned blocking wait, and a select arm on it cancels the select.
+func doneChan(ctx context.Context, ticks chan struct{}) {
+	done := ctx.Done()
+	<-done // fine: waiting for cancellation itself
+	select {
+	case <-ticks:
+	case <-done:
+	}
+}
+
+// nonBlocking selects with a default clause, which cannot block.
+func nonBlocking(ctx context.Context, ticks chan struct{}) {
+	select {
+	case <-ticks:
+	default:
+	}
+}
+
+// rangeRecv drains a channel with range, which blocks between
+// iterations with no cancellation arm.
+func rangeRecv(ctx context.Context, ticks chan struct{}) {
+	for range ticks { // want "range over a channel blocks with no cancellation arm"
+	}
+}
+
+// group mimics an errgroup constructor: a helper that accepts the
+// context and returns a derived one.
+func group(ctx context.Context) (int, context.Context) {
+	return 0, ctx
+}
+
+// helperDerived trusts the helper's context-typed result: a Done arm on
+// gctx is a cancellation arm.
+func helperDerived(ctx context.Context, ticks chan struct{}) {
+	n, gctx := group(ctx)
+	_ = n
+	select {
+	case <-ticks:
+	case <-gctx.Done():
+	}
+}
+
+// noCtx has no context parameter: channel discipline is out of scope
+// for this rule.
+func noCtx(ticks chan struct{}) {
+	<-ticks
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,116 @@
+// Package lockbalfix is a golden fixture for the lockbal analyzer:
+// lock/unlock balance across CFG paths, defer-aware, plus lock copies.
+package lockbalfix
+
+import "sync"
+
+type store struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	data map[string][]byte
+	stat int
+}
+
+// earlyReturn is the seeded bug: the miss path returns without
+// unlocking, deadlocking the next caller.
+func earlyReturn(s *store, key string) ([]byte, bool) {
+	s.mu.Lock() // want "s.mu locked here is still held when the function exits on some path"
+	v, ok := s.data[key]
+	if !ok {
+		return nil, false
+	}
+	s.mu.Unlock()
+	return v, true
+}
+
+// deferred is the sanctioned shape: the deferred unlock covers every
+// exit, including the early return.
+func deferred(s *store, key string) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.data == nil {
+		return nil
+	}
+	return s.data[key]
+}
+
+// branchy unlocks on one arm only; the paths disagree where they merge.
+func branchy(s *store, fast bool) {
+	s.mu.Lock() // want "s.mu locked here is held on some but not all paths where they merge"
+	if fast {
+		s.mu.Unlock()
+	}
+	s.stat++
+	s.mu.Unlock()
+}
+
+// double locks a plain mutex it already holds: self-deadlock.
+func double(s *store) {
+	s.mu.Lock()
+	s.mu.Lock() // want "second Lock of s.mu on a path where it is already held"
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// doubleUnlock releases twice; the second panics at runtime.
+func doubleUnlock(s *store) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.mu.Unlock() // want "second Unlock of s.mu on a path that already released it"
+}
+
+// release is an unlock helper: no Lock in this function, the caller
+// holds it. Deliberately not reported.
+func (s *store) release() {
+	s.stat++
+	s.mu.Unlock()
+}
+
+// deferredLit unlocks inside a deferred function literal; the exit
+// replay walks the literal's body.
+func deferredLit(s *store) {
+	s.mu.Lock()
+	defer func() {
+		s.stat++
+		s.mu.Unlock()
+	}()
+	s.stat = 1
+}
+
+// conditionalDefer registers the unlock on one path only; a defer that
+// is not certain does not balance the lock.
+func conditionalDefer(s *store, really bool) {
+	s.mu.Lock() // want "s.mu locked here is still held when the function exits on some path"
+	if really {
+		defer s.mu.Unlock()
+	}
+	s.stat++
+}
+
+// reader uses the re-entrant read side of the RWMutex: clean.
+func reader(s *store, key string) []byte {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.data[key]
+}
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// byValue copies the mutex into the parameter: the callee locks a
+// private copy.
+func byValue(g guarded) int { // want "parameter passes a .*guarded by value"
+	return g.n
+}
+
+func takesMutex(mu sync.Mutex) { // want "parameter passes a sync.Mutex by value"
+	_ = mu
+}
+
+// copies duplicates a live lock through a dereference assignment.
+func copies(g *guarded) int {
+	h := *g // want "assignment copies a .*guarded by value"
+	return h.n
+}

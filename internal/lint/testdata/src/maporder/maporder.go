@@ -1,0 +1,100 @@
+// Package maporderfix is a golden fixture for the maporder analyzer:
+// encoding in map-iteration order breaks the determinism contract
+// (byte-identical artifacts and ETags at any worker count).
+package maporderfix
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+)
+
+// emitDirect is the seeded bug: encoder calls directly inside a map
+// range.
+func emitDirect(w io.Writer, cw *csv.Writer, counts map[string]int) error {
+	for name, n := range counts {
+		fmt.Fprintf(w, "%s,%d\n", name, n) // want "fmt.Fprintf inside range over map counts"
+		if err := cw.Write([]string{name}); err != nil { // want "Writer.Write inside range over map counts"
+			return err
+		}
+	}
+	return nil
+}
+
+// hashDirect feeds an ETag hash in map order: same data, different
+// checksum every run.
+func hashDirect(counts map[string]int) uint64 {
+	h := fnv.New64a()
+	for name := range counts {
+		h.Write([]byte(name)) // want "Hash64.Write inside range over map counts"
+	}
+	return h.Sum64()
+}
+
+// emitSorted is the sanctioned pattern: collect, sort, then encode.
+func emitSorted(w io.Writer, counts map[string]int) {
+	keys := make([]string, 0, len(counts))
+	for name := range counts {
+		keys = append(keys, name) // accumulation alone is fine...
+	}
+	sort.Strings(keys) // ...because the sort launders the order
+	for _, name := range keys {
+		fmt.Fprintf(w, "%s,%d\n", name, counts[name])
+	}
+}
+
+// accumulateUnsorted hoists rows out of the loop and encodes them
+// without the intervening sort.
+func accumulateUnsorted(counts map[string]int) ([]byte, error) {
+	rows := make([]string, 0, len(counts))
+	for name := range counts {
+		rows = append(rows, name)
+	}
+	return json.Marshal(rows) // want "json.Marshal emits rows, which was accumulated in map-iteration order"
+}
+
+// rangeTainted ranges over the unsorted accumulation — exactly as
+// unordered as the map itself.
+func rangeTainted(w io.Writer, counts map[string]int) {
+	rows := make([]string, 0, len(counts))
+	for name := range counts {
+		rows = append(rows, name)
+	}
+	for _, name := range rows {
+		fmt.Fprintln(w, name) // want "fmt.Fprintln inside range over rows .filled in map order."
+	}
+}
+
+// concat builds a string in map order and writes it later.
+func concat(w io.Writer, counts map[string]int) {
+	var body string
+	for name := range counts {
+		body += name + "\n"
+	}
+	io.WriteString(w, body) //lint:ignore maporder fixture shows the package-function escape hatch is out of scope
+	var buf bytes.Buffer
+	buf.WriteString(body) // want "Buffer.WriteString emits body, which was accumulated in map-iteration order"
+}
+
+// perIterationBuffer writes into a buffer created inside the loop; the
+// bytes land keyed by name, so the outcome is order-independent.
+func perIterationBuffer(counts map[string]int) map[string][]byte {
+	out := make(map[string][]byte, len(counts))
+	for name := range counts {
+		var buf bytes.Buffer
+		buf.WriteString(name) // fine: loop-local writer
+		out[name] = buf.Bytes()
+	}
+	return out
+}
+
+// sliceRange iterates a plain slice: ordered, nothing to report.
+func sliceRange(w io.Writer, rows []string) {
+	for _, r := range rows {
+		fmt.Fprintln(w, r)
+	}
+}

@@ -1,0 +1,69 @@
+// Package mutafterpubfix is a golden fixture for the mutafterpub
+// analyzer: writes to a value after it escapes via an atomic pointer
+// store, a channel send, or a return from a Build* function.
+package mutafterpubfix
+
+import "sync/atomic"
+
+type snapshot struct {
+	seq    int
+	tables map[string][]byte
+	rows   []int
+}
+
+// swap publishes via atomic.Pointer.Store, then keeps writing — the
+// seeded post-publish mutation bug.
+func swap(ptr *atomic.Pointer[snapshot]) {
+	snap := &snapshot{tables: map[string][]byte{}}
+	snap.seq = 1 // fine: not yet published
+	ptr.Store(snap)
+	snap.seq = 2                  // want "write through snap after it was published via atomic Pointer.Store"
+	snap.tables["t1"] = []byte{1} // want "write through snap after it was published"
+	delete(snap.tables, "t1")     // want "delete through snap after it was published"
+}
+
+// send publishes through a channel; the loop back edge carries the
+// publish fact into the next iteration's write.
+func send(ch chan *snapshot) {
+	for i := 0; i < 3; i++ {
+		snap := &snapshot{} // fresh value each iteration: clean until sent
+		snap.seq = i
+		ch <- snap
+	}
+	shared := &snapshot{}
+	for i := 0; i < 3; i++ {
+		ch <- shared
+		shared.seq = i // want "write through shared after it was published via channel send"
+	}
+}
+
+// BuildSnapshot returns a published value; the deferred literal runs
+// after the return has handed it to the caller.
+func BuildSnapshot() *snapshot {
+	snap := &snapshot{}
+	defer func() {
+		snap.seq = 99 // want "write through snap after it was published via return from builder"
+	}()
+	snap.seq = 1 // fine: before the return
+	return snap
+}
+
+// alias shows a reference-typed alias carrying the publish fact, while
+// rebinding to a fresh value clears it.
+func alias(ptr *atomic.Pointer[snapshot]) {
+	snap := &snapshot{tables: map[string][]byte{}}
+	tables := snap.tables
+	ptr.Store(snap)
+	rows := snap.rows
+	rows[0] = 1 // want "write through rows after it was published"
+	_ = tables
+	snap = &snapshot{} // strong update: a different value now
+	snap.seq = 5       // fine: the rebound value is unpublished
+}
+
+// helper is not a Build* function: returning does not publish.
+func helper() *snapshot {
+	snap := &snapshot{}
+	defer func() { snap.seq = 2 }() // fine: never published
+	return snap
+}

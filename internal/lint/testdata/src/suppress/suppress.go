@@ -1,0 +1,12 @@
+// Package suppressfix exercises the suppression audit: one directive
+// that silences a real finding, one that silences nothing.
+package suppressfix
+
+func eq(a, b float64) bool {
+	return a == b //lint:ignore floatcmp fixture exercises a used suppression
+}
+
+//lint:ignore floatcmp stale on purpose: the line below compares ints
+func intEq(a, b int) bool {
+	return a == b
+}

@@ -74,6 +74,7 @@ func Serve(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Du
 	if err := srv.Shutdown(sctx); err != nil {
 		return fmt.Errorf("serve: shutdown: %w", err)
 	}
+	//lint:ignore ctxflow Shutdown has returned, so Serve has already unblocked: this receive is bounded, not cancellable
 	<-errc // always http.ErrServerClosed after Shutdown
 	return nil
 }

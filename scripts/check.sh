@@ -37,6 +37,14 @@
 #                          and follower marketd pair over loopback and
 #                          asserts the same identity plus the follower's
 #                          409 on /admin/rebuild
+#   9. suppression audit — ipv4lint -suppressions: every //lint:ignore
+#                          directive must still silence a live finding;
+#                          stale directives fail the gate so fixed code
+#                          sheds its excuses
+#  10. fuzz gate         — a short -fuzztime budget per native fuzz
+#                          target (segment/frame decoding, prefix
+#                          parsing and construction) on top of the
+#                          committed corpus, which replays in gate 4
 #
 # Run from anywhere inside the repository.
 set -eu
@@ -86,5 +94,14 @@ go test -race -count=1 \
     -run 'TestLeaderFollowerSync|TestFlippedBytesQuarantined|TestTruncatedStreamResumed|TestLeaderFollowerEndToEnd' \
     ./internal/replicate
 go run scripts/replgate.go "${TMPDIR:-/tmp}/ipv4market-check/marketd"
+
+echo "==> suppression audit"
+go run ./cmd/ipv4lint -suppressions ./...
+
+echo "==> fuzz gate (short budget per target)"
+go test -run '^$' -fuzz FuzzDecodeSegment -fuzztime 5s ./internal/store
+go test -run '^$' -fuzz FuzzDecodeFrame -fuzztime 5s ./internal/store
+go test -run '^$' -fuzz FuzzPrefixFrom -fuzztime 5s ./internal/netblock
+go test -run '^$' -fuzz FuzzParsePrefix -fuzztime 5s ./internal/netblock
 
 echo "check.sh: all gates passed"
