@@ -1,12 +1,17 @@
 // Command benchrecord re-records the repository's benchmark baselines
-// (BENCH_build.json, BENCH_serve.json at the repo root) by running the
-// serve-layer benchmarks through `go test -bench` and rewriting the
-// JSON with the parsed results plus the recording machine's metadata
-// (CPU model, core count, GOMAXPROCS, Go version). scripts/bench.sh is
-// the front door:
+// (BENCH_build.json, BENCH_serve.json, BENCH_cluster.json at the repo
+// root). The build and serve suites run through `go test -bench` and
+// the JSON is rewritten with the parsed results plus the recording
+// machine's metadata (CPU model, core count, GOMAXPROCS, Go version).
+// The cluster suite builds marketd and marketbench, then boots real
+// process topologies (leader-only and leader+2 followers behind a
+// round-robin router) and drives the mixed /v1 workload at them;
+// cmd/marketbench writes BENCH_cluster.json itself. scripts/bench.sh
+// is the front door:
 //
-//	scripts/bench.sh            # re-record both baselines
+//	scripts/bench.sh            # re-record all baselines
 //	scripts/bench.sh -suite build
+//	scripts/bench.sh -suite cluster
 //
 // Benchmark numbers are machine-dependent; the embedded metadata is
 // what makes a baseline comparable (same hardware) or visibly not
@@ -103,9 +108,10 @@ func main() {
 func run(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("benchrecord", flag.ContinueOnError)
 	var (
-		which     = fs.String("suite", "all", `which baseline to re-record: "build", "serve", or "all"`)
-		dir       = fs.String("dir", ".", "repository root (where the BENCH_*.json files live)")
-		benchtime = fs.String("benchtime", "", "override the suite's default -benchtime")
+		which       = fs.String("suite", "all", `which baseline to re-record: "build", "serve", "cluster", or "all"`)
+		dir         = fs.String("dir", ".", "repository root (where the BENCH_*.json files live)")
+		benchtime   = fs.String("benchtime", "", "override the suite's default -benchtime (build/serve)")
+		clusterReqs = fs.Int("cluster-requests", 5000, "measured requests per topology for the cluster suite")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -124,9 +130,63 @@ func run(w io.Writer, args []string) error {
 			return err
 		}
 	}
-	if ran == 0 {
-		return fmt.Errorf("unknown -suite %q (want build, serve, or all)", *which)
+	if *which == "all" || *which == "cluster" {
+		ran++
+		if err := recordCluster(w, *dir, *clusterReqs); err != nil {
+			return err
+		}
 	}
+	if ran == 0 {
+		return fmt.Errorf("unknown -suite %q (want build, serve, cluster, or all)", *which)
+	}
+	return nil
+}
+
+// recordCluster re-records BENCH_cluster.json: it builds marketd and
+// marketbench, then lets marketbench boot and drive the two recorded
+// topologies (leader-only, leader+2 followers behind the router) and
+// write the baseline itself — the schema lives in internal/loadgen and
+// TestBenchClusterJSONParses reads the file back through it.
+func recordCluster(w io.Writer, dir string, requests int) error {
+	tmp, err := os.MkdirTemp("", "benchrecord-cluster")
+	if err != nil {
+		return fmt.Errorf("benchrecord: %w", err)
+	}
+	defer os.RemoveAll(tmp)
+
+	for _, pkg := range []string{"marketd", "marketbench"} {
+		fmt.Fprintf(w, "benchrecord: building %s...\n", pkg)
+		cmd := exec.Command("go", "build", "-o", filepath.Join(tmp, pkg), "./cmd/"+pkg)
+		cmd.Dir = dir
+		if out, err := cmd.CombinedOutput(); err != nil {
+			return fmt.Errorf("benchrecord: build %s: %w\n%s", pkg, err, out)
+		}
+	}
+
+	args := []string{
+		"-marketd", filepath.Join(tmp, "marketd"),
+		"-topologies", "0,2",
+		"-requests", strconv.Itoa(requests),
+		"-out", filepath.Join(dir, "BENCH_cluster.json"),
+		"-procedure", "recorded by scripts/bench.sh -suite cluster (cmd/benchrecord): go build ./cmd/marketd " +
+			"./cmd/marketbench, then marketbench -topologies 0,2 -requests " + strconv.Itoa(requests) + " boots each " +
+			"topology over loopback (leader with a durable store; followers replicating with -max-lag 2 behind the " +
+			"round-robin router), drives the weighted /v1 endpoint mix closed-loop, triggers a rebuild under load, " +
+			"waits for follower catch-up, and writes this file whole. Numbers are machine-dependent — compare only " +
+			"against a baseline whose goos/goarch/cpu/num_cpu match. Never edit by hand; re-record instead.",
+		"-note", "closed-loop mixed /v1 workload per topology with a mid-run leader rebuild and follower catch-up; " +
+			"client percentiles from the deterministic streaming histogram, cross-checked against each node's " +
+			"/varz latency_counts export. error_budget.violated must be false in a committed baseline.",
+	}
+	fmt.Fprintf(w, "benchrecord: running marketbench (%d requests per topology)...\n", requests)
+	cmd := exec.Command(filepath.Join(tmp, "marketbench"), args...)
+	cmd.Dir = dir
+	cmd.Stdout = w
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("benchrecord: marketbench: %w", err)
+	}
+	fmt.Fprintf(w, "benchrecord: wrote %s\n", filepath.Join(dir, "BENCH_cluster.json"))
 	return nil
 }
 

@@ -1,0 +1,269 @@
+// Command marketbench drives the real /v1 endpoint mix against marketd
+// servers and reports latency percentiles, throughput, and an error
+// budget verdict. It runs in two modes:
+//
+// Single target — drive one already-running server:
+//
+//	marketbench -target http://127.0.0.1:8090 -requests 5000
+//
+// Fleet — boot a leader, K followers replicating from it, and a
+// round-robin router over loopback, drive mixed traffic through the
+// router, exercise a rebuild under load and follower catch-up while
+// saturated, and write the BENCH_cluster.json baseline:
+//
+//	marketbench -marketd ./bin/marketd -topologies 0,2 -out BENCH_cluster.json
+//
+// The workload is deterministic: -seed fixes the request mix exactly
+// (internal/loadgen derives one splitmix64 stream per worker), -mode
+// picks closed-loop (fixed concurrency, the capacity question) or
+// open-loop (fixed arrival rate with shedding, the latency question).
+// Warmup requests are issued and validated but never measured.
+//
+// After every run marketbench scrapes each node's /varz and recomputes
+// server-side percentiles from the machine-readable latency buckets —
+// a cross-check that the client-side numbers aren't an artifact of the
+// harness. Followers boot with -max-lag so the router's health loop
+// drains them while they trail the leader; the fleet run asserts they
+// catch up and rejoin.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ipv4market/internal/loadgen"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "marketbench:", err)
+		os.Exit(1)
+	}
+}
+
+// benchFlags is the parsed CLI surface shared by both modes.
+type benchFlags struct {
+	target     string
+	marketdBin string
+	topologies []int
+	out        string
+	procedure  string
+	note       string
+
+	mode        loadgen.Mode
+	concurrency int
+	rate        float64
+	warmup      int
+	requests    int
+	duration    time.Duration
+	seed        uint64
+	budget      float64
+
+	worldSeed int64
+	lirs      int
+	days      int
+	pollEvery time.Duration
+	maxLag    string
+}
+
+func parseFlags(args []string) (*benchFlags, error) {
+	fs := flag.NewFlagSet("marketbench", flag.ContinueOnError)
+	var (
+		target      = fs.String("target", "", "drive this base URL (single-target mode; no fleet is booted)")
+		marketdBin  = fs.String("marketd", "", "path to a built marketd binary (fleet mode)")
+		topologies  = fs.String("topologies", "0,2", "comma-separated follower counts to benchmark (fleet mode)")
+		out         = fs.String("out", "", "write the BENCH_cluster.json baseline here (fleet mode)")
+		procedure   = fs.String("procedure", "", "procedure string recorded in the baseline (how to re-record)")
+		note        = fs.String("note", "", "note recorded in the baseline")
+		mode        = fs.String("mode", "closed", "load model: closed (fixed concurrency) or open (fixed arrival rate)")
+		concurrency = fs.Int("concurrency", 8, "closed-loop worker count")
+		rate        = fs.Float64("rate", 200, "open-loop arrivals per second")
+		warmup      = fs.Int("warmup", 200, "warmup requests before measurement starts")
+		requests    = fs.Int("requests", 2000, "measured requests per run (0: duration-bounded)")
+		duration    = fs.Duration("duration", 0, "measured wall-clock bound (0: request-bounded)")
+		seed        = fs.Uint64("seed", 1, "load-mix seed; equal seeds yield equal request sequences")
+		budget      = fs.Float64("error-budget", 0.01, "max tolerated error fraction (transport+HTTP+validation)")
+		worldSeed   = fs.Int64("world-seed", 0, "simulation seed for booted servers (0: marketd default)")
+		lirs        = fs.Int("lirs", 24, "world size: LIR count for booted servers")
+		days        = fs.Int("days", 60, "world size: routing window days for booted servers")
+		pollEvery   = fs.Duration("poll-interval", 250*time.Millisecond, "follower leader-poll period (fleet mode)")
+		maxLag      = fs.String("max-lag", "2", "follower -max-lag readiness bound (fleet mode; empty: ungated)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	f := &benchFlags{
+		target:      *target,
+		marketdBin:  *marketdBin,
+		out:         *out,
+		procedure:   *procedure,
+		note:        *note,
+		concurrency: *concurrency,
+		rate:        *rate,
+		warmup:      *warmup,
+		requests:    *requests,
+		duration:    *duration,
+		seed:        *seed,
+		budget:      *budget,
+		worldSeed:   *worldSeed,
+		lirs:        *lirs,
+		days:        *days,
+		pollEvery:   *pollEvery,
+		maxLag:      *maxLag,
+	}
+	switch *mode {
+	case "closed":
+		f.mode = loadgen.ClosedLoop
+	case "open":
+		f.mode = loadgen.OpenLoop
+	default:
+		return nil, fmt.Errorf("marketbench: -mode %q: want closed or open", *mode)
+	}
+	if f.budget < 0 {
+		return nil, fmt.Errorf("marketbench: -error-budget must be >= 0")
+	}
+	if f.target == "" && f.marketdBin == "" {
+		return nil, fmt.Errorf("marketbench: pick a mode: -target URL (drive one server) or -marketd BIN (boot a fleet)")
+	}
+	if f.target != "" && f.marketdBin != "" {
+		return nil, fmt.Errorf("marketbench: -target and -marketd are mutually exclusive")
+	}
+	if f.target != "" && f.out != "" {
+		return nil, fmt.Errorf("marketbench: -out records fleet topologies; it needs -marketd, not -target")
+	}
+	for _, part := range strings.Split(*topologies, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("marketbench: -topologies %q: want comma-separated follower counts >= 0", *topologies)
+		}
+		f.topologies = append(f.topologies, n)
+	}
+	if f.marketdBin != "" && len(f.topologies) == 0 {
+		return nil, fmt.Errorf("marketbench: -topologies lists no follower counts")
+	}
+	return f, nil
+}
+
+func run(w io.Writer, args []string) error {
+	f, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+
+	if f.target != "" {
+		res, err := driveTarget(ctx, w, f, f.target)
+		if err != nil {
+			return err
+		}
+		printResult(w, res, f.budget)
+		if res.BudgetViolated(f.budget) {
+			return fmt.Errorf("marketbench: error budget violated: %d errors in %d requests (allowed fraction %g)",
+				res.Aggregate.Errors(), res.Aggregate.Requests, f.budget)
+		}
+		return nil
+	}
+
+	recorded := time.Now().UTC().Format("2006-01-02")
+	procedure := f.procedure
+	if procedure == "" {
+		procedure = fmt.Sprintf("scripts/bench.sh cluster (marketbench -topologies %s -mode %s -concurrency %d -warmup %d -requests %d -seed %d)",
+			joinInts(f.topologies), f.mode, f.concurrency, f.warmup, f.requests, f.seed)
+	}
+	baseline := loadgen.NewClusterBaseline(recorded, procedure, f.note)
+
+	for _, followers := range f.topologies {
+		report, err := runTopology(ctx, w, f, followers)
+		if err != nil {
+			return err
+		}
+		baseline.Topologies = append(baseline.Topologies, *report)
+	}
+
+	if f.out != "" {
+		if err := writeBaseline(f.out, &baseline); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "marketbench: wrote %s (%d topologies)\n", f.out, len(baseline.Topologies))
+	}
+	for _, t := range baseline.Topologies {
+		if t.ErrorBudget.Violated {
+			return fmt.Errorf("marketbench: topology %q violated its error budget: %d errors in %d requests (allowed fraction %g)",
+				t.Name, t.ErrorBudget.Errors, t.Aggregate.Requests, t.ErrorBudget.AllowedFraction)
+		}
+	}
+	return nil
+}
+
+// driveTarget runs the configured load against one base URL.
+func driveTarget(ctx context.Context, w io.Writer, f *benchFlags, base string) (*loadgen.Result, error) {
+	spec := loadgen.Spec{
+		BaseURL:        strings.TrimRight(base, "/"),
+		Mix:            loadgen.DefaultMix(),
+		Seed:           f.seed,
+		Mode:           f.mode,
+		Concurrency:    f.concurrency,
+		RatePerSec:     f.rate,
+		WarmupRequests: f.warmup,
+		Requests:       f.requests,
+		Duration:       f.duration,
+	}
+	runner, err := loadgen.NewRunner(spec)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "marketbench: driving %s (%s loop, seed %d, warmup %d, requests %d)\n",
+		base, f.mode, f.seed, f.warmup, f.requests)
+	return runner.Run(ctx)
+}
+
+// printResult renders one run's human-readable summary.
+func printResult(w io.Writer, res *loadgen.Result, budget float64) {
+	fmt.Fprintf(w, "marketbench: %d measured in %.2fs = %.1f req/s (warmup %d, dropped %d)\n",
+		res.Completed, res.MeasuredSeconds, res.ThroughputRPS, res.Warmup, res.Dropped)
+	rows := append([]*loadgen.EndpointStats{res.Aggregate}, res.Endpoints...)
+	for _, es := range rows {
+		if es.Requests == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "marketbench:   %-20s n=%-6d p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms err=%d\n",
+			es.Name, es.Requests, es.Hist.Quantile(0.50), es.Hist.Quantile(0.95),
+			es.Hist.Quantile(0.99), es.Hist.MaxMS(), es.Errors())
+	}
+	verdict := "within"
+	if res.BudgetViolated(budget) {
+		verdict = "VIOLATES"
+	}
+	fmt.Fprintf(w, "marketbench: error fraction %.5f %s budget %g\n", res.ErrorFraction(), verdict, budget)
+}
+
+// writeBaseline marshals the baseline with stable formatting.
+func writeBaseline(path string, b *loadgen.ClusterBaseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marketbench: encode baseline: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("marketbench: write baseline: %w", err)
+	}
+	return nil
+}
+
+func joinInts(ns []int) string {
+	parts := make([]string, len(ns))
+	for i, n := range ns {
+		parts[i] = strconv.Itoa(n)
+	}
+	return strings.Join(parts, ",")
+}

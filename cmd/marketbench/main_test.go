@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ipv4market/internal/loadgen"
+)
+
+// fakeMarket answers every default-mix path plausibly enough to pass
+// the endpoint validators: JSON everywhere, CSV when format=csv.
+func fakeMarket(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "csv" {
+			w.Header().Set("Content-Type", "text/csv")
+			fmt.Fprintln(w, "quarter,price")
+			fmt.Fprintln(w, "2020Q1,22.5")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"path":%q}`, r.URL.Path)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestFlagValidation pins the CLI contract: one mode must be chosen,
+// the modes are exclusive, and malformed values are refused.
+func TestFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{}, // no mode picked
+		{"-target", "http://x", "-marketd", "bin"},     // both modes
+		{"-target", "http://x", "-out", "b.json"},      // -out without fleet
+		{"-marketd", "bin", "-topologies", "a,b"},      // non-numeric counts
+		{"-marketd", "bin", "-topologies", "-1"},       // negative count
+		{"-marketd", "bin", "-topologies", ","},        // empty list
+		{"-target", "http://x", "-mode", "sideways"},   // unknown mode
+		{"-target", "http://x", "-error-budget", "-1"}, // negative budget
+	}
+	for _, args := range cases {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("parseFlags(%v) accepted", args)
+		}
+	}
+
+	f, err := parseFlags([]string{"-marketd", "bin", "-topologies", " 0, 2 "})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.topologies) != 2 || f.topologies[0] != 0 || f.topologies[1] != 2 {
+		t.Errorf("topologies = %v, want [0 2]", f.topologies)
+	}
+}
+
+// TestSingleTargetRun drives the single-target mode against a fake
+// server: the run must complete, report, and stay inside the budget.
+func TestSingleTargetRun(t *testing.T) {
+	ts := fakeMarket(t)
+	var buf bytes.Buffer
+	err := run(&buf, []string{
+		"-target", ts.URL, "-warmup", "10", "-requests", "200",
+		"-concurrency", "4", "-seed", "7",
+	})
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"200 measured", "aggregate", "within budget"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSingleTargetBudgetViolation makes every response a 500 and
+// expects the run to fail its zero budget.
+func TestSingleTargetBudgetViolation(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "overloaded", http.StatusInternalServerError)
+	}))
+	t.Cleanup(ts.Close)
+	var buf bytes.Buffer
+	err := run(&buf, []string{
+		"-target", ts.URL, "-requests", "50", "-warmup", "0", "-error-budget", "0",
+	})
+	if err == nil {
+		t.Fatal("all-500 run passed a zero error budget")
+	}
+	if !strings.Contains(err.Error(), "error budget violated") {
+		t.Errorf("error = %v, want a budget violation", err)
+	}
+}
+
+// TestWriteBaselineRoundTrips writes a minimal baseline and reads it
+// back through the schema Validate path.
+func TestWriteBaselineRoundTrips(t *testing.T) {
+	ts := fakeMarket(t)
+	res := driveFake(t, ts.URL)
+
+	b := loadgen.NewClusterBaseline("2020-01-02", "scripts/bench.sh cluster", "test")
+	tp := loadgen.NewTopologyReport("leader", 0, false, 0.01, res)
+	tp.World = loadgen.WorldParams{Seed: 1, LIRs: 14, Days: 40}
+	b.Topologies = []loadgen.TopologyReport{tp}
+
+	path := filepath.Join(t.TempDir(), "BENCH_cluster.json")
+	if err := writeBaseline(path, &b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back loadgen.ClusterBaseline
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("written baseline does not validate: %v", err)
+	}
+	if back.Topologies[0].Aggregate.Requests != res.Completed {
+		t.Errorf("round-tripped aggregate requests %d, want %d",
+			back.Topologies[0].Aggregate.Requests, res.Completed)
+	}
+}
+
+// driveFake runs a short deterministic load against base.
+func driveFake(t *testing.T, base string) *loadgen.Result {
+	t.Helper()
+	runner, err := loadgen.NewRunner(loadgen.Spec{
+		BaseURL:  base,
+		Mix:      loadgen.DefaultMix(),
+		Seed:     3,
+		Requests: 150,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runner.Run(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}

@@ -39,6 +39,10 @@
 // Followers poll every -poll-interval, back off with jitter when the
 // leader is unreachable, keep serving their last good generation in the
 // meantime, and answer 409 on POST /admin/rebuild. See internal/replicate.
+// A follower's -max-lag gates its /readyz on replication lag — an
+// integer bounds generations behind the leader, a duration bounds time
+// since the last successful sync — so a router polling /readyz drains
+// stale followers while they keep serving direct clients.
 //
 // -selfcheck boots the server on a loopback port, queries the key
 // endpoints through a real HTTP client, and exits; scripts/check.sh uses
@@ -59,6 +63,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -91,6 +96,7 @@ func run(w io.Writer, args []string) error {
 		storeKeep = fs.Int("store-keep", 5, "generations to retain in the store after each persist (< 1: keep all)")
 		follow    = fs.String("follow", "", "run as replication follower of this leader base URL (requires -data-dir)")
 		pollEvery = fs.Duration("poll-interval", 5*time.Second, "follower: steady-state leader poll period")
+		maxLag    = fs.String("max-lag", "", "follower: /readyz answers 503 beyond this lag — an integer bounds generations behind the leader, a duration (e.g. 30s) bounds time since the last successful sync")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -110,6 +116,13 @@ func run(w io.Writer, args []string) error {
 	follower := *follow != ""
 	if follower && *dataDir == "" {
 		return fmt.Errorf("marketd: -follow requires -data-dir (the follower's local segment store)")
+	}
+	maxLagGens, maxLagAge, err := parseMaxLag(*maxLag)
+	if err != nil {
+		return err
+	}
+	if *maxLag != "" && !follower {
+		return fmt.Errorf("marketd: -max-lag only applies to followers (set -follow)")
 	}
 	if follower && *selfcheck {
 		return fmt.Errorf("marketd: -selfcheck and -follow are mutually exclusive (selfcheck the leader instead)")
@@ -167,6 +180,10 @@ func run(w io.Writer, args []string) error {
 		}
 		opts.Follower = true
 		opts.ReplicationVarz = repl.Varz
+		if *maxLag != "" {
+			opts.ReadyCheck = repl.ReadyCheck(maxLagGens, maxLagAge)
+			fmt.Fprintf(w, "marketd: follower: /readyz gated at max lag %s\n", *maxLag)
+		}
 		// Serving needs at least one generation; sync until we have one
 		// (or the process is told to stop). The leader being down — or
 		// up but empty — at follower boot is expected; keep trying.
@@ -255,6 +272,30 @@ func run(w io.Writer, args []string) error {
 	srv.Wait() // let an in-flight SIGHUP rebuild finish before exiting
 	fmt.Fprintln(w, "marketd: shut down cleanly")
 	return nil
+}
+
+// parseMaxLag interprets the -max-lag value: empty means no gate, a
+// bare integer bounds generations behind the leader, and anything
+// time.ParseDuration accepts bounds staleness of the last successful
+// sync. The unused dimension is disabled (-1 generations / 0 age).
+func parseMaxLag(s string) (maxGens int, maxAge time.Duration, err error) {
+	if s == "" {
+		return -1, 0, nil
+	}
+	if n, convErr := strconv.Atoi(s); convErr == nil {
+		if n < 0 {
+			return 0, 0, fmt.Errorf("marketd: -max-lag %q: generation bound must be >= 0", s)
+		}
+		return n, 0, nil
+	}
+	d, parseErr := time.ParseDuration(s)
+	if parseErr != nil {
+		return 0, 0, fmt.Errorf("marketd: -max-lag %q: want a generation count (e.g. 2) or a duration (e.g. 30s)", s)
+	}
+	if d <= 0 {
+		return 0, 0, fmt.Errorf("marketd: -max-lag %q: duration bound must be positive", s)
+	}
+	return -1, d, nil
 }
 
 // watchHUP triggers a same-config rebuild on each SIGHUP until ctx ends.

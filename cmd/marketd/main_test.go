@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 )
 
 var smallWorld = []string{"-lirs", "14", "-days", "40"}
@@ -103,5 +104,38 @@ func TestBadListenAddress(t *testing.T) {
 	args := append([]string{"-listen", "256.0.0.1:http"}, smallWorld...)
 	if err := run(&buf, args); err == nil {
 		t.Error("invalid listen address accepted")
+	}
+}
+
+// TestParseMaxLag pins the -max-lag grammar: empty disables both
+// bounds, an integer bounds generations, a duration bounds staleness.
+func TestParseMaxLag(t *testing.T) {
+	gens, age, err := parseMaxLag("")
+	if err != nil || gens != -1 || age != 0 {
+		t.Errorf("empty: (%d, %v, %v), want (-1, 0, nil)", gens, age, err)
+	}
+	gens, age, err = parseMaxLag("2")
+	if err != nil || gens != 2 || age != 0 {
+		t.Errorf("\"2\": (%d, %v, %v), want (2, 0, nil)", gens, age, err)
+	}
+	gens, age, err = parseMaxLag("30s")
+	if err != nil || gens != -1 || age != 30*time.Second {
+		t.Errorf("\"30s\": (%d, %v, %v), want (-1, 30s, nil)", gens, age, err)
+	}
+	for _, bad := range []string{"-1", "-5s", "0s", "soon"} {
+		if _, _, err := parseMaxLag(bad); err == nil {
+			t.Errorf("parseMaxLag(%q) accepted", bad)
+		}
+	}
+}
+
+// TestMaxLagRequiresFollower keeps -max-lag a follower-only flag.
+func TestMaxLagRequiresFollower(t *testing.T) {
+	var buf bytes.Buffer
+	args := append([]string{"-max-lag", "2", "-selfcheck"}, smallWorld...)
+	if err := run(&buf, args); err == nil {
+		t.Error("-max-lag without -follow accepted")
+	} else if !strings.Contains(err.Error(), "-max-lag") {
+		t.Errorf("error %v does not name the flag", err)
 	}
 }

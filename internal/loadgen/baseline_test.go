@@ -1,0 +1,65 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBenchClusterJSONParses keeps the committed BENCH_cluster.json
+// well-formed: it must decode through the same ClusterBaseline schema
+// cmd/marketbench writes, validate structurally, cover both recorded
+// topologies (leader-only and leader+2 followers), and record zero
+// error-budget violations — the acceptance bar scripts/bench.sh
+// re-records against. scripts/check.sh runs it explicitly alongside the
+// other baseline schema tests.
+func TestBenchClusterJSONParses(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_cluster.json"))
+	if err != nil {
+		t.Fatalf("read baseline: %v", err)
+	}
+	var b ClusterBaseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatalf("BENCH_cluster.json is not valid JSON: %v", err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("BENCH_cluster.json is malformed: %v", err)
+	}
+
+	have := make(map[string]TopologyReport, len(b.Topologies))
+	for _, tp := range b.Topologies {
+		have[tp.Name] = tp
+	}
+	leader, ok := have["leader"]
+	if !ok {
+		t.Fatal("baseline lacks the leader-only topology")
+	}
+	if leader.Followers != 0 {
+		t.Errorf("leader topology records %d followers, want 0", leader.Followers)
+	}
+	fleet, ok := have["leader+2"]
+	if !ok {
+		t.Fatal("baseline lacks the leader+2 topology")
+	}
+	if fleet.Followers != 2 {
+		t.Errorf("leader+2 topology records %d followers, want 2", fleet.Followers)
+	}
+	if !fleet.Router {
+		t.Error("leader+2 topology was not driven through the router")
+	}
+
+	for _, tp := range b.Topologies {
+		if tp.ErrorBudget.Violated {
+			t.Errorf("topology %q: recorded with a violated error budget", tp.Name)
+		}
+		if len(tp.Server) == 0 {
+			t.Errorf("topology %q: no server-side /varz cross-check rows", tp.Name)
+		}
+		for _, e := range tp.Events {
+			if e.Name == "" || e.AtSeconds < 0 {
+				t.Errorf("topology %q: malformed event %+v", tp.Name, e)
+			}
+		}
+	}
+}

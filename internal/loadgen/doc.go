@@ -1,0 +1,25 @@
+// Package loadgen is the cluster load-generation subsystem: workload
+// specifications over the serving layer's /v1 endpoint mix, an open- and
+// closed-loop HTTP load runner with warmup and per-endpoint latency
+// accounting, a round-robin loopback router with readiness-based
+// draining, and the BENCH_cluster.json report schema.
+//
+// Everything is stdlib-only and deterministic where it can be: the
+// request mix is a pure function of an explicit seed (splitmix64, one
+// derived stream per worker), the latency histogram has a fixed
+// geometric bucket layout so two runs — or a client-side and a
+// server-side recording — are always comparable bucket by bucket, and
+// tests assert on seeded request counts, never on wall-clock time.
+//
+// The pieces compose in two ways. cmd/marketbench drives a single
+// target ("point the runner at a URL") or orchestrates a full topology:
+// leader + K follower marketd processes, a Router over all of them, a
+// Runner driving mixed traffic through the router while the leader
+// rebuilds and the followers catch up. scripts/check.sh runs the same
+// stack at smoke scale as the load gate.
+//
+// Layering: loadgen knows the serving layer's HTTP surface (paths,
+// response shapes, the /varz bucket export) but imports none of the
+// serving packages — it is a client, and stays honest by speaking only
+// HTTP.
+package loadgen

@@ -1,0 +1,203 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// The histogram's bucket layout is fixed at package init and shared by
+// every Histogram: histFirstBoundMS grown by histGrowth per bucket,
+// histBuckets times, plus one implicit overflow bucket. A fixed layout
+// is what makes histograms mergeable (associatively, bucket by bucket)
+// and two recordings comparable without resampling. The defaults span
+// 5µs to ~160s with ≤ 20% relative quantile error (the growth factor).
+const (
+	histFirstBoundMS = 0.005
+	histGrowth       = 1.2
+	histBuckets      = 96
+)
+
+// histBoundsMS holds the bucket upper bounds in milliseconds, computed
+// once; the final implicit bucket is +Inf.
+var histBoundsMS = func() []float64 {
+	bounds := make([]float64, histBuckets)
+	b := histFirstBoundMS
+	for i := range bounds {
+		bounds[i] = b
+		b *= histGrowth
+	}
+	return bounds
+}()
+
+// Histogram is a deterministic streaming latency estimator: fixed
+// geometric buckets, exact count/sum/min/max, quantiles by linear
+// interpolation inside the covering bucket. Not safe for concurrent
+// use — each load worker owns one and the results are merged after the
+// workers are joined.
+type Histogram struct {
+	counts [histBuckets + 1]int64
+	count  int64
+	sumMS  float64
+	minMS  float64
+	maxMS  float64
+}
+
+// NewHistogram returns an empty histogram over the package bucket
+// layout.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// BucketBoundsMS returns the shared bucket upper bounds in milliseconds
+// (the final implicit bucket is +Inf). The slice is a copy.
+func BucketBoundsMS() []float64 {
+	out := make([]float64, len(histBoundsMS))
+	copy(out, histBoundsMS)
+	return out
+}
+
+// Record adds one observed latency.
+func (h *Histogram) Record(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	if ms < 0 {
+		ms = 0
+	}
+	i := sort.SearchFloat64s(histBoundsMS, ms)
+	h.counts[i]++
+	h.count++
+	h.sumMS += ms
+	if h.count == 1 || ms < h.minMS {
+		h.minMS = ms
+	}
+	if ms > h.maxMS {
+		h.maxMS = ms
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// MeanMS returns the exact mean latency in milliseconds (0 when empty).
+func (h *Histogram) MeanMS() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sumMS / float64(h.count)
+}
+
+// MinMS and MaxMS return the exact observed extremes in milliseconds
+// (0 when empty).
+func (h *Histogram) MinMS() float64 { return h.minMS }
+func (h *Histogram) MaxMS() float64 { return h.maxMS }
+
+// Counts returns a copy of the per-bucket counts, aligned with
+// BucketBoundsMS plus the final overflow bucket.
+func (h *Histogram) Counts() []int64 {
+	out := make([]int64, len(h.counts))
+	copy(out, h.counts[:])
+	return out
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) in milliseconds. The
+// estimate interpolates linearly inside the covering bucket and is
+// clamped to the exact observed min and max, so Quantile(0) and
+// Quantile(1) are exact and everything between carries at most one
+// bucket's relative error.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	est := quantileFromBuckets(histBoundsMS, h.counts[:], h.count, q)
+	if est < h.minMS {
+		est = h.minMS
+	}
+	if est > h.maxMS {
+		est = h.maxMS
+	}
+	return est
+}
+
+// Merge folds o into h. Both histograms share the package bucket
+// layout, so merging is exact per bucket and associative: any merge
+// order yields identical counts, count, sum, min, and max.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	if h.count == 0 || o.minMS < h.minMS {
+		h.minMS = o.minMS
+	}
+	if o.maxMS > h.maxMS {
+		h.maxMS = o.maxMS
+	}
+	h.count += o.count
+	h.sumMS += o.sumMS
+}
+
+// QuantileFromBuckets estimates the q-quantile from an arbitrary bucket
+// histogram: boundsMS are the bucket upper bounds in ascending order,
+// counts the per-bucket observation counts with one trailing overflow
+// bucket (len(counts) == len(boundsMS)+1). This is how marketbench
+// computes server-side percentiles from the /varz latency export to
+// cross-check its own client-side measurements. It returns an error for
+// a malformed histogram (length mismatch, no observations, negative
+// count).
+func QuantileFromBuckets(boundsMS []float64, counts []int64, q float64) (float64, error) {
+	if len(counts) != len(boundsMS)+1 {
+		return 0, fmt.Errorf("loadgen: bucket histogram: %d counts for %d bounds (want bounds+1)", len(counts), len(boundsMS))
+	}
+	var total int64
+	for _, c := range counts {
+		if c < 0 {
+			return 0, fmt.Errorf("loadgen: bucket histogram: negative count %d", c)
+		}
+		total += c
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("loadgen: bucket histogram: no observations")
+	}
+	return quantileFromBuckets(boundsMS, counts, total, q), nil
+}
+
+// quantileFromBuckets is the shared interpolation core. total must be
+// the sum of counts and positive.
+func quantileFromBuckets(boundsMS []float64, counts []int64, total int64, q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// The target rank in 1..total: the smallest observation index whose
+	// cumulative count covers the q fraction.
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum < rank {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = boundsMS[i-1]
+		}
+		hi := lo
+		if i < len(boundsMS) {
+			hi = boundsMS[i]
+		}
+		// Position of the target rank inside this bucket, in (0,1].
+		within := float64(rank-(cum-c)) / float64(c)
+		return lo + (hi-lo)*within
+	}
+	// Unreachable when total == sum(counts); defensive fallback.
+	return boundsMS[len(boundsMS)-1]
+}

@@ -1,0 +1,46 @@
+package loadgen
+
+// RNG is a splitmix64 stream: tiny, fast, and a pure function of its
+// seed, which is what the deterministic request mix needs. Each load
+// worker gets its own derived stream (Derive), so per-worker request
+// sequences are reproducible regardless of goroutine interleaving.
+// math/rand would work too, but a 16-line generator keeps the workload
+// spec free of shared-state questions entirely. Not safe for concurrent
+// use; never share one stream across workers.
+type RNG struct{ state uint64 }
+
+// NewRNG returns the stream for seed. Equal seeds yield equal streams.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Derive returns an independent child stream for the given index,
+// deterministically: Derive(seed, i) is stable across runs and distinct
+// streams do not overlap in practice (splitmix64 is a bijection over
+// its seed space).
+func Derive(seed, index uint64) *RNG {
+	// Decorrelate the child seed from the parent's sequence by running
+	// the index through one splitmix round keyed by the parent seed.
+	r := NewRNG(seed + (index+1)*0x9e3779b97f4a7c15)
+	return NewRNG(r.Uint64())
+}
+
+// Uint64 returns the next value of the stream (splitmix64).
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Intn returns a value in [0,n). n must be positive; n <= 0 returns 0
+// so a buggy weight table degrades to a constant choice instead of a
+// panic inside a load worker.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.Uint64() % uint64(n))
+}

@@ -1,0 +1,180 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sync/atomic"
+	"time"
+)
+
+// Backend is one routed-to server and its per-backend accounting.
+type Backend struct {
+	name string
+	url  *url.URL
+
+	healthy   atomic.Bool
+	forwarded atomic.Int64
+	checks    atomic.Int64
+	drains    atomic.Int64 // healthy→unhealthy transitions observed
+}
+
+// Name returns the backend's label (its base URL unless named).
+func (b *Backend) Name() string { return b.name }
+
+// Forwarded returns how many requests the router sent this backend.
+func (b *Backend) Forwarded() int64 { return b.forwarded.Load() }
+
+// Healthy reports the backend's last observed readiness. Backends start
+// healthy; only a failed health check drains one.
+func (b *Backend) Healthy() bool { return b.healthy.Load() }
+
+// Router is a round-robin HTTP reverse proxy over a fixed backend set —
+// the loopback stand-in for the load balancer in front of a replica
+// fleet. Backends that fail their /readyz check are drained (skipped by
+// the rotation) until a later check passes; with every backend drained
+// the router fails open and rotates over all of them, because serving
+// stale data beats serving nothing.
+type Router struct {
+	backends []*Backend
+	next     atomic.Uint64
+	proxy    *httputil.ReverseProxy
+	client   *http.Client
+	errors   atomic.Int64
+}
+
+// NewRouter returns a router over the given base URLs (e.g.
+// "http://127.0.0.1:34001"). Names default to the URL; use
+// NewNamedRouter for friendlier report labels.
+func NewRouter(targets []string) (*Router, error) {
+	names := make(map[string]string, len(targets))
+	for _, t := range targets {
+		names[t] = t
+	}
+	return newRouter(targets, names)
+}
+
+// NewNamedRouter is NewRouter with a name per target URL for reports
+// ("leader", "follower1", ...). Every target must have a name.
+func NewNamedRouter(targets []string, names map[string]string) (*Router, error) {
+	return newRouter(targets, names)
+}
+
+func newRouter(targets []string, names map[string]string) (*Router, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("loadgen: router needs at least one backend")
+	}
+	rt := &Router{client: &http.Client{Timeout: 5 * time.Second}}
+	for _, t := range targets {
+		u, err := url.Parse(t)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: router backend %q: %w", t, err)
+		}
+		if u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("loadgen: router backend %q: want an absolute base URL", t)
+		}
+		name := names[t]
+		if name == "" {
+			name = t
+		}
+		b := &Backend{name: name, url: u}
+		b.healthy.Store(true)
+		rt.backends = append(rt.backends, b)
+	}
+	rt.proxy = &httputil.ReverseProxy{
+		Rewrite: func(pr *httputil.ProxyRequest) {
+			b := rt.pick()
+			b.forwarded.Add(1)
+			// Backend URLs are bare scheme://host:port bases, so SetURL
+			// keeps the inbound path and query intact.
+			pr.SetURL(b.url)
+		},
+		ErrorHandler: func(w http.ResponseWriter, _ *http.Request, err error) {
+			rt.errors.Add(1)
+			http.Error(w, fmt.Sprintf(`{"error":"router: %v"}`, err), http.StatusBadGateway)
+		},
+	}
+	return rt, nil
+}
+
+// ServeHTTP proxies one request to the next healthy backend.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.proxy.ServeHTTP(w, r)
+}
+
+// pick returns the next backend in rotation, skipping drained ones.
+// When everything is drained it fails open and ignores health.
+func (rt *Router) pick() *Backend {
+	n := len(rt.backends)
+	start := rt.next.Add(1)
+	for i := 0; i < n; i++ {
+		b := rt.backends[(int(start)+i)%n]
+		if b.healthy.Load() {
+			return b
+		}
+	}
+	return rt.backends[int(start)%n]
+}
+
+// Backends returns the router's backends in declaration order.
+func (rt *Router) Backends() []*Backend { return rt.backends }
+
+// ProxyErrors returns how many requests failed at the proxy layer
+// (backend unreachable, connection reset mid-response).
+func (rt *Router) ProxyErrors() int64 { return rt.errors.Load() }
+
+// CheckHealth probes every backend's /readyz once: 200 keeps (or
+// restores) the backend in rotation, anything else — including a
+// follower answering 503 because its replication lag exceeds -max-lag —
+// drains it. Returns the number of healthy backends.
+func (rt *Router) CheckHealth(ctx context.Context) int {
+	healthy := 0
+	for _, b := range rt.backends {
+		ok := rt.probe(ctx, b)
+		was := b.healthy.Swap(ok)
+		b.checks.Add(1)
+		if was && !ok {
+			b.drains.Add(1)
+		}
+		if ok {
+			healthy++
+		}
+	}
+	return healthy
+}
+
+// HealthLoop runs CheckHealth every interval until ctx is cancelled.
+// Run it on its own goroutine alongside the router's listener.
+func (rt *Router) HealthLoop(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			rt.CheckHealth(ctx)
+		}
+	}
+}
+
+// probe is one backend's readiness check.
+func (rt *Router) probe(ctx context.Context, b *Backend) bool {
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url.String()+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

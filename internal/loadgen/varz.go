@@ -1,0 +1,81 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+)
+
+// ServerVarz is the slice of a marketd /varz document the load harness
+// consumes: the shared latency bucket bounds and the per-route request
+// and latency-bucket counters. The field names mirror internal/serve's
+// machine-readable export (latency_buckets_ms + per-route
+// latency_counts); loadgen deliberately re-declares them over HTTP
+// instead of importing the serving layer.
+type ServerVarz struct {
+	LatencyBucketsMS []float64            `json:"latency_buckets_ms"`
+	Routes           map[string]RouteVarz `json:"routes"`
+}
+
+// RouteVarz is one route's counters as exported on /varz.
+type RouteVarz struct {
+	Requests      int64            `json:"requests"`
+	ByStatusClass map[string]int64 `json:"by_status_class"`
+	MeanLatencyMS float64          `json:"mean_latency_ms"`
+	// LatencyCounts is aligned with the document's latency_buckets_ms,
+	// plus one trailing overflow bucket.
+	LatencyCounts []int64 `json:"latency_counts"`
+}
+
+// ScrapeVarz fetches and decodes base's /varz document.
+func ScrapeVarz(ctx context.Context, client *http.Client, base string) (*ServerVarz, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/varz", nil)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: build varz request: %w", err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: scrape varz: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: scrape varz: %s answered %s", base, resp.Status)
+	}
+	var v ServerVarz
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&v); err != nil {
+		return nil, fmt.Errorf("loadgen: decode varz: %w", err)
+	}
+	return &v, nil
+}
+
+// RouteQuantile estimates the q-quantile of one route's server-side
+// latency from the scraped bucket counters. The second return is false
+// when the route is absent, has no samples, or exports no buckets
+// (a server predating the machine-readable form).
+func (v *ServerVarz) RouteQuantile(route string, q float64) (float64, bool) {
+	r, ok := v.Routes[route]
+	if !ok || r.Requests == 0 || len(r.LatencyCounts) != len(v.LatencyBucketsMS)+1 {
+		return 0, false
+	}
+	est, err := QuantileFromBuckets(v.LatencyBucketsMS, r.LatencyCounts, q)
+	if err != nil {
+		return 0, false
+	}
+	return est, true
+}
+
+// RouteNames returns the scraped route labels, sorted.
+func (v *ServerVarz) RouteNames() []string {
+	names := make([]string, 0, len(v.Routes))
+	for name := range v.Routes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

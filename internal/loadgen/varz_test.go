@@ -1,0 +1,89 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestScrapeVarz parses a serve-shaped /varz document and recomputes a
+// server-side quantile from its bucket export — the cross-check
+// marketbench runs after every topology.
+func TestScrapeVarz(t *testing.T) {
+	doc := `{
+  "uptime_seconds": 12.5,
+  "latency_buckets_ms": [0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 1000],
+  "routes": {
+    "GET /v1/table1": {
+      "requests": 100,
+      "by_status_class": {"2xx": 100},
+      "mean_latency_ms": 0.8,
+      "latency_counts": [60, 25, 10, 3, 2, 0, 0, 0, 0, 0, 0]
+    },
+    "GET /healthz": {"requests": 0}
+  }
+}`
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/varz" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, doc)
+	}))
+	t.Cleanup(ts.Close)
+
+	v, err := ScrapeVarz(context.Background(), nil, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.LatencyBucketsMS) != 10 {
+		t.Fatalf("bucket bounds: %d, want 10", len(v.LatencyBucketsMS))
+	}
+
+	p50, ok := v.RouteQuantile("GET /v1/table1", 0.5)
+	if !ok {
+		t.Fatal("no p50 for a route with 100 samples")
+	}
+	// Rank 50 of 100 falls in the first bucket (60 samples ≤ 0.5ms).
+	if p50 <= 0 || p50 > 0.5 {
+		t.Errorf("p50 = %v, want in (0, 0.5]", p50)
+	}
+	p99, ok := v.RouteQuantile("GET /v1/table1", 0.99)
+	if !ok {
+		t.Fatal("no p99")
+	}
+	// Rank 99 is the 99th sample: 60+25+10+3 = 98 ≤ 5ms, so it lands in
+	// the (5,10] bucket.
+	if p99 <= 5 || p99 > 10 {
+		t.Errorf("p99 = %v, want in (5, 10]", p99)
+	}
+
+	if _, ok := v.RouteQuantile("GET /healthz", 0.5); ok {
+		t.Error("quantile for a sample-free route")
+	}
+	if _, ok := v.RouteQuantile("GET /missing", 0.5); ok {
+		t.Error("quantile for an absent route")
+	}
+
+	names := v.RouteNames()
+	if len(names) != 2 || names[0] != "GET /healthz" {
+		t.Errorf("route names %v, want sorted pair", names)
+	}
+}
+
+// TestScrapeVarzErrors covers transport and status failures.
+func TestScrapeVarzErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(ts.Close)
+	if _, err := ScrapeVarz(context.Background(), nil, ts.URL); err == nil {
+		t.Error("503 varz accepted")
+	}
+	if _, err := ScrapeVarz(context.Background(), nil, "http://127.0.0.1:1"); err == nil {
+		t.Error("unreachable varz accepted")
+	}
+}

@@ -89,6 +89,10 @@ type Replicator struct {
 	apply  Apply
 	status FollowerStatus
 	jitter xorshift64
+	// lastSuccessAt is the monotonic-clock twin of status.LastSuccess:
+	// readiness math needs a time.Time to subtract, not an RFC3339
+	// string. Zero until the first full sync.
+	lastSuccessAt time.Time
 
 	// partial download state: bytes already received for a generation
 	// whose transfer broke mid-stream, resumable while the leader's ETag
@@ -143,6 +147,43 @@ func (r *Replicator) Status() FollowerStatus {
 
 // Varz adapts Status for serve.Options.ReplicationVarz.
 func (r *Replicator) Varz() any { return r.Status() }
+
+// Lag reports how far this follower trails the leader: the number of
+// listed-but-unimported generations at the last poll, and how long ago
+// the last fully successful sync finished (0 if none has succeeded
+// yet — the ok result distinguishes "never synced" from "just synced").
+func (r *Replicator) Lag() (generations int, sinceSuccess time.Duration, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.lastSuccessAt.IsZero() {
+		return r.status.LagGenerations, 0, false
+	}
+	return r.status.LagGenerations, time.Since(r.lastSuccessAt), true
+}
+
+// ReadyCheck returns a readiness gate for serve.Options.ReadyCheck: it
+// fails while the follower has never completed a sync, while its
+// generation lag exceeds maxGens (ignored when negative), or while its
+// last successful sync is older than maxAge (ignored when zero or
+// negative). A router polling /readyz then drains a stale follower
+// until it catches up — the follower keeps serving its last adopted
+// snapshot to direct clients either way.
+func (r *Replicator) ReadyCheck(maxGens int, maxAge time.Duration) func() error {
+	return func() error {
+		gens, since, ok := r.Lag()
+		if !ok {
+			return errors.New("replication: no successful sync yet")
+		}
+		if maxGens >= 0 && gens > maxGens {
+			return fmt.Errorf("replication lag %d generation(s) exceeds max %d", gens, maxGens)
+		}
+		if maxAge > 0 && since > maxAge {
+			return fmt.Errorf("last successful sync %s ago exceeds max %s",
+				since.Round(time.Second), maxAge)
+		}
+		return nil
+	}
+}
 
 func (r *Replicator) logf(format string, args ...any) {
 	if r.opts.Logf != nil {
@@ -220,10 +261,12 @@ func (r *Replicator) SyncOnce(ctx context.Context) error {
 		r.status.ConsecutiveFailures++
 		r.status.LastError = err.Error()
 	} else {
+		now := time.Now()
 		r.status.ConsecutiveFailures = 0
 		r.status.BackoffSeconds = 0
 		r.status.LastError = ""
-		r.status.LastSuccess = time.Now().UTC().Format(time.RFC3339)
+		r.status.LastSuccess = now.UTC().Format(time.RFC3339)
+		r.lastSuccessAt = now
 	}
 	r.mu.Unlock()
 	return err

@@ -521,3 +521,61 @@ func TestSyncCancelled(t *testing.T) {
 		t.Fatal("cancelled sync did not return")
 	}
 }
+
+// TestReadyCheckLagGate pins the follower readiness contract cmd/marketd
+// wires behind -max-lag: unready before the first successful sync, ready
+// once caught up, unready again when generation lag exceeds the bound,
+// and unready when the last success is older than the staleness bound.
+func TestReadyCheckLagGate(t *testing.T) {
+	leaderSt := newLeaderStore(t, 2)
+	ts, _ := leaderServer(t, leaderSt, nil)
+	r, _, _ := newFollower(t, ts.URL)
+
+	genCheck := r.ReadyCheck(0, 0)
+	if err := genCheck(); err == nil {
+		t.Error("never-synced follower reported ready")
+	} else if !strings.Contains(err.Error(), "no successful sync") {
+		t.Errorf("never-synced reason = %v", err)
+	}
+
+	if err := r.SyncOnce(context.Background()); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if gens, since, ok := r.Lag(); !ok || gens != 0 || since < 0 {
+		t.Errorf("Lag() after full sync = (%d, %v, %v), want (0, >=0, true)", gens, since, ok)
+	}
+	if err := genCheck(); err != nil {
+		t.Errorf("caught-up follower unready: %v", err)
+	}
+
+	// Simulate observed-but-unimported generations (what syncOnce records
+	// after listing and before each install).
+	r.mu.Lock()
+	r.status.LagGenerations = 3
+	r.mu.Unlock()
+	if err := genCheck(); err == nil {
+		t.Error("lagging follower (3 > max 0) reported ready")
+	} else if !strings.Contains(err.Error(), "3 generation(s)") {
+		t.Errorf("lag reason = %v", err)
+	}
+	if err := r.ReadyCheck(3, 0)(); err != nil {
+		t.Errorf("lag 3 within max 3 reported unready: %v", err)
+	}
+	if err := r.ReadyCheck(-1, 0)(); err != nil {
+		t.Errorf("negative maxGens must disable the generation bound: %v", err)
+	}
+
+	// Staleness: age the last success past the bound.
+	r.mu.Lock()
+	r.status.LagGenerations = 0
+	r.lastSuccessAt = time.Now().Add(-time.Hour)
+	r.mu.Unlock()
+	if err := r.ReadyCheck(-1, time.Minute)(); err == nil {
+		t.Error("stale follower (1h > max 1m) reported ready")
+	} else if !strings.Contains(err.Error(), "exceeds max") {
+		t.Errorf("staleness reason = %v", err)
+	}
+	if err := r.ReadyCheck(-1, 2*time.Hour)(); err != nil {
+		t.Errorf("staleness within bound reported unready: %v", err)
+	}
+}

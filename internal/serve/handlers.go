@@ -201,16 +201,29 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// handleReadyz is the readiness probe: a snapshot is being served.
+// handleReadyz is the readiness probe: a snapshot is being served and
+// the configured ReadyCheck (if any) passes. A failing check answers
+// 503 so routers drain this node — the snapshot identity fields stay in
+// the body either way, so an operator can see what the node *would*
+// serve while it is out of rotation.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	snap := s.Snapshot()
-	writeJSON(w, http.StatusOK, map[string]any{
+	doc := map[string]any{
 		"status":      "ready",
 		"seq":         snap.Seq,
 		"seed":        snap.Cfg.Seed,
 		"built_at":    snap.BuiltAt.UTC().Format(time.RFC3339),
 		"age_seconds": snap.Age(time.Now()).Seconds(),
-	})
+	}
+	if s.opts.ReadyCheck != nil {
+		if err := s.opts.ReadyCheck(); err != nil {
+			doc["status"] = "unready"
+			doc["reason"] = err.Error()
+			writeJSON(w, http.StatusServiceUnavailable, doc)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 // handleVarz serves the counter document.

@@ -131,6 +131,14 @@ type varzRoute struct {
 	ByStatusClass map[string]int64 `json:"by_status_class,omitempty"`
 	MeanLatencyMS float64          `json:"mean_latency_ms"`
 	LatencyMS     map[string]int64 `json:"latency_hist_ms,omitempty"`
+	// LatencyCounts is the machine-readable form of the same histogram:
+	// per-bucket (not cumulative) counts aligned with the document's
+	// top-level latency_buckets_ms bounds, plus one trailing overflow
+	// bucket — len(latency_counts) == len(latency_buckets_ms)+1, zeros
+	// included so consumers never guess at alignment. cmd/marketbench
+	// recomputes server-side percentiles from this export to cross-check
+	// its client-side measurements (internal/loadgen.QuantileFromBuckets).
+	LatencyCounts []int64 `json:"latency_counts,omitempty"`
 }
 
 type varzSnapshot struct {
@@ -213,13 +221,18 @@ type varzProcess struct {
 // cmd/rdapd shares the route/latency surface via Metrics.VarzHandler
 // without growing snapshot fields it does not serve.
 type varzView struct {
-	UptimeSeconds float64       `json:"uptime_seconds"`
-	Panics        int64         `json:"panics"`
-	Process       *varzProcess  `json:"process"`
-	Snapshot      *varzSnapshot `json:"snapshot,omitempty"`
-	Cache         *varzCache    `json:"cache,omitempty"`
-	Rebuilds      *varzRebuilds `json:"rebuilds,omitempty"`
-	Store         *varzStore    `json:"store,omitempty"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Panics        int64   `json:"panics"`
+	// LatencyBucketsMS documents the latency histogram's bucket upper
+	// bounds in milliseconds, shared by every route's latency_counts;
+	// the final implicit bucket is +Inf. Emitted once at the top level
+	// so the per-route arrays stay compact.
+	LatencyBucketsMS []float64     `json:"latency_buckets_ms"`
+	Process          *varzProcess  `json:"process"`
+	Snapshot         *varzSnapshot `json:"snapshot,omitempty"`
+	Cache            *varzCache    `json:"cache,omitempty"`
+	Rebuilds         *varzRebuilds `json:"rebuilds,omitempty"`
+	Store            *varzStore    `json:"store,omitempty"`
 	// Replication is the leader's or follower's replication state
 	// (replicate.LeaderStatus / replicate.FollowerStatus), supplied
 	// through Options.ReplicationVarz; absent on standalone servers.
@@ -232,8 +245,9 @@ type varzView struct {
 // snapshot, cache, rebuild, and store sections on top.
 func (m *Metrics) varz(now time.Time) varzView {
 	v := varzView{
-		UptimeSeconds: now.Sub(m.start).Seconds(),
-		Panics:        m.panics.Load(),
+		UptimeSeconds:    now.Sub(m.start).Seconds(),
+		Panics:           m.panics.Load(),
+		LatencyBucketsMS: append([]float64(nil), latencyBucketMS[:]...),
 		Process: &varzProcess{
 			UptimeSeconds: now.Sub(m.start).Seconds(),
 			Goroutines:    runtime.NumGoroutine(),
@@ -254,8 +268,11 @@ func (m *Metrics) varz(now time.Time) varzView {
 			}
 			vr.MeanLatencyMS = float64(rs.totalNS.Load()) / float64(n) / 1e6
 			vr.LatencyMS = make(map[string]int64)
+			vr.LatencyCounts = make([]int64, len(rs.hist))
 			for i := range rs.hist {
-				if cnt := rs.hist[i].Load(); cnt > 0 {
+				cnt := rs.hist[i].Load()
+				vr.LatencyCounts[i] = cnt
+				if cnt > 0 {
 					vr.LatencyMS[bucketLabel(i)] = cnt
 				}
 			}

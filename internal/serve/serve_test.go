@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -459,5 +460,80 @@ func TestVarzShape(t *testing.T) {
 	// A standalone server has no replication section.
 	if v.Replication != nil {
 		t.Errorf("standalone varz has a replication section: %v", v.Replication)
+	}
+	// The machine-readable histogram export: bucket bounds at the top
+	// level, per-route counts aligned with them (plus overflow).
+	if len(v.LatencyBucketsMS) != numLatencyBuckets {
+		t.Fatalf("latency_buckets_ms has %d bounds, want %d", len(v.LatencyBucketsMS), numLatencyBuckets)
+	}
+	for i := 1; i < len(v.LatencyBucketsMS); i++ {
+		if v.LatencyBucketsMS[i] <= v.LatencyBucketsMS[i-1] {
+			t.Fatalf("latency_buckets_ms not ascending at %d: %v", i, v.LatencyBucketsMS)
+		}
+	}
+	if len(rt.LatencyCounts) != numLatencyBuckets+1 {
+		t.Fatalf("latency_counts has %d entries, want %d", len(rt.LatencyCounts), numLatencyBuckets+1)
+	}
+	var sum int64
+	for _, c := range rt.LatencyCounts {
+		sum += c
+	}
+	if sum != rt.Requests {
+		t.Errorf("latency_counts sum to %d, want the route's %d requests", sum, rt.Requests)
+	}
+}
+
+// TestReadyCheckGatesReadyz pins the ReadyCheck hook contract: a failing
+// check turns /readyz into a 503 with the error as the reason (so a
+// router drains the node), a passing or absent check answers 200, and
+// the snapshot identity fields are present either way.
+func TestReadyCheckGatesReadyz(t *testing.T) {
+	var unready atomic.Bool
+	srv, err := New(testConfig(), Options{ReadyCheck: func() error {
+		if unready.Load() {
+			return fmt.Errorf("replication lag 7 generations exceeds max 2")
+		}
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	readyResp, body := get(t, ts, "/readyz")
+	if readyResp.StatusCode != http.StatusOK {
+		t.Fatalf("passing check: /readyz = %d, want 200", readyResp.StatusCode)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["status"] != "ready" {
+		t.Errorf("status = %v, want ready", doc["status"])
+	}
+
+	unready.Store(true)
+	resp, err := ts.Client().Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("failing check: /readyz = %d, want 503", resp.StatusCode)
+	}
+	doc = nil
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["status"] != "unready" {
+		t.Errorf("status = %v, want unready", doc["status"])
+	}
+	if reason, _ := doc["reason"].(string); !strings.Contains(reason, "replication lag") {
+		t.Errorf("reason = %v, want the check's error", doc["reason"])
+	}
+	if _, ok := doc["seq"]; !ok {
+		t.Error("unready body lacks the snapshot identity fields")
 	}
 }

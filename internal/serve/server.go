@@ -47,6 +47,14 @@ type Options struct {
 	// /varz (a replicate.Leader's or replicate.Replicator's Varz). A
 	// func hook keeps serve free of a dependency on internal/replicate.
 	ReplicationVarz func() any
+	// ReadyCheck, when set, gates /readyz: a non-nil error makes the
+	// endpoint answer 503 with the error as the reason, so a router
+	// polling /readyz drains this node until the check clears. Followers
+	// use it to reflect replication lag (replicate.Replicator.ReadyCheck
+	// wired by cmd/marketd's -max-lag flag); the same func-hook pattern
+	// as ReplicationVarz keeps serve dependency-free. It is called on
+	// every /readyz request and must be safe for concurrent use.
+	ReadyCheck func() error
 	// Logf, when set, receives operational log lines (rebuild failures
 	// with the failing stage, swap notices). No trailing newline needed.
 	Logf func(format string, args ...any)

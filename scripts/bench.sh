@@ -1,19 +1,25 @@
 #!/bin/sh
 # bench.sh — re-record the benchmark baselines (BENCH_build.json,
-# BENCH_serve.json) on this machine.
+# BENCH_serve.json, BENCH_cluster.json) on this machine.
 #
-# The heavy lifting is cmd/benchrecord: it runs the serve-layer
-# benchmarks through `go test -bench`, parses the output, and rewrites
-# the baseline JSON with the results plus the recording machine's
+# The heavy lifting is cmd/benchrecord: the build and serve suites run
+# through `go test -bench`, their output is parsed, and the baseline
+# JSON is rewritten with the results plus the recording machine's
 # metadata (CPU model, num_cpu, GOMAXPROCS, Go version) so two
-# recordings are only ever compared on like hardware.
+# recordings are only ever compared on like hardware. The cluster
+# suite builds marketd and marketbench, boots real process topologies
+# (leader-only and leader+2 followers behind a round-robin router) over
+# loopback, drives the mixed /v1 workload at them — including a rebuild
+# under load and follower catch-up — and writes BENCH_cluster.json.
 #
-#   scripts/bench.sh                 # both suites
-#   scripts/bench.sh -suite build    # just BenchmarkSnapshotBuild
-#   scripts/bench.sh -benchtime 1s   # override the per-suite default
+#   scripts/bench.sh                   # all suites
+#   scripts/bench.sh -suite build      # just BenchmarkSnapshotBuild
+#   scripts/bench.sh -suite cluster    # just the fleet load baseline
+#   scripts/bench.sh -benchtime 1s     # override the per-suite default
 #
-# Record on an otherwise idle machine; the serve suite uses RunParallel,
-# so background load skews it most.
+# Record on an otherwise idle machine; the serve suite uses RunParallel
+# and the cluster suite saturates every core, so background load skews
+# them most.
 set -eu
 
 cd "$(dirname "$0")/.."

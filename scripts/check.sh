@@ -2,106 +2,182 @@
 # check.sh — the pre-PR verification gate: the race-enabled superset of
 # the tier-1 check (`go build ./... && go test ./...`).
 #
-#   1. go build          — everything compiles
-#   2. go vet            — the standard-library analyzers stay green
-#   3. ipv4lint          — the repo-specific invariant analyzers
-#                          (internal/lint) stay green
-#   4. go test -race     — the full test suite, including the lint
-#                          self-check, under the race detector
-#   5. determinism gate  — the parallel-build contracts, run explicitly
-#                          and by name so a -run filter or skip in the
-#                          suite can never silently drop them: a
-#                          snapshot (and Figure 6) built at any worker
-#                          count must be byte-identical to the serial
-#                          build; TestBench*JSONParses keep the
-#                          BENCH_*.json baselines well-formed
-#   6. store gate        — the durability contracts, run explicitly and
-#                          by name: segment round-trip + corrupt-tail
-#                          recovery (internal/store fault injection),
-#                          and warm-start/restart determinism
-#                          (internal/serve: byte- and ETag-identical
-#                          responses across a restart)
-#   7. marketd smoke     — build the serving daemon, boot it on an
-#                          ephemeral loopback port, and query every
-#                          endpoint through a real HTTP client
-#                          (marketd -selfcheck does the full cycle
-#                          in-process; no curl or job control needed).
-#                          Run twice: in-memory, and with -data-dir
-#                          under a temp dir to exercise persist →
-#                          shutdown → warm-start → /v1/history
-#   8. replication gate  — the leader/follower contracts, run explicitly
-#                          and by name (sync + catch-up, corrupt and
-#                          truncated downloads quarantined/resumed,
-#                          byte- and ETag-identical follower answers),
-#                          then scripts/replgate.go boots a real leader
-#                          and follower marketd pair over loopback and
-#                          asserts the same identity plus the follower's
-#                          409 on /admin/rebuild
-#   9. suppression audit — ipv4lint -suppressions: every //lint:ignore
-#                          directive must still silence a live finding;
-#                          stale directives fail the gate so fixed code
-#                          sheds its excuses
-#  10. fuzz gate         — a short -fuzztime budget per native fuzz
-#                          target (segment/frame decoding, prefix
-#                          parsing and construction) on top of the
-#                          committed corpus, which replays in gate 4
+# Gates (run in order; each prints its wall-clock time when it passes):
+#
+#   build         — go build ./...: everything compiles
+#   vet           — go vet ./...: the standard-library analyzers stay green
+#   lint          — ipv4lint: the repo-specific invariant analyzers
+#                   (internal/lint) stay green
+#   test          — go test -race ./...: the full suite, including the
+#                   lint self-check, under the race detector
+#   determinism   — the parallel-build contracts, run explicitly and by
+#                   name so a -run filter or skip in the suite can never
+#                   silently drop them: a snapshot (and Figure 6) built
+#                   at any worker count must be byte-identical to the
+#                   serial build; TestBench*JSONParses keep the
+#                   BENCH_build/serve baselines well-formed
+#   store         — the durability contracts, run explicitly and by
+#                   name: segment round-trip + corrupt-tail recovery
+#                   (internal/store fault injection), and warm-start/
+#                   restart determinism (internal/serve: byte- and
+#                   ETag-identical responses across a restart)
+#   smoke         — build the serving daemon, boot it on an ephemeral
+#                   loopback port, and query every endpoint through a
+#                   real HTTP client (marketd -selfcheck does the full
+#                   cycle in-process; no curl or job control needed).
+#                   Run twice: in-memory, and with -data-dir under a
+#                   temp dir to exercise persist → shutdown →
+#                   warm-start → /v1/history
+#   replication   — the leader/follower contracts, run explicitly and
+#                   by name (sync + catch-up, corrupt and truncated
+#                   downloads quarantined/resumed, byte- and
+#                   ETag-identical follower answers), then
+#                   scripts/replgate.go boots a real leader and
+#                   follower marketd pair over loopback and asserts the
+#                   same identity plus the follower's 409 on
+#                   /admin/rebuild
+#   suppressions  — ipv4lint -suppressions: every //lint:ignore
+#                   directive must still silence a live finding; stale
+#                   directives fail the gate so fixed code sheds its
+#                   excuses
+#   fuzz          — a short -fuzztime budget per native fuzz target
+#                   (segment/frame decoding, prefix parsing and
+#                   construction) on top of the committed corpus, which
+#                   replays in the test gate
+#   load          — the load-harness contracts, run explicitly and by
+#                   name (streaming-histogram quantiles vs exact sorted
+#                   data, merge associativity, closed-loop accounting
+#                   and cancellation, open-loop shedding, and the
+#                   BENCH_cluster.json schema), then a race-enabled
+#                   marketbench boots a race-enabled marketd fleet
+#                   (leader-only and leader+2 followers behind the
+#                   round-robin router) at smoke scale and drives the
+#                   mixed /v1 workload through it — rebuild under load,
+#                   follower catch-up while saturated, zero error
+#                   budget
+#
+# CHECK_SKIP skips gates by name (comma-separated), for iterating on
+# one subsystem without paying for the rest:
+#
+#   CHECK_SKIP=fuzz,load scripts/check.sh
+#
+# A skipped gate prints a loud marker and the final line counts skips,
+# so a green run with holes in it can't be mistaken for a full pass.
 #
 # Run from anywhere inside the repository.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==> go build ./..."
-go build ./...
+check_dir="${TMPDIR:-/tmp}/ipv4market-check"
+mkdir -p "$check_dir"
+scratch_dir=$(mktemp -d "${TMPDIR:-/tmp}/ipv4market-scratch.XXXXXX")
+trap 'rm -rf "$scratch_dir"' EXIT
 
-echo "==> go vet ./..."
-go vet ./...
+skipped=0
 
-echo "==> go run ./cmd/ipv4lint ./..."
-go run ./cmd/ipv4lint ./...
+# run_gate NAME — run gate_NAME with wall-clock timing, honouring
+# CHECK_SKIP. Gate failures abort the script via set -e.
+run_gate() {
+    gate=$1
+    case ",${CHECK_SKIP:-}," in
+    *",$gate,"*)
+        echo "==> $gate gate SKIPPED (CHECK_SKIP)"
+        skipped=$((skipped + 1))
+        return 0
+        ;;
+    esac
+    echo "==> $gate gate"
+    gate_start=$(date +%s)
+    "gate_$gate"
+    echo "==> $gate gate passed in $(($(date +%s) - gate_start))s"
+}
 
-echo "==> go test -race ./..."
-go test -race ./...
+gate_build() {
+    go build ./...
+}
 
-echo "==> parallel-build determinism gate"
-go test -race -count=1 \
-    -run 'TestBuildSnapshotDeterministic|TestBenchBuildJSONParses|TestBenchServeJSONParses' \
-    ./internal/serve
-go test -race -count=1 \
-    -run 'TestFigure6WorkersDeterministic|TestFigure2WorkersMatchesSerial' \
-    ./internal/core
+gate_vet() {
+    go vet ./...
+}
 
-echo "==> durable-store gate"
-go test -race -count=1 \
-    -run 'TestSegmentRoundTrip|TestOpenRecovers|TestAppendAssignsMonotonicGenerations' \
-    ./internal/store
-go test -race -count=1 \
-    -run 'TestWarmStartMatchesColdBuild|TestRestartETagContinuity|TestSnapshotRecordRestoreRoundTrip' \
-    ./internal/serve
+gate_lint() {
+    go run ./cmd/ipv4lint ./...
+}
 
-echo "==> marketd smoke test"
-mkdir -p "${TMPDIR:-/tmp}/ipv4market-check"
-go build -o "${TMPDIR:-/tmp}/ipv4market-check/marketd" ./cmd/marketd
-"${TMPDIR:-/tmp}/ipv4market-check/marketd" -selfcheck -lirs 14 -days 40
+gate_test() {
+    go test -race ./...
+}
 
-echo "==> marketd durable smoke test (persist -> warm start -> /v1/history)"
-store_dir=$(mktemp -d "${TMPDIR:-/tmp}/ipv4market-store.XXXXXX")
-trap 'rm -rf "$store_dir"' EXIT
-"${TMPDIR:-/tmp}/ipv4market-check/marketd" -selfcheck -lirs 14 -days 40 -data-dir "$store_dir"
+gate_determinism() {
+    go test -race -count=1 \
+        -run 'TestBuildSnapshotDeterministic|TestBenchBuildJSONParses|TestBenchServeJSONParses' \
+        ./internal/serve
+    go test -race -count=1 \
+        -run 'TestFigure6WorkersDeterministic|TestFigure2WorkersMatchesSerial' \
+        ./internal/core
+}
 
-echo "==> replication gate"
-go test -race -count=1 \
-    -run 'TestLeaderFollowerSync|TestFlippedBytesQuarantined|TestTruncatedStreamResumed|TestLeaderFollowerEndToEnd' \
-    ./internal/replicate
-go run scripts/replgate.go "${TMPDIR:-/tmp}/ipv4market-check/marketd"
+gate_store() {
+    go test -race -count=1 \
+        -run 'TestSegmentRoundTrip|TestOpenRecovers|TestAppendAssignsMonotonicGenerations' \
+        ./internal/store
+    go test -race -count=1 \
+        -run 'TestWarmStartMatchesColdBuild|TestRestartETagContinuity|TestSnapshotRecordRestoreRoundTrip' \
+        ./internal/serve
+}
 
-echo "==> suppression audit"
-go run ./cmd/ipv4lint -suppressions ./...
+gate_smoke() {
+    go build -o "$check_dir/marketd" ./cmd/marketd
+    "$check_dir/marketd" -selfcheck -lirs 14 -days 40
+    store_dir=$(mktemp -d "$scratch_dir/store.XXXXXX")
+    "$check_dir/marketd" -selfcheck -lirs 14 -days 40 -data-dir "$store_dir"
+}
 
-echo "==> fuzz gate (short budget per target)"
-go test -run '^$' -fuzz FuzzDecodeSegment -fuzztime 5s ./internal/store
-go test -run '^$' -fuzz FuzzDecodeFrame -fuzztime 5s ./internal/store
-go test -run '^$' -fuzz FuzzPrefixFrom -fuzztime 5s ./internal/netblock
-go test -run '^$' -fuzz FuzzParsePrefix -fuzztime 5s ./internal/netblock
+gate_replication() {
+    go test -race -count=1 \
+        -run 'TestLeaderFollowerSync|TestFlippedBytesQuarantined|TestTruncatedStreamResumed|TestLeaderFollowerEndToEnd' \
+        ./internal/replicate
+    go build -o "$check_dir/marketd" ./cmd/marketd
+    go run scripts/replgate.go "$check_dir/marketd"
+}
 
-echo "check.sh: all gates passed"
+gate_suppressions() {
+    go run ./cmd/ipv4lint -suppressions ./...
+}
+
+gate_fuzz() {
+    go test -run '^$' -fuzz FuzzDecodeSegment -fuzztime 5s ./internal/store
+    go test -run '^$' -fuzz FuzzDecodeFrame -fuzztime 5s ./internal/store
+    go test -run '^$' -fuzz FuzzPrefixFrom -fuzztime 5s ./internal/netblock
+    go test -run '^$' -fuzz FuzzParsePrefix -fuzztime 5s ./internal/netblock
+}
+
+gate_load() {
+    go test -race -count=1 \
+        -run 'TestHistogramQuantileMatchesExact|TestHistogramMergeAssociativity|TestClosedLoopAccounting|TestClosedLoopCancellation|TestOpenLoopSheds|TestBenchClusterJSONParses' \
+        ./internal/loadgen
+    go build -race -o "$check_dir/marketd-race" ./cmd/marketd
+    go build -race -o "$check_dir/marketbench-race" ./cmd/marketbench
+    "$check_dir/marketbench-race" -marketd "$check_dir/marketd-race" \
+        -topologies 0,2 -lirs 14 -days 40 \
+        -concurrency 4 -warmup 50 -requests 600 -error-budget 0
+}
+
+run_gate build
+run_gate vet
+run_gate lint
+run_gate test
+run_gate determinism
+run_gate store
+run_gate smoke
+run_gate replication
+run_gate suppressions
+run_gate fuzz
+run_gate load
+
+if [ "$skipped" -gt 0 ]; then
+    echo "check.sh: gates passed with $skipped gate(s) SKIPPED — not a full pass"
+else
+    echo "check.sh: all gates passed"
+fi
