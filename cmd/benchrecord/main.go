@@ -67,7 +67,11 @@ var suites = []suiteDef{
 		Suite:     "BenchmarkSnapshotServe",
 		File:      "BENCH_serve.json",
 		Benchtime: "0.5s",
-		Note:      "parallel (RunParallel) request cost against a prebuilt snapshot; snapshot build excluded by design",
+		Note: "parallel (RunParallel) request cost against a prebuilt, store-backed snapshot; snapshot build " +
+			"excluded by design. Static artifact rows serve zero-copy from the sealed segment file. Responses " +
+			"are discarded through a ReaderFrom writer with a pooled copy buffer (like a production net/http " +
+			"connection), so bytes_per_op measures handler allocations, not harness buffer growth — numbers " +
+			"recorded with the pre-zero-copy recorder harness are not comparable.",
 	},
 }
 
@@ -176,7 +180,10 @@ func recordCluster(w io.Writer, dir string, requests int) error {
 			"against a baseline whose goos/goarch/cpu/num_cpu match. Never edit by hand; re-record instead.",
 		"-note", "closed-loop mixed /v1 workload per topology with a mid-run leader rebuild and follower catch-up; " +
 			"client percentiles from the deterministic streaming histogram, cross-checked against each node's " +
-			"/varz latency_counts export. error_budget.violated must be false in a committed baseline.",
+			"/varz latency_counts export. error_budget.violated must be false in a committed baseline. " +
+			"Per-node rows report alloc bytes and mallocs per served request (from /varz process counter deltas, " +
+			"warmup and rebuild included) plus the zero-copy read split; per-endpoint bytes_per_op is mean " +
+			"response-body size on the wire.",
 	}
 	fmt.Fprintf(w, "benchrecord: running marketbench (%d requests per topology)...\n", requests)
 	cmd := exec.Command(filepath.Join(tmp, "marketbench"), args...)

@@ -291,6 +291,14 @@ func runTopology(ctx context.Context, w io.Writer, f *benchFlags, followers int)
 		return nil, err
 	}
 
+	// Baseline scrape for per-node allocation accounting: the /varz
+	// process counters are cumulative, so the report needs the values
+	// from before any load hit the fleet.
+	beforeVarz, err := scrapeFleetVarz(fl)
+	if err != nil {
+		return nil, fmt.Errorf("pre-load varz scrape: %w", err)
+	}
+
 	t0 := time.Now()
 	type runOutcome struct {
 		res *loadgen.Result
@@ -326,7 +334,33 @@ func runTopology(ctx context.Context, w io.Writer, f *benchFlags, followers int)
 		return nil, err
 	}
 	report.Server = server
+
+	afterVarz, err := scrapeFleetVarz(fl)
+	if err != nil {
+		return nil, fmt.Errorf("post-load varz scrape: %w", err)
+	}
+	for _, nodeName := range sortedKeys(fl.nodes()) {
+		if nr, ok := loadgen.NewNodeReport(nodeName, beforeVarz[nodeName], afterVarz[nodeName]); ok {
+			report.Nodes = append(report.Nodes, nr)
+			fmt.Fprintf(w, "marketbench: %s: %.0f alloc bytes/request, %.1f mallocs/request over %d requests (zero-copy file reads %d, fallbacks %d)\n",
+				nodeName, nr.AllocBytesPerRequest, nr.MallocsPerRequest, nr.Requests, nr.ZeroCopyFileReads, nr.ZeroCopyFallbacks)
+		}
+	}
 	return &report, nil
+}
+
+// scrapeFleetVarz captures every node's /varz document, keyed by node
+// name.
+func scrapeFleetVarz(fl *fleet) (map[string]*loadgen.ServerVarz, error) {
+	out := make(map[string]*loadgen.ServerVarz, len(fl.nodes()))
+	for nodeName, base := range fl.nodes() {
+		sv, err := loadgen.ScrapeVarz(context.Background(), nil, base)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", nodeName, err)
+		}
+		out[nodeName] = sv
+	}
+	return out, nil
 }
 
 // exerciseFleet runs the mid-load milestones: once measurement is under

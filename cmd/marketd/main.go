@@ -228,10 +228,10 @@ func run(w io.Writer, args []string) error {
 	}
 
 	if leader != nil {
-		srv.Mount("GET /v1/replication/generations", leader.Generations(), *timeout)
+		srv.Mount(replicate.PatternGenerations, leader.Generations(), *timeout)
 		// Segment bodies can be large; 0 disables the timeout middleware
 		// so a slow follower's download is never cut mid-stream.
-		srv.Mount("GET /v1/replication/segment/{gen}", leader.Segment(), 0)
+		srv.Mount(replicate.PatternSegment, leader.Segment(), 0)
 	}
 
 	if *selfcheck {
@@ -465,8 +465,8 @@ func selfcheckRestart(w io.Writer, drain time.Duration, dataDir string, cfg simu
 	if !srv2.WarmStarted() {
 		return fmt.Errorf("marketd: selfcheck restart: second server did not warm-start")
 	}
-	srv2.Mount("GET /v1/replication/generations", leader.Generations(), 0)
-	srv2.Mount("GET /v1/replication/segment/{gen}", leader.Segment(), 0)
+	srv2.Mount(replicate.PatternGenerations, leader.Generations(), 0)
+	srv2.Mount(replicate.PatternSegment, leader.Segment(), 0)
 	base, shutdown, err := loopbackServer(srv2, drain)
 	if err != nil {
 		return err

@@ -70,6 +70,53 @@ type TopologyReport struct {
 	// (rebuild trigger, leader swap, follower catch-up), with wall-clock
 	// offsets from the start of the measured phase.
 	Events []EventReport `json:"events,omitempty"`
+
+	// Nodes carries per-node allocation accounting over the run, from
+	// /varz process counters scraped before and after the load.
+	Nodes []NodeReport `json:"nodes,omitempty"`
+}
+
+// NodeReport is one node's process-level allocation cost across the
+// load run: heap bytes and allocation count per served request, derived
+// from the deltas of /varz process.total_alloc_bytes, process.mallocs,
+// and the per-route request counters between two scrapes. The deltas
+// span warmup and the mid-run rebuild as well as the measured phase, so
+// the per-request figures are an upper bound on pure serving cost — the
+// useful property is comparability run-over-run. The zero-copy fields
+// are the run-end read-path split: file_reads counts artifact responses
+// served straight from the sealed segment, fallbacks counts degradations
+// to the in-memory copy.
+type NodeReport struct {
+	Node                 string  `json:"node"`
+	Requests             int64   `json:"requests"`
+	AllocBytesPerRequest float64 `json:"alloc_bytes_per_request"`
+	MallocsPerRequest    float64 `json:"mallocs_per_request"`
+	ZeroCopyFileReads    int64   `json:"zero_copy_file_reads"`
+	ZeroCopyFallbacks    int64   `json:"zero_copy_fallbacks"`
+}
+
+// NewNodeReport derives one node's allocation accounting from a pair of
+// /varz scrapes. The boolean is false when either scrape predates the
+// process counters or no requests were served between them.
+func NewNodeReport(node string, before, after *ServerVarz) (NodeReport, bool) {
+	if before == nil || after == nil || before.Process == nil || after.Process == nil {
+		return NodeReport{}, false
+	}
+	requests := after.TotalRequests() - before.TotalRequests()
+	if requests <= 0 {
+		return NodeReport{}, false
+	}
+	nr := NodeReport{
+		Node:                 node,
+		Requests:             requests,
+		AllocBytesPerRequest: float64(after.Process.TotalAllocBytes-before.Process.TotalAllocBytes) / float64(requests),
+		MallocsPerRequest:    float64(after.Process.Mallocs-before.Process.Mallocs) / float64(requests),
+	}
+	if after.ZeroCopy != nil {
+		nr.ZeroCopyFileReads = after.ZeroCopy.FileReads
+		nr.ZeroCopyFallbacks = after.ZeroCopy.Fallbacks
+	}
+	return nr, true
 }
 
 // WorldParams pins the synthetic world the topology served.
@@ -107,7 +154,11 @@ type EndpointReport struct {
 	HTTPErrors         int64   `json:"http_errors"`
 	ValidationFailures int64   `json:"validation_failures"`
 	Bytes              int64   `json:"bytes"`
-	MeanMS             float64 `json:"mean_ms"`
+	// BytesPerOp is the mean response-body size (Bytes / Requests) —
+	// the client-side counterpart of a Go benchmark's bytes/op, for
+	// eyeballing wire cost per endpoint.
+	BytesPerOp float64 `json:"bytes_per_op"`
+	MeanMS     float64 `json:"mean_ms"`
 	P50MS              float64 `json:"p50_ms"`
 	P95MS              float64 `json:"p95_ms"`
 	P99MS              float64 `json:"p99_ms"`
@@ -135,7 +186,12 @@ type EventReport struct {
 
 // NewEndpointReport renders one runner EndpointStats row.
 func NewEndpointReport(es *EndpointStats) EndpointReport {
+	var bytesPerOp float64
+	if es.Requests > 0 {
+		bytesPerOp = float64(es.Bytes) / float64(es.Requests)
+	}
 	return EndpointReport{
+		BytesPerOp: bytesPerOp,
 		Name:               es.Name,
 		Route:              es.Route,
 		Requests:           es.Requests,
@@ -232,6 +288,14 @@ func (b *ClusterBaseline) Validate() error {
 		}
 		if len(t.Endpoints) == 0 {
 			return fmt.Errorf("topology %q: no per-endpoint rows", t.Name)
+		}
+		for _, n := range t.Nodes {
+			if n.Node == "" || n.Requests <= 0 {
+				return fmt.Errorf("topology %q: node report %+v without a node name or served requests", t.Name, n)
+			}
+			if n.AllocBytesPerRequest < 0 || n.MallocsPerRequest < 0 {
+				return fmt.Errorf("topology %q node %q: negative allocation accounting", t.Name, n.Node)
+			}
 		}
 		rows := append([]EndpointReport{t.Aggregate}, t.Endpoints...)
 		for _, e := range rows {

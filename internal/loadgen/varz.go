@@ -18,6 +18,29 @@ import (
 type ServerVarz struct {
 	LatencyBucketsMS []float64            `json:"latency_buckets_ms"`
 	Routes           map[string]RouteVarz `json:"routes"`
+	// Process and ZeroCopy are optional sections (absent on servers
+	// predating them): cumulative allocation counters and the artifact
+	// read-path split, used for per-node allocation accounting.
+	Process  *ProcessVarz  `json:"process"`
+	ZeroCopy *ZeroCopyVarz `json:"zero_copy"`
+}
+
+// ProcessVarz is the slice of the process section the harness uses:
+// cumulative runtime allocation counters (runtime.MemStats TotalAlloc
+// and Mallocs). Scraped before and after a measured phase, the deltas
+// give the node's allocation cost per served request.
+type ProcessVarz struct {
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	Mallocs         uint64 `json:"mallocs"`
+}
+
+// ZeroCopyVarz is the zero_copy section: how artifact responses were
+// served — straight from the sealed segment file, from the in-memory
+// copy (no persisted generation), or via fallback after a file error.
+type ZeroCopyVarz struct {
+	FileReads int64 `json:"file_reads"`
+	MemReads  int64 `json:"mem_reads"`
+	Fallbacks int64 `json:"fallbacks"`
 }
 
 // RouteVarz is one route's counters as exported on /varz.
@@ -68,6 +91,16 @@ func (v *ServerVarz) RouteQuantile(route string, q float64) (float64, bool) {
 		return 0, false
 	}
 	return est, true
+}
+
+// TotalRequests sums every route's request counter — the node's served
+// request count at scrape time.
+func (v *ServerVarz) TotalRequests() int64 {
+	var n int64
+	for _, r := range v.Routes {
+		n += r.Requests
+	}
+	return n
 }
 
 // RouteNames returns the scraped route labels, sorted.

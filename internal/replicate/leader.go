@@ -29,6 +29,17 @@ type GenEntry struct {
 	Seed    int64  `json:"seed"`
 }
 
+// Route patterns for the two leader endpoints, in net/http ServeMux
+// syntax. Callers mount Generations and Segment under exactly these
+// patterns (cmd/marketd does) so followers, documentation, and the
+// docs-drift test all agree on the replication surface.
+const (
+	// PatternGenerations serves the sealed-segment catalog (Listing).
+	PatternGenerations = "GET /v1/replication/generations"
+	// PatternSegment streams one generation's raw segment bytes.
+	PatternSegment = "GET /v1/replication/segment/{gen}"
+)
+
 // Listing is the GET /v1/replication/generations document.
 type Listing struct {
 	// NextGen is the leader store's ID ratchet; it exceeds every listed

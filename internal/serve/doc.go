@@ -27,15 +27,25 @@
 //     (triggered by SIGHUP or POST /admin/rebuild) construct a fresh
 //     Snapshot off to the side and swap it in atomically — readers are
 //     never blocked and always see a complete, consistent study.
-//   - Filtered queries (/v1/prices, /v1/transfers, /v1/delegations) are
+//   - Filtered queries (/v1/prices, /v1/delegations) are
 //     answered from a per-snapshot result cache with singleflight
 //     collapsing, so a thundering herd on one filter computes it once.
+//     Filtered /v1/prices responses slice a columnar per-snapshot table
+//     (one pre-rendered JSON/CSV row per cell), so a filter render is
+//     row selection plus concatenation, never re-marshalling.
+//   - When a store is attached, unfiltered artifact responses are served
+//     zero-copy: http.ServeContent streams the pre-encoded body straight
+//     from the sealed segment file (Range, If-Range and sendfile capable)
+//     instead of copying it through a per-request buffer; /varz counts
+//     the file/memory/fallback split under zero_copy.
 //
 // Endpoints: /v1/table1, /v1/figures/{1..4}, /v1/prices, /v1/transfers,
-// /v1/delegations, /v1/leasing, /v1/headline, plus /healthz, /readyz and
-// /varz. Responses carry strong ETags and honor If-None-Match; append
-// ?format=csv where a CSV emitter exists (the figure and price series,
-// reusing the core package's encoders).
+// /v1/delegations, /v1/leasing, /v1/headline, /v1/history, plus
+// /healthz, /readyz and /varz. Responses carry strong ETags and honor
+// If-None-Match; append ?format=csv where a CSV emitter exists (the
+// figure and price series, reusing the core package's encoders).
+// docs/API.md is the client-facing reference for the whole surface, and
+// the docs-drift test in this package keeps it honest against Routes().
 //
 // The middleware stack (panic recovery, per-request timeouts, per-route
 // metrics) and the graceful Serve runner are exported separately so other

@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"ipv4market/internal/replicate"
+)
+
+// This file keeps the prose documentation honest against the code:
+// TestAPIDocsMatchRoutes pins docs/API.md to the server's registered
+// route set, and TestMarkdownLinks checks every relative link in the
+// repository's markdown. Both run in scripts/check.sh as the docs gate.
+
+// apiDocPath is docs/API.md relative to this package's directory (the
+// working directory of `go test`).
+const apiDocPath = "../../docs/API.md"
+
+// apiHeadingRE matches the route headings docs/API.md is contractually
+// required to use: ### `METHOD /path` in ServeMux pattern syntax.
+var apiHeadingRE = regexp.MustCompile("(?m)^### `([A-Z]+ /[^`]+)`\\s*$")
+
+// TestAPIDocsMatchRoutes fails when docs/API.md and the registered HTTP
+// surface drift apart: an endpoint added without documentation, or
+// documentation for an endpoint that no longer exists. The expected set
+// is Routes() of an admin-enabled server plus the replication pair that
+// cmd/marketd mounts under replicate.Pattern*.
+func TestAPIDocsMatchRoutes(t *testing.T) {
+	want := append(sharedServer(t).Routes(),
+		replicate.PatternGenerations, replicate.PatternSegment)
+	sort.Strings(want)
+
+	raw, err := os.ReadFile(apiDocPath)
+	if err != nil {
+		t.Fatalf("read API reference: %v", err)
+	}
+	documented := make(map[string]bool)
+	for _, m := range apiHeadingRE.FindAllStringSubmatch(string(raw), -1) {
+		pattern := m[1]
+		if documented[pattern] {
+			t.Errorf("docs/API.md documents %q twice", pattern)
+		}
+		documented[pattern] = true
+	}
+	if len(documented) == 0 {
+		t.Fatalf("docs/API.md has no ### `METHOD /path` headings; the reference format changed out from under this test")
+	}
+
+	registered := make(map[string]bool, len(want))
+	for _, pattern := range want {
+		registered[pattern] = true
+		if !documented[pattern] {
+			t.Errorf("registered route %q is missing from docs/API.md (add a ### `%s` section)", pattern, pattern)
+		}
+	}
+	for pattern := range documented {
+		if !registered[pattern] {
+			t.Errorf("docs/API.md documents %q, which is not a registered route", pattern)
+		}
+	}
+}
+
+// markdownFiles returns the repository's markdown set covered by the
+// link checker: the root-level *.md files and everything under docs/.
+func markdownFiles(t *testing.T) []string {
+	t.Helper()
+	var files []string
+	for _, pattern := range []string{"../../*.md", "../../docs/*.md"} {
+		matches, err := filepath.Glob(pattern)
+		if err != nil {
+			t.Fatalf("glob %q: %v", pattern, err)
+		}
+		files = append(files, matches...)
+	}
+	if len(files) == 0 {
+		t.Fatal("no markdown files found; the checker is looking in the wrong place")
+	}
+	sort.Strings(files)
+	return files
+}
+
+// linkRE matches inline markdown links [text](target). Reference-style
+// links and autolinks are out of scope — the repository does not use
+// them.
+var linkRE = regexp.MustCompile(`\[[^\]]*\]\(([^()\s]+)\)`)
+
+// headingRE matches ATX headings, for anchor validation.
+var headingRE = regexp.MustCompile(`(?m)^#{1,6}\s+(.*)$`)
+
+// anchorSlug reduces a heading to its GitHub-style anchor: lowercase,
+// punctuation dropped, spaces and dashes collapsed to single dashes.
+func anchorSlug(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(strings.TrimSpace(heading)) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		case r == ' ', r == '-':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// TestMarkdownLinks checks every relative link in the repository's
+// markdown: linked files must exist, and same-file #anchors must match
+// a heading. External links (http, https, mailto) are not fetched.
+func TestMarkdownLinks(t *testing.T) {
+	for _, file := range markdownFiles(t) {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("read %s: %v", file, err)
+		}
+		text := string(raw)
+
+		anchors := make(map[string]bool)
+		for _, m := range headingRE.FindAllStringSubmatch(text, -1) {
+			anchors[anchorSlug(m[1])] = true
+		}
+
+		name := filepath.Base(filepath.Dir(file)) + "/" + filepath.Base(file)
+		for _, m := range linkRE.FindAllStringSubmatch(text, -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") ||
+				strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			if frag, ok := strings.CutPrefix(target, "#"); ok {
+				if !anchors[frag] {
+					t.Errorf("%s: anchor link %q matches no heading", name, target)
+				}
+				continue
+			}
+			// Cross-file link: the path part must resolve relative to
+			// the linking file; a fragment on it is not validated.
+			path, _, _ := strings.Cut(target, "#")
+			resolved := filepath.Join(filepath.Dir(file), path)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken relative link %q: %v", name, target, err)
+			}
+		}
+	}
+}
+
+// TestRoutesSorted pins the Routes() contract the drift test and
+// operators rely on: a sorted copy, safe for callers to mutate.
+func TestRoutesSorted(t *testing.T) {
+	srv := sharedServer(t)
+	routes := srv.Routes()
+	if !sort.StringsAreSorted(routes) {
+		t.Fatalf("Routes() not sorted: %v", routes)
+	}
+	if len(routes) == 0 {
+		t.Fatal("Routes() empty")
+	}
+	for _, r := range routes {
+		if _, _, ok := strings.Cut(r, " /"); !ok {
+			t.Fatalf("route %q is not in METHOD /path form", r)
+		}
+	}
+	routes[0] = "tampered"
+	if srv.Routes()[0] == "tampered" {
+		t.Fatal("Routes() returned its internal slice; want a copy")
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"ipv4market/internal/market"
 	"ipv4market/internal/netblock"
 	"ipv4market/internal/registry"
+	"ipv4market/internal/stats"
 )
 
 // routes wires every endpoint through the shared middleware stack. Each
@@ -21,8 +23,9 @@ func (s *Server) routes() {
 	// served with the stored bodies and ETags.
 	static := func(key string) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {
-			if art, ok := s.artifactForRequest(w, r, key); ok {
-				writeArtifact(w, r, art)
+			q := queryOf(r)
+			if art, ref, ok := s.artifactForRequest(w, q, key); ok {
+				s.serveArtifact(w, r, q, art, ref)
 			}
 		}
 	}
@@ -44,8 +47,10 @@ func (s *Server) routes() {
 	}
 }
 
-// handle registers pattern with the full middleware stack applied.
+// handle registers pattern with the full middleware stack applied and
+// records it for Routes.
 func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.patterns = append(s.patterns, pattern)
 	s.mux.Handle(pattern, Wrap(h, s.metrics, pattern, s.opts.Timeout))
 }
 
@@ -58,23 +63,26 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown figure "+id+" (have 1-4)")
 		return
 	}
-	if art, ok := s.artifactForRequest(w, r, "fig"+id); ok {
-		writeArtifact(w, r, art)
+	q := queryOf(r)
+	if art, ref, ok := s.artifactForRequest(w, q, "fig"+id); ok {
+		s.serveArtifact(w, r, q, art, ref)
 	}
 }
 
-// priceFilter is the parsed /v1/prices query.
+// priceFilter is the parsed /v1/prices query. The quarter rides as a
+// parsed stats.Quarter so matching a row is a struct compare, not a
+// per-row String() rendering.
 type priceFilter struct {
-	bits    int // 0: any
-	region  registry.RIR
-	hasRIR  bool
-	quarter string // canonical "2019Q2", "": any
+	bits       int // 0: any
+	region     registry.RIR
+	hasRIR     bool
+	quarter    stats.Quarter
+	hasQuarter bool
 }
 
 // parsePriceFilter validates the size/region/quarter query parameters.
-func parsePriceFilter(r *http.Request) (priceFilter, error) {
+func parsePriceFilter(q url.Values) (priceFilter, error) {
 	var f priceFilter
-	q := r.URL.Query()
 	if v := q.Get("size"); v != "" {
 		bits, err := strconv.Atoi(strings.TrimPrefix(v, "/"))
 		if err != nil || bits < 0 || bits > 32 {
@@ -94,7 +102,7 @@ func parsePriceFilter(r *http.Request) (priceFilter, error) {
 		if err != nil {
 			return f, fmt.Errorf("quarter %q: want YYYYQn", v)
 		}
-		f.quarter = qt.String()
+		f.quarter, f.hasQuarter = qt, true
 	}
 	return f, nil
 }
@@ -106,11 +114,15 @@ func (f priceFilter) key() string {
 	if f.hasRIR {
 		region = f.region.String()
 	}
-	return fmt.Sprintf("prices|bits=%d|region=%s|quarter=%s", f.bits, region, f.quarter)
+	quarter := ""
+	if f.hasQuarter {
+		quarter = f.quarter.String()
+	}
+	return "prices|bits=" + strconv.Itoa(f.bits) + "|region=" + region + "|quarter=" + quarter
 }
 
 func (f priceFilter) empty() bool {
-	return f.bits == 0 && !f.hasRIR && f.quarter == ""
+	return f.bits == 0 && !f.hasRIR && !f.hasQuarter
 }
 
 func (f priceFilter) match(c market.PriceCell) bool {
@@ -120,32 +132,37 @@ func (f priceFilter) match(c market.PriceCell) bool {
 	if f.hasRIR && c.Region != f.region {
 		return false
 	}
-	if f.quarter != "" && c.Quarter.String() != f.quarter {
+	if f.hasQuarter && c.Quarter != f.quarter {
 		return false
 	}
 	return true
 }
 
 // handlePrices serves /v1/prices. Unfiltered requests hit the snapshot's
-// pre-encoded artifact; filtered ones are rendered once per snapshot
-// generation through the singleflight query cache.
+// pre-encoded artifact (zero-copy from the sealed segment when
+// persisted); filtered ones are sliced out of the columnar price table
+// once per snapshot generation through the singleflight query cache.
 func (s *Server) handlePrices(w http.ResponseWriter, r *http.Request) {
-	f, err := parsePriceFilter(r)
+	q := queryOf(r)
+	f, err := parsePriceFilter(q)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if rejectPinnedFilter(w, r, !f.empty()) {
+	if rejectPinnedFilter(w, q, !f.empty()) {
 		return
 	}
-	st := s.current()
 	if f.empty() {
-		if art, ok := s.artifactForRequest(w, r, "prices"); ok {
-			writeArtifact(w, r, art)
+		if art, ref, ok := s.artifactForRequest(w, q, "prices"); ok {
+			s.serveArtifact(w, r, q, art, ref)
 		}
 		return
 	}
+	st := s.current()
 	art, err := st.cache.do(f.key(), s.metrics, func() (*artifact, error) {
+		if t := st.snap.prices; t != nil {
+			return t.render(f), nil
+		}
 		cells := filterPriceCells(st.snap.PriceCells, f.match)
 		return newArtifact(viewPriceCells(cells), priceCellsCSV(cells))
 	})
@@ -153,21 +170,21 @@ func (s *Server) handlePrices(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	writeArtifact(w, r, art)
+	s.serveArtifact(w, r, q, art, artifactRef{})
 }
 
 // handleDelegations serves /v1/delegations: without a prefix parameter,
 // the snapshot's pre-encoded summary; with one, a trie lookup (exact,
 // covering, covered) rendered through the query cache.
 func (s *Server) handleDelegations(w http.ResponseWriter, r *http.Request) {
-	raw := r.URL.Query().Get("prefix")
-	if rejectPinnedFilter(w, r, raw != "") {
+	q := queryOf(r)
+	raw := q.Get("prefix")
+	if rejectPinnedFilter(w, q, raw != "") {
 		return
 	}
-	st := s.current()
 	if raw == "" {
-		if art, ok := s.artifactForRequest(w, r, "delegations"); ok {
-			writeArtifact(w, r, art)
+		if art, ref, ok := s.artifactForRequest(w, q, "delegations"); ok {
+			s.serveArtifact(w, r, q, art, ref)
 		}
 		return
 	}
@@ -176,6 +193,7 @@ func (s *Server) handleDelegations(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("prefix %q: %v", raw, err))
 		return
 	}
+	st := s.current()
 	key := "delegations|prefix=" + p.String()
 	art, err := st.cache.do(key, s.metrics, func() (*artifact, error) {
 		lk := st.snap.Delegations.Lookup(p)
@@ -192,7 +210,7 @@ func (s *Server) handleDelegations(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	writeArtifact(w, r, art)
+	s.serveArtifact(w, r, q, art, artifactRef{})
 }
 
 // handleHealthz is the liveness probe: the process is up.
@@ -244,7 +262,7 @@ func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 		seed   int64
 		reseed bool
 	)
-	if v := r.URL.Query().Get("seed"); v != "" {
+	if v := queryOf(r).Get("seed"); v != "" {
 		n, err := strconv.ParseInt(v, 10, 64)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("seed %q: %v", v, err))

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"strconv"
 	"sync"
 	"time"
@@ -144,48 +145,52 @@ func (s *Server) pinnedArtifacts(gen uint64) (map[string]*artifact, error) {
 }
 
 // artifactForRequest resolves the artifact to serve for key, honoring a
-// ?gen=N pin. The boolean is false after an error response has already
-// been written.
-func (s *Server) artifactForRequest(w http.ResponseWriter, r *http.Request, key string) (*artifact, bool) {
-	raw := r.URL.Query().Get("gen")
+// ?gen=N pin, along with the artifactRef naming its persisted frame
+// (gen 0 when the snapshot was never persisted — serveArtifact then
+// uses the in-memory body). q is the request's parsed query (queryOf).
+// The boolean is false after an error response has already been
+// written.
+func (s *Server) artifactForRequest(w http.ResponseWriter, q url.Values, key string) (*artifact, artifactRef, bool) {
+	raw := q.Get("gen")
 	if raw == "" {
-		art, ok := s.current().snap.staticArtifact(key)
+		snap := s.current().snap
+		art, ok := snap.staticArtifact(key)
 		if !ok {
 			writeError(w, http.StatusNotFound, "unknown artifact "+key)
-			return nil, false
+			return nil, artifactRef{}, false
 		}
-		return art, true
+		return art, artifactRef{key: key, gen: snap.Gen}, true
 	}
 	gen, err := strconv.ParseUint(raw, 10, 64)
 	if err != nil || gen == 0 {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("gen %q: want a positive generation ID", raw))
-		return nil, false
+		return nil, artifactRef{}, false
 	}
 	arts, err := s.pinnedArtifacts(gen)
 	switch {
 	case errors.Is(err, errNoStore):
 		writeError(w, http.StatusNotFound, errNoStore.Error())
-		return nil, false
+		return nil, artifactRef{}, false
 	case errors.Is(err, store.ErrNotFound):
 		writeError(w, http.StatusNotFound, fmt.Sprintf("generation %d not in store (compacted or never persisted)", gen))
-		return nil, false
+		return nil, artifactRef{}, false
 	case err != nil:
 		writeError(w, http.StatusInternalServerError, err.Error())
-		return nil, false
+		return nil, artifactRef{}, false
 	}
 	art, ok := arts[key]
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("generation %d has no artifact %q", gen, key))
-		return nil, false
+		return nil, artifactRef{}, false
 	}
-	return art, true
+	return art, artifactRef{key: key, gen: gen}, true
 }
 
 // rejectPinnedFilter answers 400 for query combinations that cannot be
 // generation-pinned (filters are computed from live snapshot state, not
 // stored bytes). It reports whether the request was rejected.
-func rejectPinnedFilter(w http.ResponseWriter, r *http.Request, filtered bool) bool {
-	if filtered && r.URL.Query().Get("gen") != "" {
+func rejectPinnedFilter(w http.ResponseWriter, q url.Values, filtered bool) bool {
+	if filtered && q.Get("gen") != "" {
 		writeError(w, http.StatusBadRequest, "gen= pins stored artifacts only; it cannot be combined with filter parameters")
 		return true
 	}

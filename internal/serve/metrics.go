@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"io"
 	"net/http"
 	"runtime"
 	"sync/atomic"
@@ -25,6 +26,16 @@ type Metrics struct {
 	cacheCollapsed atomic.Int64
 	rebuilds       atomic.Int64
 	rebuildErrors  atomic.Int64
+
+	// Zero-copy artifact accounting: file_reads are responses served
+	// straight from a sealed segment file, mem_reads are responses served
+	// from the in-memory copy because no persisted generation backs them
+	// (computed filters, storeless servers), and fallbacks are responses
+	// that *should* have come from a segment but degraded to memory
+	// (segment deleted or compacted mid-flight, frame mismatch).
+	artifactFileReads atomic.Int64
+	artifactMemReads  atomic.Int64
+	artifactFallbacks atomic.Int64
 
 	routes map[string]*routeStats
 }
@@ -115,6 +126,20 @@ func (sw *statusWriter) Write(b []byte) (int, error) {
 		sw.code, sw.wrote = http.StatusOK, true
 	}
 	return sw.ResponseWriter.Write(b)
+}
+
+// ReadFrom keeps the underlying writer's optimized copy path (sendfile,
+// net/http's pooled buffers) reachable through the wrapper. Without it,
+// wrapping would hide io.ReaderFrom from io.Copy and every zero-copy
+// artifact response would fall back to an allocated per-request buffer.
+func (sw *statusWriter) ReadFrom(r io.Reader) (int64, error) {
+	if !sw.wrote {
+		sw.code, sw.wrote = http.StatusOK, true
+	}
+	if rf, ok := sw.ResponseWriter.(io.ReaderFrom); ok {
+		return rf.ReadFrom(r)
+	}
+	return io.Copy(struct{ io.Writer }{sw.ResponseWriter}, r)
 }
 
 func (sw *statusWriter) status() int {
@@ -214,6 +239,24 @@ type varzProcess struct {
 	Goroutines    int     `json:"goroutines"`
 	GOMAXPROCS    int     `json:"gomaxprocs"`
 	GoVersion     string  `json:"go_version"`
+	// TotalAllocBytes and Mallocs are runtime.MemStats cumulative
+	// allocation counters. Load harnesses (cmd/marketbench) scrape them
+	// before and after a measured phase to derive server-side
+	// allocation-per-request figures that no client-side measurement can
+	// see.
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	Mallocs         uint64 `json:"mallocs"`
+}
+
+// varzZeroCopy is the zero-copy artifact serving census on /varz: how
+// responses found their bytes. A nonzero fallbacks means a persisted
+// segment disappeared under an in-flight request (compaction racing a
+// pinned read is the benign cause) and the server degraded to its
+// in-memory copy.
+type varzZeroCopy struct {
+	FileReads int64 `json:"file_reads"`
+	MemReads  int64 `json:"mem_reads"`
+	Fallbacks int64 `json:"fallbacks"`
 }
 
 // varzView is the /varz document. The snapshot, cache, rebuild, and
@@ -237,22 +280,29 @@ type varzView struct {
 	// (replicate.LeaderStatus / replicate.FollowerStatus), supplied
 	// through Options.ReplicationVarz; absent on standalone servers.
 	Replication any                  `json:"replication,omitempty"`
-	Routes      map[string]varzRoute `json:"routes"`
+	// ZeroCopy reports how artifact responses found their bytes (sealed
+	// segment file vs in-memory copy); present on snapshot servers only.
+	ZeroCopy *varzZeroCopy        `json:"zero_copy,omitempty"`
+	Routes   map[string]varzRoute `json:"routes"`
 }
 
 // varz renders the counter document every server shares: uptime,
 // panics, and per-route request/latency stats. The Server adds its
 // snapshot, cache, rebuild, and store sections on top.
 func (m *Metrics) varz(now time.Time) varzView {
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
 	v := varzView{
 		UptimeSeconds:    now.Sub(m.start).Seconds(),
 		Panics:           m.panics.Load(),
 		LatencyBucketsMS: append([]float64(nil), latencyBucketMS[:]...),
 		Process: &varzProcess{
-			UptimeSeconds: now.Sub(m.start).Seconds(),
-			Goroutines:    runtime.NumGoroutine(),
-			GOMAXPROCS:    runtime.GOMAXPROCS(0),
-			GoVersion:     runtime.Version(),
+			UptimeSeconds:   now.Sub(m.start).Seconds(),
+			Goroutines:      runtime.NumGoroutine(),
+			GOMAXPROCS:      runtime.GOMAXPROCS(0),
+			GoVersion:       runtime.Version(),
+			TotalAllocBytes: mem.TotalAlloc,
+			Mallocs:         mem.Mallocs,
 		},
 		Routes: make(map[string]varzRoute, len(m.routes)),
 	}

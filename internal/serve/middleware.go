@@ -13,22 +13,47 @@ import (
 //
 //	instrument(recovery(timeout(h)))
 //
-// Instrumentation is outermost so it observes the final status (including
-// 500s from the recovery layer and 503s from the timeout layer); recovery
-// sits outside the timeout handler because http.TimeoutHandler re-panics
-// handler panics on the caller's goroutine. A non-positive timeout
-// disables the timeout layer (needed for streaming or admin endpoints).
+// Instrumentation is outermost so it observes the final status
+// (including 500s from the recovery layer); recovery sits outside the
+// timeout layer so it catches panics from the wrapped handler. A
+// non-positive timeout disables the timeout layer (admin endpoints and
+// segment streaming use that).
+//
+// The timeout layer is deadline-based, not http.TimeoutHandler:
+// TimeoutHandler buffers the entire response body in memory before
+// writing it, which would put a per-request copy back into the
+// zero-copy artifact path (and block sendfile). Instead the request
+// context gets a deadline — every handler doing cancellable work reads
+// it — and the connection gets a write deadline covering the response,
+// so a stalled client cannot pin the connection either.
 //
 // cmd/marketd and cmd/rdapd share this stack; neither duplicates it.
 func Wrap(h http.Handler, m *Metrics, route string, timeout time.Duration) http.Handler {
 	if timeout > 0 {
-		h = http.TimeoutHandler(h, timeout, `{"error":"request timed out"}`+"\n")
+		h = timeoutLayer(h, timeout)
 	}
 	h = recovery(m, h)
 	if m != nil {
 		h = m.instrument(route, h)
 	}
 	return h
+}
+
+// timeoutLayer bounds a request without buffering its response: the
+// handler sees a context that expires after timeout, and the underlying
+// connection gets a write deadline so the response bytes — streamed
+// straight from a segment file on the zero-copy path — must also finish
+// by then. Writers that do not support deadlines (test recorders) just
+// skip that half.
+func timeoutLayer(h http.Handler, timeout time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		// Best-effort: httptest recorders and exotic writers return
+		// ErrNotSupported, which leaves only the context deadline.
+		_ = http.NewResponseController(w).SetWriteDeadline(time.Now().Add(timeout))
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
 }
 
 // recovery converts handler panics into 500 responses instead of killing

@@ -211,6 +211,9 @@ func restoreSnapshot(meta store.Meta, arts []store.Artifact, base simulation.Con
 	if snap.PriceCells, err = restorePriceCells(aux[statePriceCells]); err != nil {
 		return nil, err
 	}
+	if snap.prices, err = newPriceTable(snap.PriceCells); err != nil {
+		return nil, err
+	}
 	if snap.Delegations, err = restoreDelegations(aux[stateDelegs]); err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -87,6 +88,12 @@ type Server struct {
 	opts    Options
 	metrics *Metrics
 	mux     *http.ServeMux
+	// patterns records every route pattern registered on the mux
+	// (built-ins via handle, extras via Mount), in registration order.
+	// Written only during construction and pre-serving Mount calls;
+	// Routes exposes it so tests can hold documentation to the real
+	// surface.
+	patterns []string
 	// baseCfg is the config the server was constructed with; follower
 	// mode restores adopted generations against it (restoreSnapshot
 	// overlays the persisted meta's identity fields).
@@ -249,7 +256,18 @@ func (s *Server) Follower() bool { return s.opts.Follower }
 // 0 for endpoints that stream large bodies. Call before serving begins;
 // the mux is read-only afterwards.
 func (s *Server) Mount(pattern string, h http.Handler, timeout time.Duration) {
+	s.patterns = append(s.patterns, pattern)
 	s.mux.Handle(pattern, Wrap(h, s.metrics, pattern, timeout))
+}
+
+// Routes returns every route pattern registered on this server's mux —
+// the built-in endpoints plus anything Mounted — sorted. It is the
+// authoritative HTTP surface; the docs-drift test checks docs/API.md
+// against it.
+func (s *Server) Routes() []string {
+	out := append([]string(nil), s.patterns...)
+	sort.Strings(out)
+	return out
 }
 
 // AdoptGeneration loads gen from the store, restores it against the
@@ -343,6 +361,11 @@ func (s *Server) varz(now time.Time) varzView {
 		Misses:    s.metrics.cacheMisses.Load(),
 		Collapsed: s.metrics.cacheCollapsed.Load(),
 		Entries:   st.cache.size(),
+	}
+	v.ZeroCopy = &varzZeroCopy{
+		FileReads: s.metrics.artifactFileReads.Load(),
+		MemReads:  s.metrics.artifactMemReads.Load(),
+		Fallbacks: s.metrics.artifactFallbacks.Load(),
 	}
 	v.Rebuilds = &varzRebuilds{
 		Total:    s.metrics.rebuilds.Load(),

@@ -56,6 +56,13 @@ type Snapshot struct {
 	// pre-encoded bodies.
 	static map[string]*artifact
 
+	// prices is the columnar layout of PriceCells, built alongside them
+	// (and rebuilt on restore) so filtered /v1/prices queries slice
+	// column views instead of re-marshalling rows. Nil only in tests
+	// that construct snapshots by hand — handlers fall back to the
+	// row-at-a-time path.
+	prices *priceTable
+
 	// transferTotal backs TransferTotal for restored snapshots, which
 	// carry the count but not the decoded transfer log.
 	transferTotal int
@@ -157,6 +164,10 @@ var snapshotStages = []buildStage{
 	}},
 	{"prices", func(snap *Snapshot, study *core.Study, _ int) ([]keyedArtifact, error) {
 		snap.PriceCells = study.Figure1()
+		var err error
+		if snap.prices, err = newPriceTable(snap.PriceCells); err != nil {
+			return nil, err
+		}
 		// fig1 and the unfiltered /v1/prices serve the same bytes, so
 		// they share one artifact (and one ETag).
 		arts, err := one("fig1", viewPriceCells(snap.PriceCells), study.Figure1CSV)

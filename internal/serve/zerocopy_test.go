@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ipv4market/internal/store"
+)
+
+// storedServer builds a server persisting into a fresh store, so the
+// artifact endpoints exercise the zero-copy segment-file path.
+func storedServer(t *testing.T) (*Server, *store.Store, string) {
+	t.Helper()
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(testConfig(), Options{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Snapshot().Gen == 0 {
+		t.Fatal("snapshot was not persisted")
+	}
+	return srv, st, dir
+}
+
+// TestPriceTableRenderIdentity pins the columnar fast path to the
+// row-at-a-time reference: for a spread of filters, render must produce
+// byte-identical JSON and CSV bodies (hence identical ETags) to
+// newArtifact over filterPriceCells.
+func TestPriceTableRenderIdentity(t *testing.T) {
+	snap := sharedServer(t).Snapshot()
+	if snap.prices == nil {
+		t.Fatal("built snapshot lacks the columnar price table")
+	}
+	if snap.prices.len() != len(snap.PriceCells) {
+		t.Fatalf("table has %d rows, snapshot %d cells", snap.prices.len(), len(snap.PriceCells))
+	}
+
+	filters := []string{
+		"size=/16",
+		"size=/24",
+		"region=ARIN",
+		"region=RIPE NCC",
+		"quarter=2019Q2",
+		"size=/16&region=ARIN",
+		"size=/16&region=ARIN&quarter=2019Q4",
+		"size=/7", // matches nothing: the empty-document layout
+	}
+	matchedSomething := false
+	for _, raw := range filters {
+		q, err := url.ParseQuery(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parsePriceFilter(q)
+		if err != nil {
+			t.Fatalf("filter %q: %v", raw, err)
+		}
+		cells := filterPriceCells(snap.PriceCells, f.match)
+		want, err := newArtifact(viewPriceCells(cells), priceCellsCSV(cells))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := snap.prices.render(f)
+		if !bytes.Equal(got.json, want.json) {
+			t.Errorf("filter %q: columnar JSON differs from reference\n got: %q\nwant: %q", raw, got.json, want.json)
+		}
+		if !bytes.Equal(got.csv, want.csv) {
+			t.Errorf("filter %q: columnar CSV differs from reference", raw)
+		}
+		if got.jsonETag != want.jsonETag || got.csvETag != want.csvETag {
+			t.Errorf("filter %q: ETags differ: %s/%s vs %s/%s", raw, got.jsonETag, got.csvETag, want.jsonETag, want.csvETag)
+		}
+		if len(cells) > 0 {
+			matchedSomething = true
+		}
+	}
+	if !matchedSomething {
+		t.Fatal("every test filter matched zero cells; test world too small?")
+	}
+}
+
+// TestArtifactRangeRequests checks the Range/If-Range machinery on the
+// artifact endpoints, on both the zero-copy file path (store-backed)
+// and the in-memory path (storeless) — the two must behave identically.
+func TestArtifactRangeRequests(t *testing.T) {
+	stored, _, _ := storedServer(t)
+	for name, srv := range map[string]*Server{"file": stored, "memory": sharedServer(t)} {
+		t.Run(name, func(t *testing.T) {
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+
+			for _, path := range []string{"/v1/table1", "/v1/prices", "/v1/table1?format=csv"} {
+				resp, full := get(t, ts, path)
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("%s: status %d", path, resp.StatusCode)
+				}
+				etag := resp.Header.Get("ETag")
+				if resp.Header.Get("Accept-Ranges") != "bytes" {
+					t.Errorf("%s: Accept-Ranges = %q, want bytes", path, resp.Header.Get("Accept-Ranges"))
+				}
+
+				req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				req.Header.Set("Range", "bytes=5-24")
+				resp2, err := ts.Client().Do(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				part, _ := io.ReadAll(resp2.Body)
+				resp2.Body.Close()
+				if resp2.StatusCode != http.StatusPartialContent {
+					t.Fatalf("%s range: status %d, want 206", path, resp2.StatusCode)
+				}
+				if !bytes.Equal(part, full[5:25]) {
+					t.Errorf("%s range: got %q, want %q", path, part, full[5:25])
+				}
+				if resp2.Header.Get("ETag") != etag {
+					t.Errorf("%s range: ETag changed", path)
+				}
+
+				// If-Range with the current ETag: the range is honored.
+				req.Header.Set("If-Range", etag)
+				resp3, err := ts.Client().Do(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				io.Copy(io.Discard, resp3.Body)
+				resp3.Body.Close()
+				if resp3.StatusCode != http.StatusPartialContent {
+					t.Errorf("%s if-range match: status %d, want 206", path, resp3.StatusCode)
+				}
+
+				// If-Range with a stale ETag: full body, 200.
+				req.Header.Set("If-Range", `"0000000000000000"`)
+				resp4, err := ts.Client().Do(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				body4, _ := io.ReadAll(resp4.Body)
+				resp4.Body.Close()
+				if resp4.StatusCode != http.StatusOK {
+					t.Errorf("%s if-range stale: status %d, want 200", path, resp4.StatusCode)
+				}
+				if !bytes.Equal(body4, full) {
+					t.Errorf("%s if-range stale: body differs from full response", path)
+				}
+			}
+		})
+	}
+}
+
+// TestZeroCopyFileReads checks a store-backed server serves static
+// artifacts from the sealed segment (not the in-memory copy) and
+// reports it on /varz, and that the bytes and ETag match the in-memory
+// artifact exactly.
+func TestZeroCopyFileReads(t *testing.T) {
+	srv, _, _ := storedServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	art, ok := srv.Snapshot().staticArtifact("table1")
+	if !ok {
+		t.Fatal("no table1 artifact")
+	}
+	resp, body := get(t, ts, "/v1/table1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !bytes.Equal(body, art.json) {
+		t.Error("file-served body differs from the in-memory artifact")
+	}
+	if resp.Header.Get("ETag") != art.jsonETag {
+		t.Errorf("ETag %s, want %s", resp.Header.Get("ETag"), art.jsonETag)
+	}
+	get(t, ts, "/v1/table1?format=csv")
+	get(t, ts, "/v1/prices")
+
+	if got := srv.metrics.artifactFileReads.Load(); got < 3 {
+		t.Errorf("file reads = %d, want >= 3", got)
+	}
+	if got := srv.metrics.artifactFallbacks.Load(); got != 0 {
+		t.Errorf("fallbacks = %d, want 0", got)
+	}
+
+	_, raw := get(t, ts, "/varz")
+	var v struct {
+		ZeroCopy *varzZeroCopy `json:"zero_copy"`
+	}
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.ZeroCopy == nil || v.ZeroCopy.FileReads < 3 {
+		t.Errorf("varz zero_copy = %+v, want file_reads >= 3", v.ZeroCopy)
+	}
+}
+
+// TestDeletedSegmentFallback deletes the sealed segment out from under
+// a store-backed server: requests must degrade to the in-memory copy —
+// identical bytes, identical ETag, no error — and the degradation must
+// be visible on /varz.
+func TestDeletedSegmentFallback(t *testing.T) {
+	srv, st, dir := storedServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, before := get(t, ts, "/v1/table1")
+	etag := resp.Header.Get("ETag")
+	if fb := srv.metrics.artifactFallbacks.Load(); fb != 0 {
+		t.Fatalf("fallbacks before deletion = %d", fb)
+	}
+
+	g, ok := st.Generation(srv.Snapshot().Gen)
+	if !ok {
+		t.Fatal("serving generation not in store")
+	}
+	if err := os.Remove(filepath.Join(dir, g.File)); err != nil {
+		t.Fatal(err)
+	}
+
+	resp2, after := get(t, ts, "/v1/table1")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-deletion status %d", resp2.StatusCode)
+	}
+	if !bytes.Equal(before, after) {
+		t.Error("fallback body differs from the file-served body")
+	}
+	if resp2.Header.Get("ETag") != etag {
+		t.Errorf("fallback ETag %s, want %s", resp2.Header.Get("ETag"), etag)
+	}
+	if fb := srv.metrics.artifactFallbacks.Load(); fb != 1 {
+		t.Errorf("fallbacks = %d, want 1", fb)
+	}
+
+	_, raw := get(t, ts, "/varz")
+	var v struct {
+		ZeroCopy *varzZeroCopy `json:"zero_copy"`
+	}
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.ZeroCopy == nil || v.ZeroCopy.Fallbacks != 1 {
+		t.Errorf("varz zero_copy = %+v, want fallbacks = 1", v.ZeroCopy)
+	}
+}

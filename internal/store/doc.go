@@ -51,7 +51,20 @@
 // compaction, so a pinned reader can never observe two different
 // payloads under one ID.
 //
+// # Zero-copy reads
+//
+// Because sealed segments are immutable, the store keeps a frame-offset
+// index (byte offset and length of every artifact body inside its
+// segment file, rebuilt from the verified scan, never trusted from the
+// manifest). OpenArtifact returns a file-backed io.ReadSeeker over
+// exactly those bytes, so the serving layer can hand an artifact body
+// to http.ServeContent — Range requests, conditional gets, sendfile —
+// without ever copying it through a per-request buffer. Each call opens
+// its own file descriptor: a generation compacted or deleted mid-flight
+// surfaces as an I/O error on open (never torn bytes), which callers
+// treat as the signal to fall back to an in-memory copy.
+//
 // The store is safe for concurrent use. Append and CompactTo serialize
-// behind a write lock; Load, Latest, Generations and Stats take a read
-// lock, so readers never block each other.
+// behind a write lock; Load, Latest, Generations, Stats and
+// OpenArtifact take a read lock, so readers never block each other.
 package store

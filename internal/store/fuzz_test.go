@@ -26,7 +26,7 @@ func fuzzSeedSegment(t testing.TB) []byte {
 		{Key: "/v1/study.csv", ContentType: "text/csv", ETag: `"def"`, Body: []byte("a,b\n1,2\n")},
 		{Key: "/v1/empty", ContentType: "text/plain", ETag: "", Body: nil},
 	}
-	buf, err := encodeSegment(meta, arts)
+	buf, _, err := encodeSegment(meta, arts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func FuzzDecodeSegment(f *testing.F) {
 		// with identical content. (Byte identity is not required — the
 		// decoder does not constrain the meta frame's key/ctype fields,
 		// which the encoder fixes.)
-		reenc, err := encodeSegment(meta, arts)
+		reenc, _, err := encodeSegment(meta, arts)
 		if err != nil {
 			// encodeSegment enforces invariants the decoder tolerates
 			// (an artifact with an empty key); that asymmetry is fine.
@@ -87,15 +87,18 @@ func FuzzDecodeFrame(f *testing.F) {
 		if off < 0 || off > len(data) {
 			return
 		}
-		_, _, _, _, body, next, err := decodeFrame(data, off)
+		fr, err := decodeFrame(data, off)
 		if err != nil {
 			return
 		}
-		if next <= off || next > len(data) {
-			t.Fatalf("decodeFrame returned offset %d from %d (len %d)", next, off, len(data))
+		if fr.next <= off || fr.next > len(data) {
+			t.Fatalf("decodeFrame returned offset %d from %d (len %d)", fr.next, off, len(data))
 		}
-		if len(body) > next-off {
+		if len(fr.body) > fr.next-off {
 			t.Fatalf("body longer than the frame that carried it")
+		}
+		if fr.bodyOff < off || fr.bodyOff+len(fr.body) > fr.next {
+			t.Fatalf("body offset %d (+%d) outside frame [%d,%d)", fr.bodyOff, len(fr.body), off, fr.next)
 		}
 	})
 }

@@ -62,6 +62,15 @@ type Artifact struct {
 	ContentType string
 	ETag        string
 	Body        []byte
+
+	// Offset and Length locate the body inside the sealed segment file
+	// the artifact belongs to. They are populated by the decoder (and by
+	// Append, for the segment it just wrote) so OpenArtifact can hand
+	// out zero-copy file-backed readers; both are zero for an artifact
+	// that has not been persisted yet. Length is len(Body) even when the
+	// body itself was dropped after verification.
+	Offset int64
+	Length int64
 }
 
 // maxFrameBody bounds a single frame body (1 GiB) so a corrupt length
@@ -86,21 +95,35 @@ func appendFrame(buf []byte, kind byte, key, ctype, etag string, body []byte) []
 }
 
 // encodeSegment renders the complete segment file image for one
-// generation. The output is deterministic for identical inputs.
-func encodeSegment(meta Meta, arts []Artifact) ([]byte, error) {
+// generation. The output is deterministic for identical inputs. The
+// second return value is a bodyless copy of arts with Offset/Length
+// locating each body inside the image — the frame index Append keeps so
+// OpenArtifact can serve straight from the sealed file.
+func encodeSegment(meta Meta, arts []Artifact) ([]byte, []Artifact, error) {
 	metaJSON, err := json.Marshal(meta)
 	if err != nil {
-		return nil, fmt.Errorf("store: encode meta: %w", err)
+		return nil, nil, fmt.Errorf("store: encode meta: %w", err)
 	}
 	buf := make([]byte, 0, segmentSizeHint(len(metaJSON), arts))
 	buf = append(buf, segMagic...)
 	buf = binary.LittleEndian.AppendUint32(buf, segVersion)
 	buf = appendFrame(buf, frameMeta, "meta", "application/json", "", metaJSON)
+	index := make([]Artifact, 0, len(arts))
 	for _, a := range arts {
 		if a.Key == "" {
-			return nil, fmt.Errorf("store: artifact with empty key")
+			return nil, nil, fmt.Errorf("store: artifact with empty key")
 		}
+		// The body starts after the frame header: kind byte, three
+		// length-prefixed strings, and the 4-byte body length.
+		bodyOff := len(buf) + 1 + 2 + len(a.Key) + 2 + len(a.ContentType) + 2 + len(a.ETag) + 4
 		buf = appendFrame(buf, frameArtifact, a.Key, a.ContentType, a.ETag, a.Body)
+		index = append(index, Artifact{
+			Key:         a.Key,
+			ContentType: a.ContentType,
+			ETag:        a.ETag,
+			Offset:      int64(bodyOff),
+			Length:      int64(len(a.Body)),
+		})
 	}
 	// Footer body: frame count (meta + artifacts) then the CRC of every
 	// byte written so far.
@@ -108,7 +131,7 @@ func encodeSegment(meta Meta, arts []Artifact) ([]byte, error) {
 	binary.LittleEndian.PutUint32(footerBody, uint32(1+len(arts)))
 	binary.LittleEndian.PutUint32(footerBody[4:], crc32.ChecksumIEEE(buf))
 	buf = appendFrame(buf, frameFooter, "", "", "", footerBody)
-	return buf, nil
+	return buf, index, nil
 }
 
 // segmentSizeHint estimates the encoded size to avoid growth copies.
@@ -132,17 +155,28 @@ func corruptf(format string, args ...any) error {
 	return &corruptError{reason: fmt.Sprintf(format, args...)}
 }
 
-// decodeFrame parses one frame at buf[off:], verifying its CRC. It
-// returns the frame fields and the offset just past the frame.
-func decodeFrame(buf []byte, off int) (kind byte, key, ctype, etag string, body []byte, next int, err error) {
-	fail := func(format string, args ...any) (byte, string, string, string, []byte, int, error) {
-		return 0, "", "", "", nil, 0, corruptf(format, args...)
+// frame is one decoded segment frame: its fields, where its body sits
+// inside the containing buffer (bodyOff), and the offset just past the
+// frame (next).
+type frame struct {
+	kind             byte
+	key, ctype, etag string
+	body             []byte
+	bodyOff          int
+	next             int
+}
+
+// decodeFrame parses one frame at buf[off:], verifying its CRC.
+func decodeFrame(buf []byte, off int) (frame, error) {
+	var fr frame
+	fail := func(format string, args ...any) (frame, error) {
+		return frame{}, corruptf(format, args...)
 	}
 	start := off
 	if off+1 > len(buf) {
 		return fail("truncated at frame kind (offset %d)", off)
 	}
-	kind = buf[off]
+	fr.kind = buf[off]
 	off++
 	readStr := func() (string, bool) {
 		if off+2 > len(buf) {
@@ -158,13 +192,13 @@ func decodeFrame(buf []byte, off int) (kind byte, key, ctype, etag string, body 
 		return s, true
 	}
 	var ok bool
-	if key, ok = readStr(); !ok {
+	if fr.key, ok = readStr(); !ok {
 		return fail("truncated in frame key (offset %d)", start)
 	}
-	if ctype, ok = readStr(); !ok {
+	if fr.ctype, ok = readStr(); !ok {
 		return fail("truncated in frame content type (offset %d)", start)
 	}
-	if etag, ok = readStr(); !ok {
+	if fr.etag, ok = readStr(); !ok {
 		return fail("truncated in frame etag (offset %d)", start)
 	}
 	if off+4 > len(buf) {
@@ -175,7 +209,8 @@ func decodeFrame(buf []byte, off int) (kind byte, key, ctype, etag string, body 
 	if bodyLen > maxFrameBody || off+bodyLen > len(buf) {
 		return fail("truncated in frame body (offset %d, body %d bytes)", start, bodyLen)
 	}
-	body = buf[off : off+bodyLen]
+	fr.bodyOff = off
+	fr.body = buf[off : off+bodyLen]
 	off += bodyLen
 	if off+4 > len(buf) {
 		return fail("truncated at frame checksum (offset %d)", start)
@@ -185,7 +220,8 @@ func decodeFrame(buf []byte, off int) (kind byte, key, ctype, etag string, body 
 		return fail("frame checksum mismatch at offset %d (got %08x, want %08x)", start, got, want)
 	}
 	off += 4
-	return kind, key, ctype, etag, body, off, nil
+	fr.next = off
+	return fr, nil
 }
 
 // decodeSegment parses and fully verifies a segment image: magic,
@@ -216,17 +252,17 @@ func decodeSegment(buf []byte, loadBodies bool) (Meta, []Artifact, error) {
 			return meta, nil, corruptf("missing footer (clean EOF after %d frames)", frames)
 		}
 		footerStart := off
-		kind, key, ctype, etag, body, next, err := decodeFrame(buf, off)
+		fr, err := decodeFrame(buf, off)
 		if err != nil {
 			return meta, nil, err
 		}
-		off = next
-		switch kind {
+		off = fr.next
+		switch fr.kind {
 		case frameMeta:
 			if haveMeta {
 				return meta, nil, corruptf("duplicate metadata frame")
 			}
-			if err := json.Unmarshal(body, &meta); err != nil {
+			if err := json.Unmarshal(fr.body, &meta); err != nil {
 				return meta, nil, corruptf("metadata frame: %v", err)
 			}
 			haveMeta = true
@@ -235,21 +271,27 @@ func decodeSegment(buf []byte, loadBodies bool) (Meta, []Artifact, error) {
 			if !haveMeta {
 				return meta, nil, corruptf("artifact frame before metadata frame")
 			}
-			a := Artifact{Key: key, ContentType: ctype, ETag: etag}
+			a := Artifact{
+				Key:         fr.key,
+				ContentType: fr.ctype,
+				ETag:        fr.etag,
+				Offset:      int64(fr.bodyOff),
+				Length:      int64(len(fr.body)),
+			}
 			if loadBodies {
-				a.Body = append([]byte(nil), body...)
+				a.Body = append([]byte(nil), fr.body...)
 			}
 			arts = append(arts, a)
 			frames++
 		case frameFooter:
-			if len(body) != 8 {
-				return meta, nil, corruptf("footer body is %d bytes, want 8", len(body))
+			if len(fr.body) != 8 {
+				return meta, nil, corruptf("footer body is %d bytes, want 8", len(fr.body))
 			}
-			wantFrames := binary.LittleEndian.Uint32(body)
+			wantFrames := binary.LittleEndian.Uint32(fr.body)
 			if wantFrames != frames {
 				return meta, nil, corruptf("footer frame count %d, read %d", wantFrames, frames)
 			}
-			wantCRC := binary.LittleEndian.Uint32(body[4:])
+			wantCRC := binary.LittleEndian.Uint32(fr.body[4:])
 			if got := crc32.ChecksumIEEE(buf[:footerStart]); got != wantCRC {
 				return meta, nil, corruptf("segment checksum mismatch (got %08x, want %08x)", got, wantCRC)
 			}
@@ -261,7 +303,7 @@ func decodeSegment(buf []byte, loadBodies bool) (Meta, []Artifact, error) {
 			}
 			return meta, arts, nil
 		default:
-			return meta, nil, corruptf("unknown frame kind %d at offset %d", kind, footerStart)
+			return meta, nil, corruptf("unknown frame kind %d at offset %d", fr.kind, footerStart)
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -30,6 +31,13 @@ type GenInfo struct {
 	Meta
 	File  string // base name of the segment file
 	Bytes int64
+
+	// frames indexes the artifact frames inside the segment file
+	// (bodyless, Offset/Length populated) so OpenArtifact can serve a
+	// body straight from the sealed file. It is rebuilt from the segment
+	// scan on Open, never trusted from the manifest, and unexported so
+	// the manifest JSON stays unchanged.
+	frames []Artifact
 }
 
 // Stats is a point-in-time summary of the store for /varz.
@@ -154,12 +162,12 @@ func Open(dir string) (*Store, error) {
 // segment.
 func (s *Store) verifySegment(name string, gen uint64) (*GenInfo, error) {
 	path := filepath.Join(s.dir, name)
-	meta, _, size, err := readSegment(path, false)
+	meta, arts, size, err := readSegment(path, false)
 	if err == nil && meta.Gen != gen {
 		err = corruptf("file %s carries generation %d", name, meta.Gen)
 	}
 	if err == nil {
-		return &GenInfo{Meta: meta, File: name, Bytes: size}, nil
+		return &GenInfo{Meta: meta, File: name, Bytes: size, frames: arts}, nil
 	}
 	var corrupt *corruptError
 	if !errors.As(err, &corrupt) {
@@ -202,7 +210,7 @@ func (s *Store) Append(meta Meta, arts []Artifact) (Meta, error) {
 		s.lastPersistErr = err.Error()
 		return Meta{}, err
 	}
-	buf, err := encodeSegment(meta, arts)
+	buf, index, err := encodeSegment(meta, arts)
 	if err != nil {
 		return fail(err)
 	}
@@ -211,7 +219,7 @@ func (s *Store) Append(meta Meta, arts []Artifact) (Meta, error) {
 		return fail(fmt.Errorf("store: persist generation %d: %w", meta.Gen, err))
 	}
 	s.next++
-	s.gens = append(s.gens, GenInfo{Meta: meta, File: name, Bytes: int64(len(buf))})
+	s.gens = append(s.gens, GenInfo{Meta: meta, File: name, Bytes: int64(len(buf)), frames: index})
 	s.persists++
 	s.lastPersistErr = ""
 	if err := s.writeManifest(); err != nil {
@@ -294,6 +302,54 @@ func (s *Store) SegmentPath(gen uint64) (string, bool) {
 	return filepath.Join(s.dir, g.File), true
 }
 
+// ArtifactReader is an open, read-only view of one artifact body inside
+// a sealed segment file: an io.ReadSeeker/io.ReaderAt suitable for
+// http.ServeContent (Range requests and sendfile included). The caller
+// must Close it when done serving. Segments are immutable, so the bytes
+// read are exactly the bytes Append wrote; the frame's stored ETag is
+// in Info.
+type ArtifactReader struct {
+	*io.SectionReader
+	f    *os.File
+	Info Artifact // bodyless frame metadata (Key, ContentType, ETag, Offset, Length)
+}
+
+// Close releases the underlying segment file handle.
+func (r *ArtifactReader) Close() error { return r.f.Close() }
+
+// OpenArtifact opens generation gen's segment file and returns a
+// zero-copy reader over the stored body for (key, contentType). It
+// returns ErrNotFound for unknown, compacted, or quarantined
+// generations and for keys the generation never persisted. The file is
+// opened per call: a segment deleted by concurrent compaction surfaces
+// as an open error here, never as torn bytes on an established reader.
+func (s *Store) OpenArtifact(gen uint64, key, contentType string) (*ArtifactReader, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for i := range s.gens {
+		g := &s.gens[i]
+		if g.Gen != gen {
+			continue
+		}
+		for _, fr := range g.frames {
+			if fr.Key != key || fr.ContentType != contentType {
+				continue
+			}
+			f, err := os.Open(filepath.Join(s.dir, g.File))
+			if err != nil {
+				return nil, fmt.Errorf("store: open artifact %q gen %d: %w", key, gen, err)
+			}
+			return &ArtifactReader{
+				SectionReader: io.NewSectionReader(f, fr.Offset, fr.Length),
+				f:             f,
+				Info:          fr,
+			}, nil
+		}
+		return nil, fmt.Errorf("%w: generation %d has no %s frame for %q", ErrNotFound, gen, contentType, key)
+	}
+	return nil, fmt.Errorf("%w: %d", ErrNotFound, gen)
+}
+
 // IsCorrupt reports whether err marks segment data that failed
 // verification (as opposed to an I/O failure or an unknown generation).
 // Replication followers use it to decide between quarantining a
@@ -316,7 +372,7 @@ func (s *Store) ImportSegment(gen uint64, data []byte) (GenInfo, error) {
 	if gen == 0 {
 		return GenInfo{}, fmt.Errorf("store: import: generation 0 is not valid")
 	}
-	meta, _, err := decodeSegment(data, false)
+	meta, arts, err := decodeSegment(data, false)
 	if err != nil {
 		return GenInfo{}, fmt.Errorf("store: import generation %d: %w", gen, err)
 	}
@@ -335,7 +391,7 @@ func (s *Store) ImportSegment(gen uint64, data []byte) (GenInfo, error) {
 	if err := writeFileAtomic(filepath.Join(s.dir, name), data); err != nil {
 		return GenInfo{}, fmt.Errorf("store: import generation %d: %w", gen, err)
 	}
-	info := GenInfo{Meta: meta, File: name, Bytes: int64(len(data))}
+	info := GenInfo{Meta: meta, File: name, Bytes: int64(len(data)), frames: arts}
 	s.gens = append(s.gens, info)
 	sort.Slice(s.gens, func(i, j int) bool { return s.gens[i].Gen < s.gens[j].Gen })
 	if gen >= s.next {

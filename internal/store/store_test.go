@@ -84,11 +84,11 @@ func TestSegmentRoundTrip(t *testing.T) {
 func TestEncodeSegmentDeterministic(t *testing.T) {
 	m := testMeta(7)
 	m.Gen = 3
-	a, err := encodeSegment(m, testArtifacts())
+	a, _, err := encodeSegment(m, testArtifacts())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := encodeSegment(m, testArtifacts())
+	b, _, err := encodeSegment(m, testArtifacts())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,6 +10,12 @@
 #                   (internal/lint) stay green
 #   test          — go test -race ./...: the full suite, including the
 #                   lint self-check, under the race detector
+#   docs          — the documentation stays honest, run explicitly and
+#                   by name: docs/API.md must document exactly the
+#                   registered route set (an endpoint added without
+#                   docs, or documented after removal, fails), and
+#                   every relative link and same-file anchor in the
+#                   repository's markdown must resolve
 #   determinism   — the parallel-build contracts, run explicitly and by
 #                   name so a -run filter or skip in the suite can never
 #                   silently drop them: a snapshot (and Figure 6) built
@@ -109,6 +115,12 @@ gate_test() {
     go test -race ./...
 }
 
+gate_docs() {
+    go test -race -count=1 \
+        -run 'TestAPIDocsMatchRoutes|TestMarkdownLinks|TestRoutesSorted' \
+        ./internal/serve
+}
+
 gate_determinism() {
     go test -race -count=1 \
         -run 'TestBuildSnapshotDeterministic|TestBenchBuildJSONParses|TestBenchServeJSONParses' \
@@ -168,6 +180,7 @@ run_gate build
 run_gate vet
 run_gate lint
 run_gate test
+run_gate docs
 run_gate determinism
 run_gate store
 run_gate smoke
