@@ -19,6 +19,9 @@
 //	GET /v1/delegations       lease index, ?prefix=CIDR  (JSON)
 //	GET /v1/leasing           leasing market summary     (JSON)
 //	GET /v1/headline          §3 headline statistics     (JSON)
+//	GET /v1/asof              point-in-time state, ?date=&prefix=  (JSON)
+//	GET /v1/asof/timeline     one prefix's full history, ?prefix=  (JSON)
+//	GET /v1/asof/diff         events between dates, ?from=&to=     (JSON)
 //	GET /v1/history           persisted generations      (JSON, needs -data-dir)
 //	GET /healthz /readyz /varz
 //
@@ -338,6 +341,9 @@ var selfcheckPaths = []string{
 	"/v1/delegations",
 	"/v1/leasing",
 	"/v1/headline",
+	"/v1/asof?date=2019-06-01&prefix=185.0.0.0/16",
+	"/v1/asof/timeline?prefix=185.0.0.0/16",
+	"/v1/asof/diff?from=2015-01-01&to=2015-12-31",
 }
 
 // loopbackServer serves srv on an ephemeral loopback port. The returned

@@ -137,7 +137,7 @@ func DefaultMix() *Mix {
 	}
 	return MustMix(
 		Endpoint{
-			Name: "table1", Route: "GET /v1/table1", Weight: 10,
+			Name: "table1", Route: "GET /v1/table1", Weight: 8,
 			Path: constPath("/v1/table1"), Validate: ValidateJSON,
 		},
 		Endpoint{
@@ -145,18 +145,18 @@ func DefaultMix() *Mix {
 			Path: constPath("/v1/table1?format=csv"), Validate: ValidateCSV,
 		},
 		Endpoint{
-			Name: "figures", Route: "GET /v1/figures/{id}", Weight: 12,
+			Name: "figures", Route: "GET /v1/figures/{id}", Weight: 10,
 			Path: func(rng *RNG) string {
 				return fmt.Sprintf("/v1/figures/%d", 1+rng.Intn(4))
 			},
 			Validate: ValidateJSON,
 		},
 		Endpoint{
-			Name: "prices_full", Route: "GET /v1/prices", Weight: 15,
+			Name: "prices_full", Route: "GET /v1/prices", Weight: 12,
 			Path: constPath("/v1/prices"), Validate: ValidateJSON,
 		},
 		Endpoint{
-			Name: "prices_filtered", Route: "GET /v1/prices", Weight: 20,
+			Name: "prices_filtered", Route: "GET /v1/prices", Weight: 16,
 			Path: func(rng *RNG) string {
 				size := mixSizes[rng.Intn(len(mixSizes))]
 				if rng.Intn(2) == 0 {
@@ -167,7 +167,7 @@ func DefaultMix() *Mix {
 			Validate: ValidateJSON,
 		},
 		Endpoint{
-			Name: "transfers", Route: "GET /v1/transfers", Weight: 8,
+			Name: "transfers", Route: "GET /v1/transfers", Weight: 7,
 			Path: constPath("/v1/transfers"), Validate: ValidateJSON,
 		},
 		Endpoint{
@@ -175,7 +175,7 @@ func DefaultMix() *Mix {
 			Path: constPath("/v1/delegations"), Validate: ValidateJSON,
 		},
 		Endpoint{
-			Name: "delegations_lookup", Route: "GET /v1/delegations", Weight: 15,
+			Name: "delegations_lookup", Route: "GET /v1/delegations", Weight: 12,
 			Path: func(rng *RNG) string {
 				// Random /8-/24 prefixes across the unicast space; misses
 				// are fine (an empty lookup is still a 200), hits exercise
@@ -201,5 +201,50 @@ func DefaultMix() *Mix {
 			Name: "headline", Route: "GET /v1/headline", Weight: 5,
 			Path: constPath("/v1/headline"), Validate: ValidateJSON,
 		},
+		Endpoint{
+			Name: "asof_point", Route: "GET /v1/asof", Weight: 8,
+			Path: func(rng *RNG) string {
+				return "/v1/asof?date=" + mixDate(rng) + "&prefix=" + mixPrefix(rng)
+			},
+			Validate: ValidateJSON,
+		},
+		Endpoint{
+			Name: "asof_timeline", Route: "GET /v1/asof/timeline", Weight: 4,
+			Path: func(rng *RNG) string {
+				return "/v1/asof/timeline?prefix=" + mixPrefix(rng)
+			},
+			Validate: ValidateJSON,
+		},
+		Endpoint{
+			Name: "asof_diff", Route: "GET /v1/asof/diff", Weight: 3,
+			Path: func(rng *RNG) string {
+				// A window of up to one year; both ends stay inside the
+				// indexed epoch and from < to because the years differ.
+				y, m, d := 2006+rng.Intn(12), 1+rng.Intn(12), 1+rng.Intn(28)
+				return fmt.Sprintf("/v1/asof/diff?from=%04d-%02d-%02d&to=%04d-%02d-%02d",
+					y, m, d, y+1, 1+rng.Intn(12), 1+rng.Intn(28))
+			},
+			Validate: ValidateJSON,
+		},
 	)
+}
+
+// mixDate draws a date inside the served epoch [2005-01-01, 2020-07-01).
+func mixDate(rng *RNG) string {
+	return fmt.Sprintf("%04d-%02d-%02d", 2005+rng.Intn(15), 1+rng.Intn(12), 1+rng.Intn(28))
+}
+
+// mixPrefix draws a /8–/24 unicast prefix; misses are fine (an uncovered
+// prefix is still a 200), hits exercise the temporal trie and span
+// binary search.
+func mixPrefix(rng *RNG) string {
+	octet := 1 + rng.Intn(223)
+	switch 8 * (1 + rng.Intn(3)) {
+	case 8:
+		return fmt.Sprintf("%d.0.0.0/8", octet)
+	case 16:
+		return fmt.Sprintf("%d.%d.0.0/16", octet, rng.Intn(256))
+	default:
+		return fmt.Sprintf("%d.%d.%d.0/24", octet, rng.Intn(256), rng.Intn(256))
+	}
 }

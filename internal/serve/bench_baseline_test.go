@@ -97,7 +97,7 @@ func TestBenchServeJSONParses(t *testing.T) {
 	for _, r := range b.Results {
 		have[r.Name] = true
 	}
-	for _, name := range []string{"table1", "prices_full", "table1_304"} {
+	for _, name := range []string{"table1", "prices_full", "table1_304", "asof_point"} {
 		if !have[name] {
 			t.Errorf("baseline lacks the %q row", name)
 		}

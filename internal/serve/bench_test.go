@@ -156,6 +156,7 @@ func BenchmarkSnapshotServe(b *testing.B) {
 	b.Run("prices_full", bench("/v1/prices", nil, http.StatusOK))
 	b.Run("prices_filtered", bench("/v1/prices?size=/16&region=ARIN", nil, http.StatusOK))
 	b.Run("delegation_lookup", bench("/v1/delegations?prefix=185.0.0.0/16", nil, http.StatusOK))
+	b.Run("asof_point", bench("/v1/asof?date=2019-06-01&prefix=185.0.0.0/16", nil, http.StatusOK))
 	b.Run("varz", bench("/varz", nil, http.StatusOK))
 
 	// The 304 path: client revalidation against a warm ETag.

@@ -77,6 +77,19 @@ func compareSnapshots(t *testing.T, a, b *Snapshot, workers int) {
 	if b.Workers != workers {
 		t.Errorf("snapshot records %d workers, built with %d", b.Workers, workers)
 	}
+	// The temporal index persists as a _state/ artifact; its record bytes
+	// must be worker-count independent or followers would diverge.
+	ra, err := a.Temporal.Record()
+	if err != nil {
+		t.Fatalf("serial temporal record: %v", err)
+	}
+	rb, err := b.Temporal.Record()
+	if err != nil {
+		t.Fatalf("workers=%d: temporal record: %v", workers, err)
+	}
+	if !bytes.Equal(ra, rb) {
+		t.Errorf("workers=%d: temporal index record differs from serial build", workers)
+	}
 }
 
 // TestBuildStageErrorNamesStage pins the diagnosability contract: a

@@ -38,6 +38,9 @@ func (s *Server) routes() {
 	s.handle("GET /v1/leasing", static("leasing"))
 	s.handle("GET /v1/headline", static("headline"))
 	s.handle("GET /v1/history", s.handleHistory)
+	s.handle("GET /v1/asof", s.handleAsof)
+	s.handle("GET /v1/asof/timeline", s.handleAsofTimeline)
+	s.handle("GET /v1/asof/diff", s.handleAsofDiff)
 
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /readyz", s.handleReadyz)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ipv4market/internal/store"
+	"ipv4market/internal/temporal"
 )
 
 // This file is the time-travel surface over the durable store:
@@ -70,33 +71,42 @@ func (s *Server) handleHistory(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, view)
 }
 
-// genCache keeps the artifact maps of recently loaded past generations
-// so pinned reads do not re-read and re-verify a segment file on every
+// pinnedGen is one past generation decoded for ?gen= reads: the static
+// artifact map, plus the restored temporal index behind pinned /v1/asof
+// queries (nil for generations persisted before as-of serving existed —
+// those answer 404 on asof, never a nil dereference).
+type pinnedGen struct {
+	static   map[string]*artifact
+	temporal *temporal.Index
+}
+
+// genCache keeps recently loaded past generations decoded in memory so
+// pinned reads do not re-read and re-verify a segment file on every
 // request. Entries are evicted FIFO at a small cap; a generation
 // compacted out of the store simply ages out of here.
 type genCache struct {
 	mu      sync.Mutex
-	entries map[uint64]map[string]*artifact
+	entries map[uint64]*pinnedGen
 	order   []uint64
 	max     int
 }
 
 func newGenCache(max int) *genCache {
-	return &genCache{entries: make(map[uint64]map[string]*artifact), max: max}
+	return &genCache{entries: make(map[uint64]*pinnedGen), max: max}
 }
 
-// get returns the artifact map for gen, loading it through load on a
-// miss. Concurrent misses for the same generation may load twice; the
-// loads are idempotent and the duplicate is dropped.
-func (c *genCache) get(gen uint64, load func() (map[string]*artifact, error)) (map[string]*artifact, error) {
+// get returns the decoded generation, loading it through load on a miss.
+// Concurrent misses for the same generation may load twice; the loads are
+// idempotent and the duplicate is dropped.
+func (c *genCache) get(gen uint64, load func() (*pinnedGen, error)) (*pinnedGen, error) {
 	c.mu.Lock()
-	if arts, ok := c.entries[gen]; ok {
+	if pg, ok := c.entries[gen]; ok {
 		c.mu.Unlock()
-		return arts, nil
+		return pg, nil
 	}
 	c.mu.Unlock()
 
-	arts, err := load()
+	pg, err := load()
 	if err != nil {
 		return nil, err
 	}
@@ -107,7 +117,7 @@ func (c *genCache) get(gen uint64, load func() (map[string]*artifact, error)) (m
 			delete(c.entries, c.order[0])
 			c.order = c.order[1:]
 		}
-		c.entries[gen] = arts
+		c.entries[gen] = pg
 		c.order = append(c.order, gen)
 	}
 	return c.entries[gen], nil
@@ -120,28 +130,43 @@ const pinnedGenerations = 4
 // errNoStore distinguishes "gen= used without a store" from a bad value.
 var errNoStore = errors.New("no durable store configured (-data-dir)")
 
-// pinnedArtifacts resolves the artifact map for a pinned generation,
-// hitting the current snapshot when the pin names it and the gen cache
-// (backed by store.Load) otherwise.
-func (s *Server) pinnedArtifacts(gen uint64) (map[string]*artifact, error) {
+// pinnedGen resolves a pinned generation, hitting the current snapshot
+// when the pin names it and the gen cache (backed by store.Load)
+// otherwise.
+func (s *Server) pinnedGen(gen uint64) (*pinnedGen, error) {
 	snap := s.Snapshot()
 	if snap.Gen == gen && snap.Gen != 0 {
-		return snap.static, nil
+		return &pinnedGen{static: snap.static, temporal: snap.Temporal}, nil
 	}
 	if s.opts.Store == nil {
 		return nil, errNoStore
 	}
-	return s.gens.get(gen, func() (map[string]*artifact, error) {
+	return s.gens.get(gen, func() (*pinnedGen, error) {
 		_, arts, err := s.opts.Store.Load(gen)
 		if err != nil {
 			return nil, err
 		}
-		static, _, err := assembleArtifacts(arts)
+		static, aux, err := assembleArtifacts(arts)
 		if err != nil {
 			return nil, err
 		}
-		return static, nil
+		pg := &pinnedGen{static: static}
+		if data, ok := aux[stateTemporal]; ok {
+			if pg.temporal, err = temporal.Restore(data); err != nil {
+				return nil, fmt.Errorf("serve: generation %d: restore temporal index: %w", gen, err)
+			}
+		}
+		return pg, nil
 	})
+}
+
+// pinnedArtifacts resolves the artifact map for a pinned generation.
+func (s *Server) pinnedArtifacts(gen uint64) (map[string]*artifact, error) {
+	pg, err := s.pinnedGen(gen)
+	if err != nil {
+		return nil, err
+	}
+	return pg.static, nil
 }
 
 // artifactForRequest resolves the artifact to serve for key, honoring a

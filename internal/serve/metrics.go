@@ -184,6 +184,10 @@ type varzSnapshot struct {
 	BuildStages []varzStage `json:"build_stages,omitempty"`
 	Delegations int         `json:"delegations"`
 	Transfers   int         `json:"transfers"`
+	// TemporalEvents/TemporalSpans size the as-of index behind /v1/asof:
+	// the merged event stream and the holding-span table.
+	TemporalEvents int `json:"temporal_events"`
+	TemporalSpans  int `json:"temporal_spans"`
 }
 
 // varzStage is one build stage's timing on /varz.

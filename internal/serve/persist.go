@@ -14,6 +14,7 @@ import (
 	"ipv4market/internal/simulation"
 	"ipv4market/internal/stats"
 	"ipv4market/internal/store"
+	"ipv4market/internal/temporal"
 )
 
 // This file is the bridge between the serving layer and internal/store:
@@ -29,6 +30,7 @@ const (
 	statePrefix     = "_state/"
 	statePriceCells = statePrefix + "pricecells"
 	stateDelegs     = statePrefix + "delegations"
+	stateTemporal   = statePrefix + "temporal"
 
 	ctypeJSON = "application/json"
 	ctypeCSV  = "text/csv"
@@ -130,6 +132,15 @@ func snapshotRecord(snap *Snapshot) (store.Meta, []store.Artifact, error) {
 	}
 	arts = append(arts, store.Artifact{Key: stateDelegs, ContentType: ctypeJSON, Body: delegJSON})
 
+	if snap.Temporal == nil {
+		return store.Meta{}, nil, fmt.Errorf("serve: persist: snapshot has no temporal index")
+	}
+	temporalJSON, err := snap.Temporal.Record()
+	if err != nil {
+		return store.Meta{}, nil, fmt.Errorf("serve: persist temporal index: %w", err)
+	}
+	arts = append(arts, store.Artifact{Key: stateTemporal, ContentType: ctypeJSON, Body: temporalJSON})
+
 	return meta, arts, nil
 }
 
@@ -216,6 +227,16 @@ func restoreSnapshot(meta store.Meta, arts []store.Artifact, base simulation.Con
 	}
 	if snap.Delegations, err = restoreDelegations(aux[stateDelegs]); err != nil {
 		return nil, err
+	}
+	// Generations persisted before as-of serving lack the temporal state;
+	// failing here sends tryWarmStart to a cold build, which re-persists a
+	// complete generation.
+	data, ok := aux[stateTemporal]
+	if !ok {
+		return nil, fmt.Errorf("serve: restore: missing %s state", stateTemporal)
+	}
+	if snap.Temporal, err = temporal.Restore(data); err != nil {
+		return nil, fmt.Errorf("serve: restore temporal index: %w", err)
 	}
 	return snap, nil
 }

@@ -122,6 +122,10 @@ var determinismPaths = []string{
 	"/v1/delegations?prefix=8.8.8.0/24",
 	"/v1/leasing",
 	"/v1/headline",
+	"/v1/asof?date=2019-06-01&prefix=185.0.0.0/16",
+	"/v1/asof?date=2013-02-15&prefix=23.0.0.0/12",
+	"/v1/asof/timeline?prefix=185.0.0.0/16",
+	"/v1/asof/diff?from=2015-01-01&to=2015-12-31",
 }
 
 // TestWarmStartMatchesColdBuild is the restart-determinism acceptance

@@ -26,7 +26,11 @@ func TestRestartETagContinuity(t *testing.T) {
 		etag string
 		body []byte
 	})
-	paths := []string{"/v1/table1", "/v1/prices", "/v1/delegations", "/v1/headline"}
+	paths := []string{
+		"/v1/table1", "/v1/prices", "/v1/delegations", "/v1/headline",
+		"/v1/asof?date=2019-06-01&prefix=185.0.0.0/16",
+		"/v1/asof/timeline?prefix=185.0.0.0/16",
+	}
 	for _, path := range paths {
 		resp, body := get(t, ts1, path)
 		if resp.StatusCode != 200 || resp.Header.Get("ETag") == "" {

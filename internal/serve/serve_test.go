@@ -81,6 +81,9 @@ func TestEndpoints(t *testing.T) {
 		"/v1/delegations?prefix=185.0.0.0/16",
 		"/v1/leasing",
 		"/v1/headline",
+		"/v1/asof?date=2019-06-01&prefix=185.0.0.0/16",
+		"/v1/asof/timeline?prefix=185.0.0.0/16",
+		"/v1/asof/diff?from=2013-01-01&to=2013-12-31",
 	}
 	for _, path := range jsonPaths {
 		resp, body := get(t, ts, path)

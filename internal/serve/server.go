@@ -350,6 +350,10 @@ func (s *Server) varz(now time.Time) varzView {
 		Delegations:  st.snap.Delegations.Len(),
 		Transfers:    st.snap.TransferTotal(),
 	}
+	if ix := st.snap.Temporal; ix != nil {
+		v.Snapshot.TemporalEvents = ix.EventCount()
+		v.Snapshot.TemporalSpans = ix.SpanCount()
+	}
 	for _, stg := range st.snap.Stages {
 		v.Snapshot.BuildStages = append(v.Snapshot.BuildStages, varzStage{
 			Name:    stg.Name,

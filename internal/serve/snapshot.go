@@ -15,6 +15,7 @@ import (
 	"ipv4market/internal/parallel"
 	"ipv4market/internal/registry"
 	"ipv4market/internal/simulation"
+	"ipv4market/internal/temporal"
 )
 
 // Snapshot is one immutable, fully materialized serving state: every
@@ -51,6 +52,14 @@ type Snapshot struct {
 	Headline       core.HeadlineStats
 	Transfers      []registry.Transfer
 	Delegations    *DelegationIndex
+
+	// Temporal is the as-of index behind /v1/asof: the world's event
+	// history (delegations, transfers, holder changes, quarterly price
+	// state) materialized for point-in-time lookups. Like every other
+	// snapshot field it is immutable once built, and it round-trips
+	// through the store as a _state/ artifact so warm starts and
+	// followers answer /v1/asof byte-identically.
+	Temporal *temporal.Index
 
 	// static maps endpoint keys ("table1", "fig1", ...) to their
 	// pre-encoded bodies.
@@ -217,6 +226,17 @@ var snapshotStages = []buildStage{
 		inf := delegation.DefaultInference(study.World.OrgSeries)
 		snap.Delegations = newDelegationIndex(date, inf.FromSurvey(date, study.Routing.SurveyAt(day)))
 		return one("delegations", viewDelegationSummary(snap.Delegations), nil)
+	}},
+	{"temporal", func(snap *Snapshot, study *core.Study, _ int) ([]keyedArtifact, error) {
+		// The as-of index has no static artifact of its own — every
+		// /v1/asof response is computed (and query-cached) per request.
+		// The index itself rides to the store as _state/temporal.
+		ix, err := temporal.New(temporalInput(snap.Cfg, study.World))
+		if err != nil {
+			return nil, err
+		}
+		snap.Temporal = ix
+		return nil, nil
 	}},
 }
 

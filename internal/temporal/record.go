@@ -1,0 +1,173 @@
+package temporal
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"ipv4market/internal/netblock"
+	"ipv4market/internal/registry"
+)
+
+// recordVersion guards the persisted encoding. Bump it on any change to
+// the record structs or the normalization rules — a restored index must
+// answer byte-identically to the one that recorded it, so an old record
+// must be rejected (and rebuilt from the world) rather than reinterpreted.
+const recordVersion = 1
+
+// The record form is the normalized Input with prefixes and dates as
+// strings: canonical JSON, stable across builds, fit for a `_state/` aux
+// artifact. Restore decodes it and re-runs New, so the restored index is
+// the same pure function of the same normalized history.
+type recordDoc struct {
+	Version     int           `json:"version"`
+	Start       string        `json:"start"`
+	End         string        `json:"end"`
+	Allocations []allocRec    `json:"allocations"`
+	Transfers   []transferRec `json:"transfers"`
+	Leases      []leaseRec    `json:"leases"`
+}
+
+type allocRec struct {
+	Prefix string `json:"prefix"`
+	Org    string `json:"org"`
+	RIR    string `json:"rir"`
+	Date   string `json:"date"`
+	Status string `json:"status,omitempty"`
+}
+
+type transferRec struct {
+	Prefix       string  `json:"prefix"`
+	From         string  `json:"from"`
+	To           string  `json:"to"`
+	FromRIR      string  `json:"from_rir"`
+	ToRIR        string  `json:"to_rir"`
+	Type         string  `json:"type"`
+	Date         string  `json:"date"`
+	PricePerAddr float64 `json:"price_per_addr,omitempty"`
+}
+
+type leaseRec struct {
+	Parent string `json:"parent"`
+	Child  string `json:"child"`
+	FromAS uint32 `json:"from_as"`
+	ToAS   uint32 `json:"to_as"`
+	Start  string `json:"start"`
+	End    string `json:"end,omitempty"`
+}
+
+// Record encodes the index's normalized input history as canonical JSON:
+// the same history always yields the same bytes, and Restore rebuilds an
+// index answering every query identically.
+func (ix *Index) Record() ([]byte, error) {
+	doc := recordDoc{
+		Version:     recordVersion,
+		Start:       fmtDay(ix.in.Start),
+		End:         fmtDay(ix.in.End),
+		Allocations: make([]allocRec, 0, len(ix.in.Allocations)),
+		Transfers:   make([]transferRec, 0, len(ix.in.Transfers)),
+		Leases:      make([]leaseRec, 0, len(ix.in.Leases)),
+	}
+	for _, a := range ix.in.Allocations {
+		doc.Allocations = append(doc.Allocations, allocRec{
+			Prefix: a.Prefix.String(), Org: a.Org, RIR: a.RIR.String(),
+			Date: fmtDay(a.Date), Status: a.Status,
+		})
+	}
+	for _, t := range ix.in.Transfers {
+		doc.Transfers = append(doc.Transfers, transferRec{
+			Prefix: t.Prefix.String(), From: t.From, To: t.To,
+			FromRIR: t.FromRIR.String(), ToRIR: t.ToRIR.String(),
+			Type: t.Type, Date: fmtDay(t.Date), PricePerAddr: t.PricePerAddr,
+		})
+	}
+	for _, l := range ix.in.Leases {
+		doc.Leases = append(doc.Leases, leaseRec{
+			Parent: l.Parent.String(), Child: l.Child.String(),
+			FromAS: l.FromAS, ToAS: l.ToAS,
+			Start: fmtDay(l.Start), End: fmtDay(l.End),
+		})
+	}
+	b, err := json.Marshal(doc)
+	if err != nil {
+		return nil, fmt.Errorf("temporal: encode record: %w", err)
+	}
+	return b, nil
+}
+
+// Restore rebuilds an index from Record() bytes. The result is
+// indistinguishable from the index that recorded them.
+func Restore(data []byte) (*Index, error) {
+	var doc recordDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("temporal: decode record: %w", err)
+	}
+	if doc.Version != recordVersion {
+		return nil, fmt.Errorf("temporal: record version %d, want %d", doc.Version, recordVersion)
+	}
+	in := Input{}
+	var err error
+	if in.Start, err = parseDay(doc.Start); err != nil {
+		return nil, fmt.Errorf("temporal: record start: %w", err)
+	}
+	if in.End, err = parseDay(doc.End); err != nil {
+		return nil, fmt.Errorf("temporal: record end: %w", err)
+	}
+	for _, a := range doc.Allocations {
+		rec := AllocationRecord{Org: a.Org, Status: a.Status}
+		if rec.Prefix, err = netblock.ParsePrefix(a.Prefix); err != nil {
+			return nil, fmt.Errorf("temporal: record allocation: %w", err)
+		}
+		if rec.RIR, err = registry.ParseRIR(a.RIR); err != nil {
+			return nil, fmt.Errorf("temporal: record allocation %s: %w", a.Prefix, err)
+		}
+		if rec.Date, err = parseDay(a.Date); err != nil {
+			return nil, fmt.Errorf("temporal: record allocation %s: %w", a.Prefix, err)
+		}
+		in.Allocations = append(in.Allocations, rec)
+	}
+	for _, t := range doc.Transfers {
+		rec := TransferRecord{From: t.From, To: t.To, Type: t.Type, PricePerAddr: t.PricePerAddr}
+		if rec.Prefix, err = netblock.ParsePrefix(t.Prefix); err != nil {
+			return nil, fmt.Errorf("temporal: record transfer: %w", err)
+		}
+		if rec.FromRIR, err = registry.ParseRIR(t.FromRIR); err != nil {
+			return nil, fmt.Errorf("temporal: record transfer %s: %w", t.Prefix, err)
+		}
+		if rec.ToRIR, err = registry.ParseRIR(t.ToRIR); err != nil {
+			return nil, fmt.Errorf("temporal: record transfer %s: %w", t.Prefix, err)
+		}
+		if rec.Date, err = parseDay(t.Date); err != nil {
+			return nil, fmt.Errorf("temporal: record transfer %s: %w", t.Prefix, err)
+		}
+		in.Transfers = append(in.Transfers, rec)
+	}
+	for _, l := range doc.Leases {
+		rec := LeaseRecord{FromAS: l.FromAS, ToAS: l.ToAS}
+		if rec.Parent, err = netblock.ParsePrefix(l.Parent); err != nil {
+			return nil, fmt.Errorf("temporal: record lease: %w", err)
+		}
+		if rec.Child, err = netblock.ParsePrefix(l.Child); err != nil {
+			return nil, fmt.Errorf("temporal: record lease: %w", err)
+		}
+		if rec.Start, err = parseDay(l.Start); err != nil {
+			return nil, fmt.Errorf("temporal: record lease %s: %w", l.Child, err)
+		}
+		if l.End != "" {
+			if rec.End, err = parseDay(l.End); err != nil {
+				return nil, fmt.Errorf("temporal: record lease %s: %w", l.Child, err)
+			}
+		}
+		in.Leases = append(in.Leases, rec)
+	}
+	return New(in)
+}
+
+// parseDay parses a YYYY-MM-DD date as UTC midnight.
+func parseDay(s string) (time.Time, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("date %q: want YYYY-MM-DD", s)
+	}
+	return t, nil
+}

@@ -27,6 +27,14 @@
 #                   (internal/store fault injection), and warm-start/
 #                   restart determinism (internal/serve: byte- and
 #                   ETag-identical responses across a restart)
+#   asof          — the time-travel contracts, run explicitly and by
+#                   name: the temporal index agrees with a naive replay
+#                   over every event boundary, point lookups stay
+#                   sublinear, Record/Restore round-trips byte-exactly
+#                   and input-order-independently, and the /v1/asof
+#                   surface validates requests, restores identical
+#                   views, and answers generation pins from restored
+#                   temporal state
 #   smoke         — build the serving daemon, boot it on an ephemeral
 #                   loopback port, and query every endpoint through a
 #                   real HTTP client (marketd -selfcheck does the full
@@ -139,6 +147,15 @@ gate_store() {
         ./internal/serve
 }
 
+gate_asof() {
+    go test -race -count=1 \
+        -run 'TestIndexMatchesNaiveReplay|TestPointLookupSublinear|TestRecordRestoreRoundTrip|TestNewDeterministicUnderInputOrder' \
+        ./internal/temporal
+    go test -race -count=1 \
+        -run 'TestAsofMatchesNaiveReplay|TestAsofPinnedGeneration|TestAsofRestoreServesIdenticalViews|TestAsofRequestValidation' \
+        ./internal/serve
+}
+
 gate_smoke() {
     go build -o "$check_dir/marketd" ./cmd/marketd
     "$check_dir/marketd" -selfcheck -lirs 14 -days 40
@@ -183,6 +200,7 @@ run_gate test
 run_gate docs
 run_gate determinism
 run_gate store
+run_gate asof
 run_gate smoke
 run_gate replication
 run_gate suppressions
