@@ -71,6 +71,18 @@ type benchFlags struct {
 	days      int
 	pollEvery time.Duration
 	maxLag    string
+
+	scenarios []string
+}
+
+// mix builds the request mix: the default single-scenario workload, or
+// the same workload spread across the -scenario names, each endpoint
+// rebased onto its /v1/{scenario}/... prefix.
+func (f *benchFlags) mix() (*loadgen.Mix, error) {
+	if len(f.scenarios) == 0 {
+		return loadgen.DefaultMix(), nil
+	}
+	return loadgen.ScenarioMix(loadgen.DefaultMix(), f.scenarios...)
 }
 
 func parseFlags(args []string) (*benchFlags, error) {
@@ -95,6 +107,7 @@ func parseFlags(args []string) (*benchFlags, error) {
 		days        = fs.Int("days", 60, "world size: routing window days for booted servers")
 		pollEvery   = fs.Duration("poll-interval", 250*time.Millisecond, "follower leader-poll period (fleet mode)")
 		maxLag      = fs.String("max-lag", "2", "follower -max-lag readiness bound (fleet mode; empty: ungated)")
+		scenarios   = fs.String("scenario", "", "comma-separated scenario names: spread the mix across /v1/{scenario}/... (target must serve a marketd -scenarios matrix)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -134,6 +147,14 @@ func parseFlags(args []string) (*benchFlags, error) {
 	}
 	if f.target != "" && f.marketdBin != "" {
 		return nil, fmt.Errorf("marketbench: -target and -marketd are mutually exclusive")
+	}
+	for _, part := range strings.Split(*scenarios, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			f.scenarios = append(f.scenarios, part)
+		}
+	}
+	if len(f.scenarios) > 0 && f.target == "" {
+		return nil, fmt.Errorf("marketbench: -scenario drives an existing scenario matrix; it needs -target (fleet servers are single-scenario)")
 	}
 	if f.target != "" && f.out != "" {
 		return nil, fmt.Errorf("marketbench: -out records fleet topologies; it needs -marketd, not -target")
@@ -208,9 +229,13 @@ func run(w io.Writer, args []string) error {
 
 // driveTarget runs the configured load against one base URL.
 func driveTarget(ctx context.Context, w io.Writer, f *benchFlags, base string) (*loadgen.Result, error) {
+	mix, err := f.mix()
+	if err != nil {
+		return nil, err
+	}
 	spec := loadgen.Spec{
 		BaseURL:        strings.TrimRight(base, "/"),
-		Mix:            loadgen.DefaultMix(),
+		Mix:            mix,
 		Seed:           f.seed,
 		Mode:           f.mode,
 		Concurrency:    f.concurrency,

@@ -47,12 +47,25 @@
 // since the last successful sync — so a router polling /readyz drains
 // stale followers while they keep serving direct clients.
 //
+// With -scenarios dir/ the server hosts a whole scenario matrix: every
+// *.json spec in the directory (name, seed, scale, adversarial knobs —
+// price shocks, RPKI churn storms, hijack waves, a utilization profile)
+// becomes an isolated world served under /v1/{scenario}/... with the
+// full artifact and asof surface; bare /v1/... paths alias the default
+// scenario so single-scenario clients keep working. Each scenario
+// persists under -data-dir/{scenario} with its own generation ratchet,
+// and followers mirror every scenario's segment stream. GET
+// /v1/scenarios lists the matrix; -seed conflicts with -scenarios
+// (seeds come from the specs). See internal/scenario and docs/API.md.
+//
 // -selfcheck boots the server on a loopback port, queries the key
 // endpoints through a real HTTP client, and exits; scripts/check.sh uses
 // it as the smoke test. With -data-dir it additionally proves the
 // restart path: it shuts the first server down, re-verifies every
 // on-disk segment checksum, warm-starts a second server over the same
-// directory, and asserts body and ETag continuity.
+// directory, and asserts body and ETag continuity. With -scenarios it
+// walks the matrix instead: every scenario's surface, the default
+// alias, cross-scenario isolation, and per-scenario gen pinning.
 package main
 
 import (
@@ -97,6 +110,7 @@ func run(w io.Writer, args []string) error {
 		workers   = fs.Int("buildworkers", 0, "snapshot build-stage worker count (0: NumCPU); output is identical at any count")
 		dataDir   = fs.String("data-dir", "", "durable snapshot store directory (empty: in-memory only)")
 		storeKeep = fs.Int("store-keep", 5, "generations to retain in the store after each persist (< 1: keep all)")
+		scenDir   = fs.String("scenarios", "", "scenario config directory: serve a multi-scenario matrix from its *.json specs (see docs/API.md)")
 		follow    = fs.String("follow", "", "run as replication follower of this leader base URL (requires -data-dir)")
 		pollEvery = fs.Duration("poll-interval", 5*time.Second, "follower: steady-state leader poll period")
 		maxLag    = fs.String("max-lag", "", "follower: /readyz answers 503 beyond this lag — an integer bounds generations behind the leader, a duration (e.g. 30s) bounds time since the last successful sync")
@@ -133,6 +147,29 @@ func run(w io.Writer, args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *scenDir != "" {
+		if *seed != 0 {
+			return fmt.Errorf("marketd: -seed conflicts with -scenarios (each scenario spec carries its own seed)")
+		}
+		return runScenarios(ctx, w, scenarioSettings{
+			dir:       *scenDir,
+			listen:    *listen,
+			dataDir:   *dataDir,
+			follow:    *follow,
+			baseCfg:   cfg,
+			timeout:   *timeout,
+			drain:     *drain,
+			pollEvery: *pollEvery,
+			admin:     *admin,
+			selfcheck: *selfcheck,
+			workers:   *workers,
+			storeKeep: *storeKeep,
+			lagGate:   *maxLag != "",
+			lagGens:   maxLagGens,
+			lagAge:    maxLagAge,
+		})
+	}
 
 	opts := serve.Options{
 		Timeout:      *timeout,
@@ -341,6 +378,10 @@ var selfcheckPaths = []string{
 	"/v1/delegations",
 	"/v1/leasing",
 	"/v1/headline",
+	"/v1/utilization",
+	"/v1/utilization?format=csv",
+	"/v1/rpki",
+	"/v1/scenarios",
 	"/v1/asof?date=2019-06-01&prefix=185.0.0.0/16",
 	"/v1/asof/timeline?prefix=185.0.0.0/16",
 	"/v1/asof/diff?from=2015-01-01&to=2015-12-31",

@@ -1,0 +1,251 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ipv4market/internal/scenario"
+	"ipv4market/internal/serve"
+	"ipv4market/internal/simulation"
+)
+
+// scenarioSettings carries the flag values into the scenario-matrix
+// serving path.
+type scenarioSettings struct {
+	dir, listen, dataDir, follow string
+	baseCfg                      simulation.Config
+	timeout, drain, pollEvery    time.Duration
+	admin, selfcheck             bool
+	workers, storeKeep           int
+	lagGate                      bool
+	lagGens                      int
+	lagAge                       time.Duration
+}
+
+// runScenarios is main's -scenarios branch: load and validate the spec
+// directory, build every world (fanned out in parallel), and serve the
+// whole matrix behind the scenario router.
+func runScenarios(ctx context.Context, w io.Writer, set scenarioSettings) error {
+	specs, err := scenario.LoadDir(set.dir)
+	if err != nil {
+		return fmt.Errorf("marketd: %w", err)
+	}
+	fmt.Fprintf(w, "marketd: scenario matrix: %d spec(s) from %s, default %q\n",
+		len(specs), set.dir, scenario.DefaultName(specs))
+
+	build := time.Now()
+	reg, err := scenario.New(ctx, specs, scenario.Options{
+		BaseCfg:      set.baseCfg,
+		DataDir:      set.dataDir,
+		StoreKeep:    set.storeKeep,
+		Timeout:      set.timeout,
+		EnableAdmin:  set.admin || set.selfcheck,
+		BuildWorkers: set.workers,
+		FollowURL:    set.follow,
+		PollInterval: set.pollEvery,
+		LagGate:      set.lagGate,
+		MaxLagGens:   set.lagGens,
+		MaxLagAge:    set.lagAge,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(w, "marketd: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("marketd: %w", err)
+	}
+	for _, name := range reg.Names() {
+		snap := reg.World(name).Snapshot()
+		fmt.Fprintf(w, "marketd: scenario %s: seed=%d gen=%d source=%s (%d transfers, %d delegations)\n",
+			name, snap.Cfg.Seed, snap.Gen, snap.Source, snap.TransferTotal(), snap.Delegations.Len())
+	}
+	fmt.Fprintf(w, "marketd: scenario matrix ready in %v\n", time.Since(build).Round(time.Millisecond))
+
+	if set.selfcheck {
+		return runScenarioSelfcheck(w, reg, set.drain, set.dataDir != "")
+	}
+
+	ln, err := net.Listen("tcp", set.listen)
+	if err != nil {
+		return fmt.Errorf("marketd: listen: %w", err)
+	}
+	fmt.Fprintf(w, "marketd: serving on http://%s\n", ln.Addr())
+
+	if set.follow != "" {
+		reg.Run(ctx)
+	} else {
+		watchHUPScenarios(ctx, w, reg)
+	}
+
+	httpSrv := &http.Server{Handler: reg}
+	if err := serve.Serve(ctx, httpSrv, ln, set.drain); err != nil {
+		return err
+	}
+	reg.Wait()
+	fmt.Fprintln(w, "marketd: shut down cleanly")
+	return nil
+}
+
+// watchHUPScenarios rebuilds every scenario on SIGHUP, each with its own
+// config.
+func watchHUPScenarios(ctx context.Context, w io.Writer, reg *scenario.Registry) {
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() { // coordinated: exits when ctx is done, signal handler released
+		defer signal.Stop(hup)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-hup:
+				fmt.Fprintf(w, "marketd: SIGHUP: rebuilding %d scenario(s)\n", reg.RebuildAll())
+			}
+		}
+	}()
+}
+
+// scenarioCheckPaths is the per-scenario surface the scenario selfcheck
+// walks, each prefixed with /v1/{name}. It stays clear of date-pinned
+// asof queries because scenario specs may shrink the routing window.
+var scenarioCheckPaths = []string{
+	"/healthz",
+	"/readyz",
+	"/varz",
+	"/table1",
+	"/table1?format=csv",
+	"/figures/1",
+	"/prices",
+	"/transfers",
+	"/delegations",
+	"/leasing",
+	"/headline",
+	"/utilization",
+	"/utilization?format=csv",
+	"/rpki",
+	"/scenarios",
+}
+
+// runScenarioSelfcheck boots the matrix on a loopback port and proves
+// the scenario contract over real HTTP: the listing names every world,
+// each scenario answers its full prefixed surface, the bare /v1/...
+// alias is byte-identical to the default scenario, scenarios with
+// different seeds serve different artifacts, and (with a store) ?gen=
+// pins resolve per scenario.
+func runScenarioSelfcheck(w io.Writer, reg *scenario.Registry, drain time.Duration, durable bool) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("marketd: selfcheck listen: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	httpSrv := &http.Server{Handler: reg}
+	done := make(chan error, 1)
+	go func() { // coordinated: result drained below after cancel
+		done <- serve.Serve(ctx, httpSrv, ln, drain)
+	}()
+	defer func() {
+		cancel()
+		<-done
+		reg.Wait()
+	}()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	// The listing is the matrix's table of contents; everything else is
+	// checked against it.
+	listBody, _, err := checkGet(w, client, base, "/v1/scenarios")
+	if err != nil {
+		return err
+	}
+	var listing struct {
+		Default   string `json:"default"`
+		Scenarios []struct {
+			Name string `json:"name"`
+			Seed int64  `json:"seed"`
+			Gen  uint64 `json:"gen"`
+		} `json:"scenarios"`
+	}
+	if err := json.Unmarshal(listBody, &listing); err != nil {
+		return fmt.Errorf("marketd: selfcheck /v1/scenarios: %w", err)
+	}
+	if got, want := len(listing.Scenarios), len(reg.Names()); got != want {
+		return fmt.Errorf("marketd: selfcheck /v1/scenarios lists %d scenario(s), want %d", got, want)
+	}
+	if listing.Default != reg.DefaultName() {
+		return fmt.Errorf("marketd: selfcheck /v1/scenarios default %q, want %q", listing.Default, reg.DefaultName())
+	}
+
+	checked := 1
+	type artifactID struct {
+		body []byte
+		etag string
+	}
+	transfers := make([]artifactID, len(listing.Scenarios))
+	for i, sc := range listing.Scenarios {
+		prefix := "/v1/" + sc.Name
+		for _, p := range scenarioCheckPaths {
+			body, etag, err := checkGet(w, client, base, prefix+p)
+			if err != nil {
+				return err
+			}
+			if p == "/transfers" {
+				transfers[i] = artifactID{body, etag}
+			}
+			checked++
+		}
+		if durable {
+			pinned := fmt.Sprintf("%s/utilization?gen=%d", prefix, sc.Gen)
+			pinnedBody, _, err := checkGet(w, client, base, pinned)
+			if err != nil {
+				return err
+			}
+			live, _, err := checkGet(w, client, base, prefix+"/utilization")
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(pinnedBody, live) {
+				return fmt.Errorf("marketd: selfcheck: %s differs from the live artifact", pinned)
+			}
+			checked += 2
+		}
+	}
+
+	// Isolation: distinct seeds must produce distinct worlds.
+	for i, a := range listing.Scenarios {
+		for j, b := range listing.Scenarios[i+1:] {
+			if a.Seed == b.Seed {
+				continue
+			}
+			if bytes.Equal(transfers[i].body, transfers[i+1+j].body) {
+				return fmt.Errorf("marketd: selfcheck: scenarios %s and %s (different seeds) serve identical transfer logs",
+					a.Name, b.Name)
+			}
+		}
+	}
+
+	// Alias: bare paths are the default scenario, byte for byte.
+	aliasBody, aliasETag, err := checkGet(w, client, base, "/v1/transfers")
+	if err != nil {
+		return err
+	}
+	checked++
+	for i, sc := range listing.Scenarios {
+		if sc.Name != listing.Default {
+			continue
+		}
+		if !bytes.Equal(aliasBody, transfers[i].body) || aliasETag != transfers[i].etag {
+			return fmt.Errorf("marketd: selfcheck: bare /v1/transfers is not byte-identical to /v1/%s/transfers", sc.Name)
+		}
+	}
+
+	fmt.Fprintf(w, "marketd: scenario selfcheck passed (%d scenario(s), %d requests)\n",
+		len(listing.Scenarios), checked)
+	return nil
+}

@@ -85,6 +85,50 @@ func MustMix(endpoints ...Endpoint) *Mix {
 	return m
 }
 
+// ForScenario rebases every endpoint of the mix onto one scenario's
+// /v1/{name}/... prefix. Names gain an "@{name}" suffix so per-endpoint
+// report rows stay distinguishable in a merged multi-scenario mix;
+// Route labels are unchanged because the scenario router strips the
+// prefix before the server's mux (and its /varz route labels) see the
+// request.
+func (m *Mix) ForScenario(name string) *Mix {
+	endpoints := make([]Endpoint, len(m.endpoints))
+	for i, e := range m.endpoints {
+		path := e.Path // capture per endpoint, not the loop variable's last value
+		e.Name = e.Name + "@" + name
+		e.Path = func(rng *RNG) string {
+			return "/v1/" + name + path(rng)
+		}
+		endpoints[i] = e
+	}
+	return MustMix(endpoints...)
+}
+
+// MergeMixes concatenates mixes into one weighted mix. Endpoint names
+// must stay unique across the inputs (ForScenario's @name suffix
+// guarantees that for per-scenario variants of the same base mix).
+func MergeMixes(mixes ...*Mix) (*Mix, error) {
+	var endpoints []Endpoint
+	for _, m := range mixes {
+		endpoints = append(endpoints, m.endpoints...)
+	}
+	return NewMix(endpoints...)
+}
+
+// ScenarioMix spreads base evenly across the named scenarios: each
+// scenario gets the full base mix rebased onto its /v1/{name}/...
+// prefix, with equal aggregate weight per scenario.
+func ScenarioMix(base *Mix, names ...string) (*Mix, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("loadgen: ScenarioMix needs at least one scenario name")
+	}
+	mixes := make([]*Mix, len(names))
+	for i, name := range names {
+		mixes[i] = base.ForScenario(name)
+	}
+	return MergeMixes(mixes...)
+}
+
 // ValidateJSON is the standard validator: 200 OK, a JSON content type,
 // and a body that starts like a JSON document. It reads no semantics —
 // byte-level correctness across replicas is the replication gate's job;
@@ -145,7 +189,7 @@ func DefaultMix() *Mix {
 			Path: constPath("/v1/table1?format=csv"), Validate: ValidateCSV,
 		},
 		Endpoint{
-			Name: "figures", Route: "GET /v1/figures/{id}", Weight: 10,
+			Name: "figures", Route: "GET /v1/figures/{id}", Weight: 8,
 			Path: func(rng *RNG) string {
 				return fmt.Sprintf("/v1/figures/%d", 1+rng.Intn(4))
 			},
@@ -156,7 +200,7 @@ func DefaultMix() *Mix {
 			Path: constPath("/v1/prices"), Validate: ValidateJSON,
 		},
 		Endpoint{
-			Name: "prices_filtered", Route: "GET /v1/prices", Weight: 16,
+			Name: "prices_filtered", Route: "GET /v1/prices", Weight: 13,
 			Path: func(rng *RNG) string {
 				size := mixSizes[rng.Intn(len(mixSizes))]
 				if rng.Intn(2) == 0 {
@@ -175,7 +219,7 @@ func DefaultMix() *Mix {
 			Path: constPath("/v1/delegations"), Validate: ValidateJSON,
 		},
 		Endpoint{
-			Name: "delegations_lookup", Route: "GET /v1/delegations", Weight: 12,
+			Name: "delegations_lookup", Route: "GET /v1/delegations", Weight: 10,
 			Path: func(rng *RNG) string {
 				// Random /8-/24 prefixes across the unicast space; misses
 				// are fine (an empty lookup is still a 200), hits exercise
@@ -200,6 +244,14 @@ func DefaultMix() *Mix {
 		Endpoint{
 			Name: "headline", Route: "GET /v1/headline", Weight: 5,
 			Path: constPath("/v1/headline"), Validate: ValidateJSON,
+		},
+		Endpoint{
+			Name: "utilization", Route: "GET /v1/utilization", Weight: 4,
+			Path: constPath("/v1/utilization"), Validate: ValidateJSON,
+		},
+		Endpoint{
+			Name: "rpki", Route: "GET /v1/rpki", Weight: 3,
+			Path: constPath("/v1/rpki"), Validate: ValidateJSON,
 		},
 		Endpoint{
 			Name: "asof_point", Route: "GET /v1/asof", Weight: 8,

@@ -247,3 +247,24 @@ func (h *History) PresenceCount() []int {
 	}
 	return out
 }
+
+// DailyChurn returns, for each day, the number of presence transitions:
+// delegations appearing (absent the day before, present today) plus
+// delegations disappearing (present the day before, absent today). Day
+// 0 counts first appearances. Churn storms show up as spikes in this
+// series — the observability signal the scenario adversarial worlds
+// are built to produce.
+func (h *History) DailyChurn() []int {
+	out := make([]int, h.days)
+	for _, ds := range h.keys {
+		prev := false
+		for x := 0; x < h.days; x++ {
+			cur := ds.get(x)
+			if cur != prev {
+				out[x]++
+			}
+			prev = cur
+		}
+	}
+	return out
+}

@@ -37,6 +37,9 @@ func (s *Server) routes() {
 	s.handle("GET /v1/delegations", s.handleDelegations)
 	s.handle("GET /v1/leasing", static("leasing"))
 	s.handle("GET /v1/headline", static("headline"))
+	s.handle("GET /v1/utilization", static("utilization"))
+	s.handle("GET /v1/rpki", static("rpki"))
+	s.handle("GET /v1/scenarios", s.handleScenarios)
 	s.handle("GET /v1/history", s.handleHistory)
 	s.handle("GET /v1/asof", s.handleAsof)
 	s.handle("GET /v1/asof/timeline", s.handleAsofTimeline)
@@ -214,6 +217,27 @@ func (s *Server) handleDelegations(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.serveArtifact(w, r, q, art, artifactRef{})
+}
+
+// handleScenarios serves GET /v1/scenarios: the scenario matrix this
+// deployment exposes. Under a scenario registry the configured hook
+// answers for the whole matrix; a standalone server describes its one
+// implicit scenario, so clients can probe the surface uniformly.
+func (s *Server) handleScenarios(w http.ResponseWriter, _ *http.Request) {
+	if s.opts.ScenarioList != nil {
+		writeJSON(w, http.StatusOK, s.opts.ScenarioList())
+		return
+	}
+	snap := s.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"default": "default",
+		"scenarios": []map[string]any{{
+			"name":    "default",
+			"default": true,
+			"seed":    snap.Cfg.Seed,
+			"gen":     snap.Gen,
+		}},
+	})
 }
 
 // handleHealthz is the liveness probe: the process is up.

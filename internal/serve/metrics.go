@@ -284,6 +284,11 @@ type varzView struct {
 	// (replicate.LeaderStatus / replicate.FollowerStatus), supplied
 	// through Options.ReplicationVarz; absent on standalone servers.
 	Replication any                  `json:"replication,omitempty"`
+	// Scenarios is the per-scenario section (scenario.Registry.Varz),
+	// supplied through Options.ScenarioVarz; absent on single-world
+	// servers. The flat fields above always describe this server's own
+	// scenario, so existing dashboards keep working unchanged.
+	Scenarios any `json:"scenarios,omitempty"`
 	// ZeroCopy reports how artifact responses found their bytes (sealed
 	// segment file vs in-memory copy); present on snapshot servers only.
 	ZeroCopy *varzZeroCopy        `json:"zero_copy,omitempty"`

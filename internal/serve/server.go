@@ -48,6 +48,18 @@ type Options struct {
 	// /varz (a replicate.Leader's or replicate.Replicator's Varz). A
 	// func hook keeps serve free of a dependency on internal/replicate.
 	ReplicationVarz func() any
+	// ScenarioList, when set, supplies the GET /v1/scenarios document (a
+	// scenario.Registry's listing). Unset, the endpoint describes the
+	// single implicit scenario this server serves — the same func-hook
+	// pattern as ReplicationVarz keeps serve free of a dependency on
+	// internal/scenario.
+	ScenarioList func() any
+	// ScenarioVarz, when set, supplies the `scenarios` section of /varz
+	// (per-scenario generation, build timings, and store bytes). The flat
+	// /varz fields always describe this server alone, so on a
+	// multi-scenario deployment the default scenario's server carries
+	// both views and dashboards keyed on the flat fields keep working.
+	ScenarioVarz func() any
 	// ReadyCheck, when set, gates /readyz: a non-nil error makes the
 	// endpoint answer 503 with the error as the reason, so a router
 	// polling /readyz drains this node until the check clears. Followers
@@ -397,6 +409,9 @@ func (s *Server) varz(now time.Time) varzView {
 	}
 	if s.opts.ReplicationVarz != nil {
 		v.Replication = s.opts.ReplicationVarz()
+	}
+	if s.opts.ScenarioVarz != nil {
+		v.Scenarios = s.opts.ScenarioVarz()
 	}
 	return v
 }

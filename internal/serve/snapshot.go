@@ -52,6 +52,8 @@ type Snapshot struct {
 	Headline       core.HeadlineStats
 	Transfers      []registry.Transfer
 	Delegations    *DelegationIndex
+	Utilization    []core.UtilizationPoint
+	RPKI           core.RPKISeriesResult
 
 	// Temporal is the as-of index behind /v1/asof: the world's event
 	// history (delegations, transfers, holder changes, quarterly price
@@ -227,6 +229,24 @@ var snapshotStages = []buildStage{
 		snap.Delegations = newDelegationIndex(date, inf.FromSurvey(date, study.Routing.SurveyAt(day)))
 		return one("delegations", viewDelegationSummary(snap.Delegations), nil)
 	}},
+	{"utilization", func(snap *Snapshot, study *core.Study, _ int) ([]keyedArtifact, error) {
+		// The per-quarter survey sampling runs serially inside this
+		// stage (workers=1): the stage itself already executes inside
+		// the DAG's worker budget, and nested fan-out would oversubscribe
+		// it without changing the bytes.
+		var err error
+		if snap.Utilization, err = study.UtilizationWorkers(1); err != nil {
+			return nil, err
+		}
+		return one("utilization", viewUtilization(snap.Utilization), utilizationCSV(snap.Utilization))
+	}},
+	{"rpki", func(snap *Snapshot, study *core.Study, _ int) ([]keyedArtifact, error) {
+		var err error
+		if snap.RPKI, err = study.RPKISeries(); err != nil {
+			return nil, err
+		}
+		return one("rpki", viewRPKI(snap.RPKI), rpkiCSV(snap.RPKI))
+	}},
 	{"temporal", func(snap *Snapshot, study *core.Study, _ int) ([]keyedArtifact, error) {
 		// The as-of index has no static artifact of its own — every
 		// /v1/asof response is computed (and query-cached) per request.
@@ -331,6 +351,52 @@ func filterPriceCells(cells []market.PriceCell, match func(market.PriceCell) boo
 		}
 	}
 	return out
+}
+
+// utilizationCSV renders the quarterly utilization series.
+func utilizationCSV(points []core.UtilizationPoint) func(io.Writer) error {
+	return func(w io.Writer) error {
+		cw := csv.NewWriter(w)
+		if err := cw.Write([]string{"quarter", "date", "allocated", "routed", "active"}); err != nil {
+			return err
+		}
+		for _, p := range points {
+			err := cw.Write([]string{
+				p.Quarter, fmtDate(p.Date),
+				strconv.FormatUint(p.Allocated, 10),
+				strconv.FormatUint(p.Routed, 10),
+				strconv.FormatUint(p.Active, 10),
+			})
+			if err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		return cw.Error()
+	}
+}
+
+// rpkiCSV renders the bucketed RPKI observability series (the rule grid
+// is JSON-only; the CSV carries the time series dashboards plot).
+func rpkiCSV(res core.RPKISeriesResult) func(io.Writer) error {
+	return func(w io.Writer) error {
+		cw := csv.NewWriter(w)
+		if err := cw.Write([]string{"date", "days", "mean_present", "max_present", "churn", "mean_churn_per_day"}); err != nil {
+			return err
+		}
+		f2 := func(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+		for _, b := range res.Buckets {
+			err := cw.Write([]string{
+				fmtDate(b.Date), strconv.Itoa(b.Days), f2(b.MeanPresent),
+				strconv.Itoa(b.MaxPresent), strconv.Itoa(b.Churn), f2(b.MeanChurnDay),
+			})
+			if err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		return cw.Error()
+	}
 }
 
 // priceCellsCSV renders filtered price cells in the Figure1CSV column

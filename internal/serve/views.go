@@ -340,6 +340,85 @@ type headlineView struct {
 	PricedRecords  int     `json:"priced_records"`
 }
 
+// ---- /v1/utilization ----
+
+type utilizationPointView struct {
+	Quarter   string `json:"quarter"`
+	Date      string `json:"date"`
+	Allocated uint64 `json:"allocated"`
+	Routed    uint64 `json:"routed"`
+	Active    uint64 `json:"active"`
+}
+
+type utilizationView struct {
+	Points []utilizationPointView `json:"points"`
+	N      int                    `json:"n"`
+}
+
+func viewUtilization(points []core.UtilizationPoint) utilizationView {
+	out := utilizationView{Points: make([]utilizationPointView, 0, len(points)), N: len(points)}
+	for _, p := range points {
+		out.Points = append(out.Points, utilizationPointView{
+			Quarter:   p.Quarter,
+			Date:      fmtDate(p.Date),
+			Allocated: p.Allocated,
+			Routed:    p.Routed,
+			Active:    p.Active,
+		})
+	}
+	return out
+}
+
+// ---- /v1/rpki ----
+
+type rpkiBucketView struct {
+	Date         string  `json:"date"`
+	Days         int     `json:"days"`
+	MeanPresent  float64 `json:"mean_present"`
+	MaxPresent   int     `json:"max_present"`
+	Churn        int     `json:"churn"`
+	MeanChurnDay float64 `json:"mean_churn_per_day"`
+}
+
+type rpkiRuleView struct {
+	M        int     `json:"m"`
+	N        int     `json:"n"`
+	Premises int     `json:"premises"`
+	Failures int     `json:"failures"`
+	FailRate float64 `json:"fail_rate"`
+}
+
+type rpkiView struct {
+	Delegations int              `json:"delegations"`
+	Buckets     []rpkiBucketView `json:"buckets"`
+	Rules       []rpkiRuleView   `json:"rules"`
+}
+
+func viewRPKI(res core.RPKISeriesResult) rpkiView {
+	out := rpkiView{
+		Delegations: res.Delegations,
+		Buckets:     make([]rpkiBucketView, 0, len(res.Buckets)),
+		Rules:       make([]rpkiRuleView, 0, len(res.Rules)),
+	}
+	for _, b := range res.Buckets {
+		out.Buckets = append(out.Buckets, rpkiBucketView{
+			Date:         fmtDate(b.Date),
+			Days:         b.Days,
+			MeanPresent:  b.MeanPresent,
+			MaxPresent:   b.MaxPresent,
+			Churn:        b.Churn,
+			MeanChurnDay: b.MeanChurnDay,
+		})
+	}
+	for _, r := range res.Rules {
+		out.Rules = append(out.Rules, rpkiRuleView{
+			M: r.M, N: r.N, Premises: r.Premises, Failures: r.Failures,
+			FailRate: r.FailRate(),
+		})
+	}
+	return out
+}
+
 func viewHeadline(h core.HeadlineStats) headlineView {
 	out := headlineView{
 		MeanPrice2020: h.MeanPrice2020,

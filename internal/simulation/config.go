@@ -60,6 +60,98 @@ type Config struct {
 	// objects per LIR (the paper: 91.4% of ASSIGNED PA entries are
 	// smaller than /24).
 	SmallAssignmentsPerLIR int
+
+	// PriceShocks multiply the broker-market price level inside their
+	// windows (scenario knob: supply squeezes, fire sales).
+	PriceShocks []PriceShock
+
+	// RPKIChurnStorms raise the per-day ROA drop probability and leave
+	// stale ROAs behind for expired delegations inside their windows
+	// (scenario knob: the churn/stale-ROA storms of the RPKI SoK).
+	RPKIChurnStorms []RPKIChurnStorm
+
+	// HijackWaves override HijackRate inside their windows (scenario
+	// knob: concentrated hijack campaigns).
+	HijackWaves []HijackWave
+
+	// ActivityMean/ActivityJitter shape the per-prefix active-address
+	// fraction the utilization inference estimates. Zero values fall
+	// back to defaultActivityMean/defaultActivityJitter.
+	ActivityMean   float64
+	ActivityJitter float64
+}
+
+// PriceShock multiplies transaction prices by Factor for deals dated
+// in [Start, End).
+type PriceShock struct {
+	Start, End time.Time
+	Factor     float64
+}
+
+// DayWindow is a half-open routing-window day range [StartDay, EndDay).
+type DayWindow struct {
+	StartDay, EndDay int
+}
+
+// Contains reports whether day falls inside the window.
+func (w DayWindow) Contains(day int) bool {
+	return day >= w.StartDay && day < w.EndDay
+}
+
+// RPKIChurnStorm degrades ROA publication inside its window: the
+// per-day drop probability is raised to at least DropProb, and
+// StaleROAFraction of the delegations with no matching routed
+// announcement (ended or never-routed leases) surface as stale
+// authorizations while the storm lasts.
+type RPKIChurnStorm struct {
+	Window           DayWindow
+	DropProb         float64
+	StaleROAFraction float64
+}
+
+// HijackWave replaces the baseline HijackRate with Rate inside its
+// window.
+type HijackWave struct {
+	Window DayWindow
+	Rate   float64
+}
+
+// priceShockFactor returns the combined shock multiplier for a deal at
+// time t (1.0 outside every window; overlapping shocks compound).
+func (c *Config) priceShockFactor(t time.Time) float64 {
+	f := 1.0
+	for _, s := range c.PriceShocks {
+		if !t.Before(s.Start) && t.Before(s.End) {
+			f *= s.Factor
+		}
+	}
+	return f
+}
+
+// hijackRateOn returns the expected hijack count for the routing-window
+// day, honoring any hijack wave covering it (the last matching wave
+// wins, so later config entries can carve exceptions).
+func (c *Config) hijackRateOn(day int) float64 {
+	rate := c.HijackRate
+	for _, wv := range c.HijackWaves {
+		if wv.Window.Contains(day) {
+			rate = wv.Rate
+		}
+	}
+	return rate
+}
+
+// stormOn returns the churn storm covering the day, if any (the last
+// matching storm wins).
+func (c *Config) stormOn(day int) (RPKIChurnStorm, bool) {
+	var out RPKIChurnStorm
+	found := false
+	for _, s := range c.RPKIChurnStorms {
+		if s.Window.Contains(day) {
+			out, found = s, true
+		}
+	}
+	return out, found
 }
 
 // DefaultConfig returns the standard laptop-scale configuration.

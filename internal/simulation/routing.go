@@ -195,7 +195,7 @@ func (rs *RoutingSim) visRNG(day, collector int) *rand.Rand {
 func (rs *RoutingSim) dayEvents(day int) (anns, hijacks []announcement, hijackMonitors [][]int) {
 	rng := rs.dayRNG(day)
 	anns = rs.activeAnnouncements(day)
-	hijacks = rs.hijacks(rng)
+	hijacks = rs.hijacks(rng, day)
 	total := rs.NumMonitors()
 	hijackMonitors = make([][]int, len(hijacks))
 	for i := range hijacks {
@@ -246,8 +246,10 @@ func (rs *RoutingSim) ScrubbedPrefixesOn(day int) []netblock.Prefix {
 
 // hijacks draws the day's short-lived more-specific hijacks; each is
 // visible at only one or two monitors (locally spread, as §4 puts it).
-func (rs *RoutingSim) hijacks(rng *rand.Rand) []announcement {
-	n := poisson(rng, rs.w.Cfg.HijackRate)
+// The expected count is the baseline HijackRate, or the rate of a
+// hijack wave covering the day.
+func (rs *RoutingSim) hijacks(rng *rand.Rand, day int) []announcement {
+	n := poisson(rng, rs.w.Cfg.hijackRateOn(day))
 	var out []announcement
 	for i := 0; i < n && len(rs.anns) > 0; i++ {
 		victim := rs.anns[rng.Intn(len(rs.anns))]

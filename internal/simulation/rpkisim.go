@@ -33,6 +33,14 @@ const solidROADropProb = 0.0004
 // over the routing window. adoptionProb is the fraction of leases whose
 // parties deploy RPKI (the paper sees an order of magnitude fewer
 // RPKI delegations than BGP delegations).
+//
+// Configured RPKIChurnStorms degrade the history inside their windows:
+// the per-day drop probability rises to at least the storm's DropProb,
+// and a StaleROAFraction share of delegations whose lease has ended
+// before a storm closes keep publishing ROAs until the storm passes
+// (stale authorizations that no longer match any active lease). Storm
+// effects draw from side RNG streams so a world without storms is
+// byte-for-byte identical to the pre-knob generator.
 func (w *World) BuildRPKIHistory(adoptionProb, dropProb float64) *rpki.History {
 	rng := rand.New(rand.NewSource(w.Cfg.Seed ^ 0x4b1d))
 	h := rpki.NewHistory(w.Cfg.RoutingStart, w.Cfg.RoutingDays)
@@ -53,13 +61,68 @@ func (w *World) BuildRPKIHistory(adoptionProb, dropProb float64) *rpki.History {
 		lo := maxInt(l.StartDay, 0)
 		hi := minInt(l.EndDay, w.Cfg.RoutingDays)
 		for day := lo; day < hi; day++ {
-			if rng.Float64() < p {
+			drop := p
+			if storm, ok := w.Cfg.stormOn(day); ok && storm.DropProb > drop {
+				drop = storm.DropProb
+			}
+			if rng.Float64() < drop {
 				continue // ROA temporarily absent from the validated set
 			}
 			h.Observe(day, d)
 		}
 	}
+	w.observeStaleROAs(h, adoptionProb)
 	return h
+}
+
+// observeStaleROAs runs the stale-authorization pass: for every churn
+// storm with a StaleROAFraction, delegations with no matching routed
+// announcement surface in the validated set while the storm lasts —
+// the lease ended before the storm closes, or it was a registry-only
+// lease whose authorization was provisioned but never announced. Both
+// model operators and validator caches serving authorizations nobody
+// revokes during the churn. Each (lease, storm) pair draws from its
+// own deterministic side stream, keeping the main generator's draw
+// sequence untouched: with no storms configured this pass is a no-op.
+func (w *World) observeStaleROAs(h *rpki.History, adoptionProb float64) {
+	for si, storm := range w.Cfg.RPKIChurnStorms {
+		if storm.StaleROAFraction <= 0 {
+			continue
+		}
+		hi := minInt(storm.Window.EndDay, w.Cfg.RoutingDays)
+		for li, l := range w.Leases {
+			// Live routed leases are the main loop's job; everything
+			// else is a stale candidate.
+			ended := l.EndDay < storm.Window.EndDay
+			if l.Routed && !ended {
+				continue
+			}
+			srng := rand.New(rand.NewSource(w.Cfg.Seed ^ 0x57a1e ^ int64(li)*1_000_003 ^ int64(si)*2_147_483_659))
+			// The lease's parties must have deployed RPKI at all, and
+			// then failed to clean up the authorization.
+			if srng.Float64() > adoptionProb || srng.Float64() >= storm.StaleROAFraction {
+				continue
+			}
+			d := rpki.Delegation{
+				Parent: l.Parent,
+				Child:  l.Child,
+				From:   l.Provider.PrimaryAS(),
+				To:     l.Customer.PrimaryAS(),
+			}
+			lo := maxInt(storm.Window.StartDay, 0)
+			if l.Routed {
+				// A routed lease was live in the validated set until it
+				// ended; staleness begins at its end.
+				lo = maxInt(lo, l.EndDay)
+			}
+			for day := lo; day < hi; day++ {
+				if srng.Float64() < storm.DropProb {
+					continue
+				}
+				h.Observe(day, d)
+			}
+		}
+	}
 }
 
 // BuildRPKISnapshot materializes the validated ROA set for one day:

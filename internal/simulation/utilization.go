@@ -1,0 +1,46 @@
+package simulation
+
+import (
+	"ipv4market/internal/netblock"
+)
+
+// Activity defaults: the share of a routed block's addresses estimated
+// active (responding hosts per "Lost in Space"-style probing) when the
+// scenario does not override the utilization profile.
+const (
+	defaultActivityMean   = 0.55
+	defaultActivityJitter = 0.25
+)
+
+// ActivityFraction estimates the fraction of a routed prefix's
+// addresses that are active. The estimate is a pure deterministic
+// function of (seed, prefix): a splitmix64-style hash drives a jitter
+// around the configured mean, clamped to [0.02, 0.98] so no routed
+// block is ever fully dead or fully packed. Concurrent calls are safe —
+// no shared RNG stream is consumed.
+func (w *World) ActivityFraction(p netblock.Prefix) float64 {
+	mean := w.Cfg.ActivityMean
+	if mean <= 0 {
+		mean = defaultActivityMean
+	}
+	jitter := w.Cfg.ActivityJitter
+	if jitter <= 0 {
+		jitter = defaultActivityJitter
+	}
+	x := uint64(w.Cfg.Seed)*0x9e3779b97f4a7c15 ^ uint64(p.Addr())<<8 ^ uint64(p.Bits())
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	// Uniform in [-1, 1), scaled by the jitter.
+	u := float64(x>>11)/float64(1<<53)*2 - 1
+	f := mean + u*jitter
+	if f < 0.02 {
+		f = 0.02
+	}
+	if f > 0.98 {
+		f = 0.98
+	}
+	return f
+}

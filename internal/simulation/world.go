@@ -348,13 +348,16 @@ func sizeFactor(bits int) float64 {
 // price tracks PriceLevel (the deal mix is dominated by /24s and /23s).
 const meanSizeFactor = 1.07
 
-// transactionPrice draws a per-address price for a deal at time t.
+// transactionPrice draws a per-address price for a deal at time t. Any
+// configured price shock covering t multiplies the level (the noise
+// draw stays in the stream regardless, so shock windows perturb prices
+// without reshuffling every later market draw).
 func (w *World) transactionPrice(t time.Time, bits int) float64 {
 	noise := 1 + w.rng.NormFloat64()*0.06
 	if noise < 0.7 {
 		noise = 0.7
 	}
-	return PriceLevel(t) * sizeFactor(bits) / meanSizeFactor * noise
+	return PriceLevel(t) * w.Cfg.priceShockFactor(t) * sizeFactor(bits) / meanSizeFactor * noise
 }
 
 // monthlyTransferRate returns the expected number of intra-RIR transfers

@@ -39,9 +39,12 @@
 #                   loopback port, and query every endpoint through a
 #                   real HTTP client (marketd -selfcheck does the full
 #                   cycle in-process; no curl or job control needed).
-#                   Run twice: in-memory, and with -data-dir under a
+#                   Run three times: in-memory, with -data-dir under a
 #                   temp dir to exercise persist → shutdown →
-#                   warm-start → /v1/history
+#                   warm-start → /v1/history, and with -scenarios on
+#                   the example matrix to walk every scenario's
+#                   prefixed surface, gen pinning, seed isolation, and
+#                   the default alias
 #   replication   — the leader/follower contracts, run explicitly and
 #                   by name (sync + catch-up, corrupt and truncated
 #                   downloads quarantined/resumed, byte- and
@@ -50,6 +53,16 @@
 #                   follower marketd pair over loopback and asserts the
 #                   same identity plus the follower's 409 on
 #                   /admin/rebuild
+#   scenario      — the multi-tenant matrix contracts, run explicitly
+#                   and by name (worker-count determinism per scenario,
+#                   cross-scenario isolation, default alias, warm-start
+#                   matrix, golden example configs), then
+#                   scripts/scengate.go boots a race-enabled leader
+#                   marketd on the shipped examples/scenarios matrix
+#                   plus a follower replicating all of it, and asserts
+#                   per-scenario leader/follower byte identity, the
+#                   default alias, rebuild isolation, and follower
+#                   catch-up over real sockets
 #   suppressions  — ipv4lint -suppressions: every //lint:ignore
 #                   directive must still silence a live finding; stale
 #                   directives fail the gate so fixed code sheds its
@@ -161,6 +174,9 @@ gate_smoke() {
     "$check_dir/marketd" -selfcheck -lirs 14 -days 40
     store_dir=$(mktemp -d "$scratch_dir/store.XXXXXX")
     "$check_dir/marketd" -selfcheck -lirs 14 -days 40 -data-dir "$store_dir"
+    scen_dir=$(mktemp -d "$scratch_dir/scenarios.XXXXXX")
+    "$check_dir/marketd" -selfcheck -scenarios examples/scenarios \
+        -lirs 14 -days 40 -data-dir "$scen_dir"
 }
 
 gate_replication() {
@@ -169,6 +185,14 @@ gate_replication() {
         ./internal/replicate
     go build -o "$check_dir/marketd" ./cmd/marketd
     go run scripts/replgate.go "$check_dir/marketd"
+}
+
+gate_scenario() {
+    go test -race -count=1 \
+        -run 'TestMatrixDeterminism|TestScenarioIsolation|TestDefaultAlias|TestWarmStartMatrix|TestGoldenConfigsReplay' \
+        ./internal/scenario
+    go build -race -o "$check_dir/marketd-race" ./cmd/marketd
+    go run scripts/scengate/scengate.go "$check_dir/marketd-race"
 }
 
 gate_suppressions() {
@@ -203,6 +227,7 @@ run_gate store
 run_gate asof
 run_gate smoke
 run_gate replication
+run_gate scenario
 run_gate suppressions
 run_gate fuzz
 run_gate load

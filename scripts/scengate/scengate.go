@@ -1,0 +1,351 @@
+//go:build ignore
+
+// scengate.go is check.sh's scenario-matrix gate: it boots a leader
+// marketd serving the shipped examples/scenarios matrix (a calm
+// baseline plus an adversarial churnstorm world), boots a follower
+// replicating the whole matrix, and asserts the multi-tenant contract
+// end to end over real processes and real sockets:
+//
+//   - /v1/scenarios lists the matrix with its default and at least one
+//     adversarial scenario;
+//   - every scenario's artifacts answer byte- and ETag-identically on
+//     leader and follower;
+//   - bare /v1/... paths alias the default scenario byte-for-byte;
+//   - rebuilding one scenario advances only that scenario's generation
+//     (same bytes, same-config rebuild) while every other scenario's
+//     generation, bytes, and ETags stay untouched;
+//   - the follower catches up to the rebuilt generation and stays
+//     byte-identical;
+//   - both processes shut down cleanly on SIGTERM.
+//
+// Usage: go run scripts/scengate/scengate.go <path-to-marketd-binary>
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+)
+
+const bootTimeout = 120 * time.Second
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: go run scripts/scengate/scengate.go <marketd-binary>")
+		os.Exit(2)
+	}
+	if err := run(os.Args[1]); err != nil {
+		fmt.Fprintln(os.Stderr, "scengate:", err)
+		os.Exit(1)
+	}
+	fmt.Println("scengate: scenario gate passed")
+}
+
+// daemon is one managed marketd process.
+type daemon struct {
+	name string
+	cmd  *exec.Cmd
+	base string // http://host:port once the serving line appears
+}
+
+// startMarketd launches bin with args, echoing its output with a name
+// prefix, and returns once the "serving on http://..." line appears.
+func startMarketd(name, bin string, args ...string) (*daemon, error) {
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("%s: stdout pipe: %w", name, err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("%s: start: %w", name, err)
+	}
+	urls := make(chan string, 1)
+	go func() { // coordinated: closes urls when the pipe drains
+		defer close(urls)
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Printf("[%s] %s\n", name, line)
+			if _, addr, ok := strings.Cut(line, "serving on http://"); ok {
+				select {
+				case urls <- "http://" + strings.TrimSpace(addr):
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case base, ok := <-urls:
+		if !ok {
+			err := cmd.Wait()
+			return nil, fmt.Errorf("%s: exited before serving: %w", name, err)
+		}
+		return &daemon{name: name, cmd: cmd, base: base}, nil
+	case <-time.After(bootTimeout):
+		cmd.Process.Kill()
+		return nil, fmt.Errorf("%s: no serving line within %v", name, bootTimeout)
+	}
+}
+
+// stop shuts the daemon down with SIGTERM and waits for a clean exit.
+func (d *daemon) stop() error {
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		d.cmd.Process.Kill()
+		return fmt.Errorf("%s: signal: %w", d.name, err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("%s: exit: %w", d.name, err)
+		}
+		return nil
+	case <-time.After(30 * time.Second):
+		d.cmd.Process.Kill()
+		return fmt.Errorf("%s: did not exit on SIGTERM", d.name)
+	}
+}
+
+func fetch(base, path string) (int, []byte, string, error) {
+	resp, err := http.Get(base + path)
+	if err != nil {
+		return 0, nil, "", fmt.Errorf("GET %s%s: %w", base, path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, "", fmt.Errorf("GET %s%s: read: %w", base, path, err)
+	}
+	return resp.StatusCode, body, resp.Header.Get("ETag"), nil
+}
+
+// listing is the subset of GET /v1/scenarios the gate asserts on.
+type listing struct {
+	Default   string `json:"default"`
+	Scenarios []struct {
+		Name        string `json:"name"`
+		Default     bool   `json:"default"`
+		Adversarial bool   `json:"adversarial"`
+		Gen         uint64 `json:"gen"`
+	} `json:"scenarios"`
+}
+
+func fetchListing(base string) (*listing, error) {
+	code, body, _, err := fetch(base, "/v1/scenarios")
+	if err != nil {
+		return nil, err
+	}
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("GET /v1/scenarios: status %d", code)
+	}
+	var l listing
+	if err := json.Unmarshal(body, &l); err != nil {
+		return nil, fmt.Errorf("GET /v1/scenarios: %w", err)
+	}
+	return &l, nil
+}
+
+func (l *listing) gen(name string) (uint64, bool) {
+	for _, sc := range l.Scenarios {
+		if sc.Name == name {
+			return sc.Gen, true
+		}
+	}
+	return 0, false
+}
+
+// artifactPaths is the per-scenario surface the gate compares across
+// leader and follower.
+var artifactPaths = []string{"/table1", "/utilization", "/rpki", "/prices"}
+
+func run(bin string) error {
+	work, err := os.MkdirTemp("", "ipv4market-scengate")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(work)
+	common := []string{"-scenarios", "examples/scenarios", "-lirs", "14", "-days", "40"}
+
+	leader, err := startMarketd("leader", bin, append([]string{
+		"-listen", "127.0.0.1:0", "-data-dir", work + "/leader", "-admin"}, common...)...)
+	if err != nil {
+		return err
+	}
+	defer leader.cmd.Process.Kill()
+
+	// The follower prints its serving line only after every scenario's
+	// initial sync succeeded, so reaching it proves the whole matrix
+	// replicated.
+	follower, err := startMarketd("follower", bin, append([]string{
+		"-listen", "127.0.0.1:0", "-data-dir", work + "/follower",
+		"-follow", leader.base, "-poll-interval", "250ms"}, common...)...)
+	if err != nil {
+		return err
+	}
+	defer follower.cmd.Process.Kill()
+
+	l, err := fetchListing(leader.base)
+	if err != nil {
+		return err
+	}
+	if len(l.Scenarios) < 2 {
+		return fmt.Errorf("/v1/scenarios lists %d scenario(s), want >= 2", len(l.Scenarios))
+	}
+	adversarial, victim := "", ""
+	for _, sc := range l.Scenarios {
+		if sc.Default != (sc.Name == l.Default) {
+			return fmt.Errorf("scenario %q default flag disagrees with listing default %q", sc.Name, l.Default)
+		}
+		if sc.Adversarial && adversarial == "" {
+			adversarial = sc.Name
+		}
+		if !sc.Adversarial && victim == "" {
+			victim = sc.Name
+		}
+	}
+	if adversarial == "" {
+		return fmt.Errorf("no adversarial scenario in the matrix; the gate requires one")
+	}
+	if victim == "" {
+		victim = l.Default
+	}
+	fmt.Printf("scengate: matrix of %d scenarios, default %q, adversarial %q\n",
+		len(l.Scenarios), l.Default, adversarial)
+
+	// Every scenario's artifacts are byte- and ETag-identical on leader
+	// and follower.
+	for _, sc := range l.Scenarios {
+		for _, p := range artifactPaths {
+			path := "/v1/" + sc.Name + p
+			lcode, lbody, letag, err := fetch(leader.base, path)
+			if err != nil {
+				return err
+			}
+			fcode, fbody, fetag, err := fetch(follower.base, path)
+			if err != nil {
+				return err
+			}
+			if lcode != http.StatusOK || fcode != http.StatusOK {
+				return fmt.Errorf("%s: leader %d, follower %d, want 200/200", path, lcode, fcode)
+			}
+			if !bytes.Equal(lbody, fbody) {
+				return fmt.Errorf("%s: follower body differs from leader (%d vs %d bytes)", path, len(fbody), len(lbody))
+			}
+			if letag == "" || letag != fetag {
+				return fmt.Errorf("%s: ETags differ: leader %q, follower %q", path, letag, fetag)
+			}
+		}
+		fmt.Printf("scengate: %-12s leader/follower identical across %d artifacts\n", sc.Name, len(artifactPaths))
+	}
+
+	// Bare /v1/... aliases the default scenario byte-for-byte.
+	for _, p := range artifactPaths {
+		_, bare, bareETag, err := fetch(leader.base, "/v1"+p)
+		if err != nil {
+			return err
+		}
+		_, pref, prefETag, err := fetch(leader.base, "/v1/"+l.Default+p)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(bare, pref) || bareETag != prefETag {
+			return fmt.Errorf("/v1%s: bare path differs from default scenario /v1/%s%s", p, l.Default, p)
+		}
+	}
+	fmt.Printf("scengate: bare /v1 paths alias default scenario %q\n", l.Default)
+
+	// Isolation: rebuild only the adversarial scenario and require the
+	// victim's bytes, ETag, and generation to be untouched while the
+	// rebuilt scenario's generation advances (same config, same bytes).
+	advGen, _ := l.gen(adversarial)
+	vicGen, _ := l.gen(victim)
+	_, vicBody, vicETag, err := fetch(leader.base, "/v1/"+victim+"/utilization")
+	if err != nil {
+		return err
+	}
+	_, advBody, advETag, err := fetch(leader.base, "/v1/"+adversarial+"/utilization")
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(leader.base+"/v1/"+adversarial+"/admin/rebuild", "", nil)
+	if err != nil {
+		return fmt.Errorf("rebuild %s: %w", adversarial, err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("POST /v1/%s/admin/rebuild: status %d, want 202", adversarial, resp.StatusCode)
+	}
+	newGen, err := waitGen(leader.base, adversarial, advGen)
+	if err != nil {
+		return err
+	}
+	l2, err := fetchListing(leader.base)
+	if err != nil {
+		return err
+	}
+	if g, _ := l2.gen(victim); g != vicGen {
+		return fmt.Errorf("victim %s generation moved %d -> %d on a %s rebuild", victim, vicGen, g, adversarial)
+	}
+	_, body2, etag2, err := fetch(leader.base, "/v1/"+victim+"/utilization")
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(body2, vicBody) || etag2 != vicETag {
+		return fmt.Errorf("victim %s bytes or ETag changed when %s was rebuilt", victim, adversarial)
+	}
+	_, body3, etag3, err := fetch(leader.base, "/v1/"+adversarial+"/utilization")
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(body3, advBody) || etag3 != advETag {
+		return fmt.Errorf("%s bytes or ETag changed across a same-config rebuild", adversarial)
+	}
+	fmt.Printf("scengate: rebuilt %s (gen %d -> %d); %s untouched at gen %d\n",
+		adversarial, advGen, newGen, victim, vicGen)
+
+	// The follower catches up to the rebuilt generation and stays
+	// byte-identical.
+	if _, err := waitGen(follower.base, adversarial, newGen-1); err != nil {
+		return fmt.Errorf("follower catch-up: %w", err)
+	}
+	_, fbody, fetag, err := fetch(follower.base, "/v1/"+adversarial+"/utilization")
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(fbody, advBody) || fetag != advETag {
+		return fmt.Errorf("follower %s diverged after catching up to gen %d", adversarial, newGen)
+	}
+	fmt.Printf("scengate: follower caught up to %s gen %d, still identical\n", adversarial, newGen)
+
+	if err := follower.stop(); err != nil {
+		return err
+	}
+	return leader.stop()
+}
+
+// waitGen polls base's scenario listing until name's generation exceeds
+// past, returning the new generation.
+func waitGen(base, name string, past uint64) (uint64, error) {
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		l, err := fetchListing(base)
+		if err != nil {
+			return 0, err
+		}
+		if g, ok := l.gen(name); ok && g > past {
+			return g, nil
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	return 0, fmt.Errorf("%s: generation did not advance past %d within 60s", name, past)
+}
